@@ -1,0 +1,152 @@
+"""Ablation benches for the design choices the paper motivates but does not
+quantify: the Bank Selector, burst-write batching, the early-exit pipeline,
+the dual-path organisation and the overflow CAM size.
+"""
+
+import pytest
+
+from repro.baselines.conventional_hashcam import ConventionalHashCam, PipelinedHashCam
+from repro.core.config import small_test_config
+from repro.core.flow_lut import FlowLUT
+from repro.core.harness import run_lookup_experiment
+from repro.reporting import format_table
+from repro.traffic.generators import descriptors_from_keys, match_rate_workload, random_flow_keys
+from repro.traffic.patterns import random_hash_patterns
+
+DESCRIPTORS = 2500
+RATE = 100e6
+
+
+def _run(config, patterns):
+    return run_lookup_experiment(FlowLUT(config), patterns, input_rate_hz=RATE)
+
+
+def test_ablation_bank_selector(benchmark):
+    """Bank Selector on/off under random hash patterns (Section IV-A)."""
+
+    def run():
+        on = small_test_config()
+        off = small_test_config(bank_select_enabled=False)
+        patterns = random_hash_patterns(DESCRIPTORS, on, seed=41)
+        return {
+            "enabled": _run(on, list(patterns)).throughput_mdesc_s,
+            "disabled": _run(off, list(patterns)).throughput_mdesc_s,
+        }
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        [{"bank_selector": k, "rate_mdesc_s": v} for k, v in rates.items()],
+        title="Ablation — Bank Selector",
+    ))
+    assert rates["disabled"] <= rates["enabled"]
+    benchmark.extra_info.update(rates)
+
+
+def test_ablation_burst_write_generator(benchmark):
+    """Burst-write batching on/off under a 100% miss (insert-heavy) workload."""
+
+    def run():
+        keys = random_flow_keys(DESCRIPTORS, seed=42)
+        descriptors = descriptors_from_keys(keys)
+        batched = _run(small_test_config(), list(descriptors)).throughput_mdesc_s
+        immediate = _run(
+            small_test_config(burst_writes_enabled=False), list(descriptors)
+        ).throughput_mdesc_s
+        return {"batched": batched, "immediate": immediate}
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        [{"burst_writes": k, "rate_mdesc_s": v} for k, v in rates.items()],
+        title="Ablation — Burst Write Generator (100% miss workload)",
+    ))
+    assert rates["immediate"] <= rates["batched"] * 1.05
+    benchmark.extra_info.update(rates)
+
+
+def test_ablation_dual_path_vs_single_path(benchmark):
+    """Dual-path lookup versus forcing every first lookup onto one path."""
+
+    def run():
+        keys = random_flow_keys(6000, seed=43)
+        table = descriptors_from_keys(keys)
+        queries = match_rate_workload(keys, DESCRIPTORS, match_fraction=0.5, seed=44)
+
+        def measure(config):
+            lut = FlowLUT(config)
+            lut.preload([d.key_bytes for d in table])
+            return run_lookup_experiment(lut, list(queries), input_rate_hz=RATE).throughput_mdesc_s
+
+        return {
+            "dual_path_hash_balanced": measure(small_test_config()),
+            "single_path_first": measure(
+                small_test_config(load_balance_policy="fixed", path_a_fraction=0.0)
+            ),
+        }
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        [{"organisation": k, "rate_mdesc_s": v} for k, v in rates.items()],
+        title="Ablation — dual-path vs single-path first lookup (50% miss)",
+    ))
+    assert rates["single_path_first"] < rates["dual_path_hash_balanced"]
+    benchmark.extra_info.update(rates)
+
+
+def test_ablation_early_exit_pipeline_read_savings(benchmark):
+    """Early-exit (proposed) versus conventional simultaneous Hash-CAM search:
+    DRAM reads per lookup on a hit-dominated workload."""
+
+    def run():
+        config = small_test_config()
+        conventional = ConventionalHashCam(config, seed=45)
+        pipelined = PipelinedHashCam(config, seed=45)
+        keys = [k.pack() for k in random_flow_keys(5000, seed=46)]
+        for key in keys:
+            conventional.insert(key)
+            pipelined.insert(key)
+        for key in keys:
+            conventional.lookup(key)
+            pipelined.lookup(key)
+        return {
+            "conventional_reads_per_lookup": conventional.reads_per_lookup,
+            "early_exit_reads_per_lookup": pipelined.reads_per_lookup,
+        }
+
+    reads = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        [{"table": k, "reads_per_lookup": v} for k, v in reads.items()],
+        title="Ablation — early-exit pipeline vs conventional Hash-CAM",
+    ))
+    assert reads["early_exit_reads_per_lookup"] < reads["conventional_reads_per_lookup"]
+    benchmark.extra_info.update(reads)
+
+
+def test_ablation_cam_size_vs_insert_failures(benchmark):
+    """Overflow CAM size versus insertion failures at high table load."""
+
+    def run():
+        rows = []
+        for cam_entries in (0, 8, 64, 256):
+            config = small_test_config(num_flows=2048, cam_entries=max(1, cam_entries))
+            lut = FlowLUT(config)
+            descriptors = descriptors_from_keys(random_flow_keys(1800, seed=47))
+            run_lookup_experiment(lut, descriptors, input_rate_hz=RATE)
+            rows.append(
+                {
+                    "cam_entries": cam_entries,
+                    "insert_failures": lut.insert_failures,
+                    "cam_occupancy": lut.table.cam.occupancy,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation — CAM size vs insert failures (88% load)"))
+    failures = [row["insert_failures"] for row in rows]
+    assert failures == sorted(failures, reverse=True)
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,47 @@
+"""Figure 3 — DDR3-1066 DQ bandwidth utilisation versus burst-group size.
+
+The paper computes that issuing groups of N read bursts followed by N write
+bursts on the same row (BL = 8) improves DQ utilisation from about 20 % at
+N = 1 to about 90 % at N = 35.  This benchmark regenerates the whole curve
+both analytically and by driving the DDR3 device model, and prints the two
+next to the paper's endpoints.
+"""
+
+import pytest
+
+from repro.memory.timing import DDR3_1066_187E, DDR3_1333, DDR3_1600
+from repro.reporting import format_table, run_fig3_bandwidth
+
+FULL_SWEEP = (1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32, 35)
+
+
+def test_fig3_ddr3_1066_utilisation_curve(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3_bandwidth(burst_counts=FULL_SWEEP, timing=DDR3_1066_187E, groups=48),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result["rows"]
+    print()
+    print(format_table(rows, title="Figure 3 — DQ utilisation vs bursts (DDR3-1066 -187E)", float_digits=3))
+    print(f"paper endpoints: ~{result['paper']['utilisation_at_1']:.2f} at N=1, "
+          f"~{result['paper']['utilisation_at_35']:.2f} at N=35")
+    by_bursts = {row["bursts"]: row for row in rows}
+    assert by_bursts[1]["utilisation_analytic"] == pytest.approx(0.20, abs=0.03)
+    assert by_bursts[35]["utilisation_analytic"] == pytest.approx(0.90, abs=0.03)
+    benchmark.extra_info["utilisation_at_1"] = by_bursts[1]["utilisation_analytic"]
+    benchmark.extra_info["utilisation_at_35"] = by_bursts[35]["utilisation_analytic"]
+
+
+@pytest.mark.parametrize("timing", [DDR3_1333, DDR3_1600], ids=lambda t: t.name)
+def test_fig3_other_speed_grades(benchmark, timing):
+    """Sensitivity study: the same curve for faster speed grades."""
+    result = benchmark.pedantic(
+        lambda: run_fig3_bandwidth(burst_counts=(1, 8, 35), timing=timing, groups=32),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result["rows"], title=f"Figure 3 variant — {timing.name}", float_digits=3))
+    utilisations = [row["utilisation_analytic"] for row in result["rows"]]
+    assert utilisations == sorted(utilisations)

@@ -1,0 +1,63 @@
+"""Figure 6 — new-flow / packet ratio of the (synthetic) traffic trace.
+
+The paper measures a real 2012 switch-fabric trace: ~57 % of the first
+thousand packets start new flows, 33.8 % over ten thousand, under 10 % for
+sufficiently large packet sets.  The calibrated synthetic trace generator
+substitutes for the unavailable trace; the shape to check is the monotone
+decay through the paper's anchor region.
+"""
+
+import pytest
+
+from repro.reporting import PAPER_FIG6, format_table, run_fig6_flow_ratio
+
+CHECKPOINTS = (1_000, 10_000, 100_000, 300_000)
+
+
+def test_fig6_new_flow_ratio_curve(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig6_flow_ratio(checkpoints=CHECKPOINTS),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result["rows"]
+    print()
+    print(format_table(rows, title="Figure 6 — new flows vs packets (synthetic trace)", float_digits=4))
+    print(f"paper anchors: {PAPER_FIG6[0]['new_flow_ratio']:.2f} at 1K packets, "
+          f"{PAPER_FIG6[1]['new_flow_ratio']:.4f} at 10K, <{PAPER_FIG6[2]['new_flow_ratio']:.2f} for large sets")
+
+    ratios = {row["packets"]: row["new_flow_ratio"] for row in rows}
+    ordered = [ratios[c] for c in CHECKPOINTS]
+    assert ordered == sorted(ordered, reverse=True)
+    assert ratios[1_000] == pytest.approx(0.57, abs=0.12)
+    assert ratios[10_000] == pytest.approx(0.3381, abs=0.08)
+    assert ratios[CHECKPOINTS[-1]] < ratios[1_000] / 2
+    benchmark.extra_info["rows"] = rows
+
+
+def test_fig6_warm_table_miss_rate_with_flow_lut(benchmark):
+    """Companion measurement: drive a Flow LUT with the trace and confirm the
+    lookup miss rate equals the new-flow ratio (only first packets miss)."""
+    from repro.core.config import small_test_config
+    from repro.core.flow_lut import FlowLUT
+    from repro.core.harness import run_lookup_experiment
+    from repro.net.parser import DescriptorExtractor
+    from repro.traffic import SyntheticTraceGenerator
+
+    def run():
+        generator = SyntheticTraceGenerator(seed=99)
+        packets = generator.packet_list(4000)
+        extractor = DescriptorExtractor()
+        descriptors = extractor.extract_many(packets)
+        lut = FlowLUT(small_test_config())
+        result = run_lookup_experiment(lut, descriptors, input_rate_hz=100e6)
+        distinct = len({p.key for p in packets})
+        return result, distinct, len(packets)
+
+    result, distinct, count = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected_ratio = distinct / count
+    print()
+    print(f"trace: {count} packets, {distinct} flows (ratio {expected_ratio:.3f}); "
+          f"measured Flow LUT miss rate {result.miss_rate:.3f}, "
+          f"throughput {result.throughput_mdesc_s:.1f} Mdesc/s")
+    assert result.miss_rate == pytest.approx(expected_ratio, abs=0.02)

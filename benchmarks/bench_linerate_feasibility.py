@@ -1,0 +1,62 @@
+"""Section V-B — line-rate feasibility discussion.
+
+Reproduces the arithmetic the paper uses to argue the design sustains 40 GbE
+and beyond: the required packet rates at minimum frame size for standard and
+worst-case inter-frame gaps, the measured Flow LUT rate at and below 50 %
+miss, and the link speed the warm-table rate corresponds to.
+"""
+
+import pytest
+
+from repro.reporting import format_table, run_linerate_feasibility, run_table2b_miss_rate
+
+
+def test_linerate_feasibility_40gbe(benchmark):
+    def run():
+        table2b = run_table2b_miss_rate(table_entries=8000, query_count=2500, miss_rates=(0.5, 0.0))
+        return run_linerate_feasibility(table2b=table2b)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(result["rows"], title="Section V-B — 40 GbE feasibility (measured vs paper)"))
+
+    by_quantity = {row["quantity"]: row for row in result["rows"]}
+    assert by_quantity["required Mpps at 40 GbE (12 B IPG)"]["measured"] == pytest.approx(59.52, abs=0.01)
+    assert by_quantity["required Mpps at 40 GbE (1 B IPG)"]["measured"] == pytest.approx(68.49, abs=0.01)
+    assert by_quantity["rate at <=50% miss (Mdesc/s)"]["measured"] > 59.52
+    assert by_quantity["achievable Gbps at warm-table rate (72 B frames)"]["measured"] > 50.0
+    benchmark.extra_info["rows"] = result["rows"]
+
+
+def test_competitor_capacity_comparison(benchmark):
+    """The Section V-B competitive positioning: entries and link speed."""
+    from repro.baselines import SramHashCam
+    from repro.core.config import PROTOTYPE_CONFIG
+    from repro.reporting.paper import PAPER_COMPETITORS
+
+    def run():
+        sram = SramHashCam()
+        rows = [
+            {
+                "design": "QDR-SRAM Hash-CAM (Yang 2012 [11])",
+                "flow_entries": sram.capacity_entries,
+                "note": f"{sram.config.sram.capacity_mbits} Mbit SRAM",
+            }
+        ]
+        for competitor in PAPER_COMPETITORS:
+            rows.append(
+                {
+                    "design": competitor["name"],
+                    "flow_entries": competitor["flow_entries"],
+                    "note": f"{competitor.get('link_gbps', '-')} Gbps" if "link_gbps" in competitor else competitor.get("note", ""),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    print()
+    print(format_table(rows, title="Flow-table capacity comparison (Section V-B)"))
+    prototype = next(r for r in rows if "This work" in r["design"])
+    sram_row = rows[0]
+    assert prototype["flow_entries"] == PROTOTYPE_CONFIG.num_flows
+    assert prototype["flow_entries"] >= 60 * sram_row["flow_entries"]

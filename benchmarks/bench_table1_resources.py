@@ -1,0 +1,44 @@
+"""Table I — on-chip resource usage of the prototype configuration.
+
+The Python model cannot synthesise RTL, so the reproduced part is the
+architecturally determined storage budget (CAM, queues, buffers, hash
+matrices) for the 8-million-flow prototype configuration, printed next to the
+paper's Stratix V report.
+"""
+
+from repro.core.config import PROTOTYPE_CONFIG, small_test_config
+from repro.reporting import format_table, run_table1_resources
+
+
+def test_table1_prototype_resource_budget(benchmark):
+    result = benchmark(run_table1_resources, PROTOTYPE_CONFIG)
+    print()
+    print(format_table(result["rows"], title="Table I — resources (measured vs paper)"))
+    breakdown_rows = [
+        {"component": name, "bits": bits} for name, bits in sorted(result["breakdown"].items())
+    ]
+    print(format_table(breakdown_rows, title="Storage breakdown (bits)"))
+    measured = next(r for r in result["rows"] if r["quantity"] == "block_memory_bits")["measured"]
+    assert measured > 0
+    benchmark.extra_info["block_memory_bits"] = measured
+    benchmark.extra_info["paper_block_memory_bits"] = result["paper"]["block_memory_bits"]
+
+
+def test_table1_resource_scaling_with_cam_size(benchmark):
+    """Ablation: how the storage budget scales with the overflow CAM size."""
+
+    def sweep():
+        rows = []
+        for cam_entries in (16, 64, 256, 1024):
+            result = run_table1_resources(small_test_config(cam_entries=cam_entries))
+            measured = next(
+                r for r in result["rows"] if r["quantity"] == "block_memory_bits"
+            )["measured"]
+            rows.append({"cam_entries": cam_entries, "block_memory_bits": measured})
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(format_table(rows, title="Table I ablation — CAM size vs storage"))
+    bits = [row["block_memory_bits"] for row in rows]
+    assert bits == sorted(bits)

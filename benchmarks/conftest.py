@@ -1,0 +1,12 @@
+"""Benchmark-suite bootstrap: reuse the repository-root conftest path setup."""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))

@@ -1,0 +1,18 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The canonical workflow installs the package (``pip install -e .``), but the
+test and benchmark suites should also run from a plain checkout — useful in
+offline or sandboxed environments — so the source layout is added to
+``sys.path`` here when the package is not already installed.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))

@@ -1,0 +1,45 @@
+"""Explore DDR3 DQ-bus efficiency — the memory-system insight behind Figure 3.
+
+Prints the utilisation-versus-burst-grouping curve for several DDR3 speed
+grades (analytic model and device-model simulation), plus the read/write
+turnaround penalties that motivate the Burst Write Generator.
+
+Run with::
+
+    python examples/ddr3_bandwidth_explorer.py
+"""
+
+from repro.memory.bandwidth import bursts_needed_for_utilisation, burst_group_utilisation
+from repro.memory.timing import DDR3_1066_187E, DDR3_1333, DDR3_1600
+from repro.reporting import format_table
+from repro.reporting.experiments import simulate_burst_groups
+
+
+def main() -> None:
+    burst_counts = (1, 2, 4, 8, 16, 24, 35)
+
+    for timing in (DDR3_1066_187E, DDR3_1333, DDR3_1600):
+        rows = []
+        for count in burst_counts:
+            rows.append(
+                {
+                    "bursts_per_direction": count,
+                    "analytic": burst_group_utilisation(timing, count),
+                    "simulated": simulate_burst_groups(timing, count, groups=32),
+                    "same_row_open": burst_group_utilisation(timing, count, include_row_cycle=False),
+                }
+            )
+        print(format_table(rows, title=f"{timing.name}: DQ utilisation vs burst grouping", float_digits=3))
+        print(f"  read->write command gap: {timing.read_to_write} cycles, "
+              f"write->read: {timing.write_to_read} cycles, row cycle: {timing.t_rc} cycles")
+        needed = bursts_needed_for_utilisation(timing, 0.9)
+        print(f"  bursts per direction needed for 90% utilisation: {needed}\n")
+
+    print("Take-away: isolated read/write pairs waste ~80% of the DQ bus to row and")
+    print("turnaround overhead; grouping tens of same-direction bursts (what the Bank")
+    print("Selector and Burst Write Generator arrange) recovers ~90% utilisation —")
+    print("exactly the curve of the paper's Figure 3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Flow lookup feeding a TCAM rule classifier.
+
+A flow processor in a security appliance does two things with each packet:
+resolve its flow (the Flow LUT — the paper's contribution) and classify it
+against a policy rule set (a TCAM).  This example wires the two together: the
+Flow LUT assigns stable flow IDs and per-flow state, and a small ternary CAM
+holds priority-ordered 5-tuple rules whose verdicts are accumulated per flow.
+
+Run with::
+
+    python examples/packet_classifier.py
+"""
+
+from collections import Counter
+
+from repro.cam import TernaryCAM, TernaryEntry
+from repro.core.config import small_test_config
+from repro.analyzer import FlowProcessor
+from repro.net.fivetuple import FlowKey
+from repro.traffic import SyntheticTraceGenerator
+
+
+def build_rule_set() -> TernaryCAM:
+    """A tiny priority-ordered policy: match on (dst_port, protocol)."""
+    tcam = TernaryCAM(capacity=16, key_bits=24)
+
+    def rule(dst_port, protocol, mask_port, mask_proto, priority, action):
+        value = (dst_port << 8) | protocol
+        mask = (mask_port << 8) | mask_proto
+        return TernaryEntry(value=value, mask=mask, priority=priority, data=action)
+
+    tcam.insert(rule(53, 17, 0xFFFF, 0xFF, 0, "allow-dns"))
+    tcam.insert(rule(443, 6, 0xFFFF, 0xFF, 1, "allow-https"))
+    tcam.insert(rule(80, 6, 0xFFFF, 0xFF, 2, "inspect-http"))
+    tcam.insert(rule(25, 6, 0xFFFF, 0xFF, 3, "block-smtp"))
+    tcam.insert(rule(0, 0, 0x0000, 0x00, 10, "default-allow"))
+    return tcam
+
+
+def classify(tcam: TernaryCAM, key: FlowKey) -> str:
+    entry = tcam.search((key.dst_port << 8) | key.protocol)
+    return entry.data if entry is not None else "default-allow"
+
+
+def main() -> None:
+    processor = FlowProcessor(config=small_test_config(), housekeeping_interval_us=None)
+    tcam = build_rule_set()
+
+    packets = SyntheticTraceGenerator(seed=99).packet_list(5_000)
+    processor.process_all(packets)
+
+    verdicts_per_flow = {}
+    for outcome in processor.outcomes:
+        if outcome.flow_id is None:
+            continue
+        verdict = classify(tcam, outcome.descriptor.key)
+        verdicts_per_flow[outcome.flow_id] = verdict
+
+    counts = Counter(verdicts_per_flow.values())
+    print(f"packets processed: {processor.packets_processed}")
+    print(f"distinct flows:    {len(verdicts_per_flow)}")
+    print(f"lookup throughput: {processor.flow_lut.throughput_mdesc_s:.1f} Mdesc/s")
+    print("\nper-flow classification verdicts:")
+    for verdict, count in counts.most_common():
+        print(f"  {verdict:15s} {count} flows")
+    print(f"\nTCAM: {tcam.stats()['searches']} searches over {len(tcam)} rules "
+          f"({tcam.storage_bits()} bits of ternary storage)")
+
+
+if __name__ == "__main__":
+    main()

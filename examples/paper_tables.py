@@ -1,0 +1,68 @@
+"""Regenerate every table and figure of the paper's evaluation in one run.
+
+This is the same code path the benchmark suite uses, packaged as a single
+script whose output can be compared side by side with the paper (and with
+EXPERIMENTS.md).  Expect a couple of minutes of runtime.
+
+Run with::
+
+    python examples/paper_tables.py          # full workloads
+    python examples/paper_tables.py --quick  # smaller workloads (~30 s)
+"""
+
+import argparse
+
+from repro.reporting import (
+    format_table,
+    run_fig3_bandwidth,
+    run_fig6_flow_ratio,
+    run_linerate_feasibility,
+    run_table1_resources,
+    run_table2a_load_balance,
+    run_table2b_miss_rate,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use smaller workloads")
+    args = parser.parse_args()
+
+    descriptor_count = 1500 if args.quick else 5000
+    query_count = 1500 if args.quick else 5000
+    fig6_checkpoints = (1_000, 10_000, 50_000) if args.quick else (1_000, 10_000, 100_000, 500_000)
+
+    print("=" * 72)
+    fig3 = run_fig3_bandwidth()
+    print(format_table(fig3["rows"], title="Figure 3 — DDR3-1066 DQ utilisation vs burst grouping", float_digits=3))
+    print(f"paper: ~20% at 1 burst, ~90% at 35 bursts\n")
+
+    print("=" * 72)
+    table1 = run_table1_resources()
+    print(format_table(table1["rows"], title="Table I — on-chip resources (measured vs paper)"))
+    print()
+
+    print("=" * 72)
+    table2a = run_table2a_load_balance(descriptor_count=descriptor_count)
+    print(format_table(table2a["rows"], title="Table II(A) — rate vs hash pattern / path-A load (measured)"))
+    print(format_table(table2a["paper"], title="Table II(A) — paper"))
+    print()
+
+    print("=" * 72)
+    table2b = run_table2b_miss_rate(query_count=query_count)
+    print(format_table(table2b["rows"], title="Table II(B) — rate vs flow miss rate (measured)"))
+    print(format_table(table2b["paper"], title="Table II(B) — paper"))
+    print()
+
+    print("=" * 72)
+    fig6 = run_fig6_flow_ratio(checkpoints=fig6_checkpoints)
+    print(format_table(fig6["rows"], title="Figure 6 — new-flow/packet ratio (synthetic trace)", float_digits=4))
+    print("paper anchors: 57% at 1K packets, 33.81% at 10K, <10% for large sets\n")
+
+    print("=" * 72)
+    feasibility = run_linerate_feasibility(table2b=table2b)
+    print(format_table(feasibility["rows"], title="Section V-B — 40 GbE feasibility"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: look up a stream of packets against the DDR3-backed Flow LUT.
+
+Builds a small Flow LUT, offers it a few thousand descriptors at a 100 MHz
+input rate, and prints the processing rate, miss rate and per-path statistics
+— the minimal end-to-end use of the library's public API.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import FlowLUT, small_test_config
+from repro.core import run_lookup_experiment
+from repro.traffic import descriptors_from_keys, match_rate_workload, random_flow_keys
+
+
+def main() -> None:
+    # 1. Configure and build the Flow LUT (64K-entry table for a quick demo;
+    #    use repro.PROTOTYPE_CONFIG for the paper's 8M-entry prototype).
+    config = small_test_config()
+    flow_lut = FlowLUT(config)
+    print("Flow LUT configuration:")
+    for key, value in config.summary().items():
+        print(f"  {key}: {value}")
+
+    # 2. Pre-populate the table with 5,000 known flows (as a warm device would be).
+    known_flows = random_flow_keys(5_000, seed=1)
+    preloaded = flow_lut.preload(d.key_bytes for d in descriptors_from_keys(known_flows))
+    print(f"\npreloaded {preloaded} flow entries")
+
+    # 3. Query it with traffic where 75% of descriptors belong to known flows.
+    queries = match_rate_workload(known_flows, query_count=4_000, match_fraction=0.75, seed=2)
+    result = run_lookup_experiment(flow_lut, queries, input_rate_hz=100e6)
+
+    # 4. Report.
+    print(f"\nprocessed {result.completed} descriptors in {result.duration_ps / 1e6:.1f} us")
+    print(f"throughput:   {result.throughput_mdesc_s:.2f} Mdesc/s")
+    print(f"miss rate:    {result.miss_rate:.2%} (new flows created: {result.new_flows})")
+    print(f"mean latency: {result.mean_latency_ns:.0f} ns")
+    print(f"path A load:  {result.path_a_load:.1%}")
+    for controller in flow_lut.controllers:
+        report = controller.report()
+        print(f"  {report['name']}: {report['reads']} reads, {report['writes']} writes, "
+              f"row-hit rate {report['row_hit_rate']:.1%}, DQ utilisation {report['dq_utilisation']:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — reproduction of "A Hardware Acceleration Scheme for Memory-Efficient
+Flow Processing" (Yang, Sezer, O'Neill, IEEE SOCC 2014).
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.core` — the dual-path, DDR3-backed Flow LUT (the contribution).
+* :mod:`repro.memory` — DDR3 SDRAM device/controller timing models.
+* :mod:`repro.cam`, :mod:`repro.hashing` — on-chip lookup substrates.
+* :mod:`repro.net` — packets, 5-tuples, descriptors, line-rate arithmetic.
+* :mod:`repro.traffic` — workload and synthetic trace generation.
+* :mod:`repro.baselines` — single-hash, d-left, cuckoo, Bloom-filter and
+  SRAM Hash-CAM comparison points.
+* :mod:`repro.analyzer` — the Figure 7 traffic-analyzer integration.
+* :mod:`repro.reporting` — experiment tables and paper reference values.
+
+Quick start::
+
+    from repro import FlowLUT, FlowLUTConfig, small_test_config
+    from repro.traffic import random_flow_keys, descriptors_from_keys
+    from repro.core import run_lookup_experiment
+
+    lut = FlowLUT(small_test_config())
+    keys = random_flow_keys(1000, seed=1)
+    result = run_lookup_experiment(lut, descriptors_from_keys(keys))
+    print(result.throughput_mdesc_s, "Mdesc/s")
+"""
+
+from repro.core.config import FlowLUTConfig, PROTOTYPE_CONFIG, small_test_config
+from repro.core.flow_lut import FlowLUT, LookupOutcome
+from repro.core.flow_state import FlowRecord, FlowStateTable
+from repro.core.harness import DescriptorSource, ExperimentResult, run_lookup_experiment
+from repro.core.hash_cam import HashCamTable, LookupStage
+from repro.net.fivetuple import FlowKey
+from repro.net.packet import Packet
+from repro.net.parser import DescriptorExtractor, PacketDescriptor
+from repro.sim.engine import Simulator
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DescriptorExtractor",
+    "DescriptorSource",
+    "ExperimentResult",
+    "FlowKey",
+    "FlowLUT",
+    "FlowLUTConfig",
+    "FlowRecord",
+    "FlowStateTable",
+    "HashCamTable",
+    "LookupOutcome",
+    "LookupStage",
+    "PROTOTYPE_CONFIG",
+    "Packet",
+    "PacketDescriptor",
+    "Simulator",
+    "run_lookup_experiment",
+    "small_test_config",
+    "__version__",
+]

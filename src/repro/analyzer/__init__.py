@@ -1,0 +1,26 @@
+"""System integration: the traffic analyzer of paper Figure 7.
+
+The paper's undergoing system integration places the Flow LUT inside a
+complete real-time traffic analyzer: a packet buffer absorbs line-rate
+arrivals, the flow processor performs lookup / flow-state maintenance, an
+event engine raises flow-level events (new flow, flow expired, elephant
+detected) and a stats engine aggregates link- and protocol-level statistics.
+This package composes those blocks on top of :mod:`repro.core`.
+"""
+
+from repro.analyzer.event_engine import EventEngine, FlowEvent, FlowEventType
+from repro.analyzer.flow_processor import FlowProcessor
+from repro.analyzer.packet_buffer import PacketBuffer
+from repro.analyzer.stats_engine import StatsEngine
+from repro.analyzer.traffic_analyzer import TrafficAnalyzer, TrafficAnalyzerConfig
+
+__all__ = [
+    "EventEngine",
+    "FlowEvent",
+    "FlowEventType",
+    "FlowProcessor",
+    "PacketBuffer",
+    "StatsEngine",
+    "TrafficAnalyzer",
+    "TrafficAnalyzerConfig",
+]

@@ -1,0 +1,99 @@
+"""Event engine.
+
+Turns flow-level observations into discrete events that downstream security
+or QoS applications consume: a new flow appearing, a flow being expired by
+housekeeping, a flow crossing an elephant (byte) threshold, or a TCP flow
+terminating with FIN/RST.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.flow_state import FlowRecord
+
+
+class FlowEventType(enum.Enum):
+    NEW_FLOW = "new_flow"
+    FLOW_EXPIRED = "flow_expired"
+    FLOW_TERMINATED = "flow_terminated"
+    ELEPHANT_FLOW = "elephant_flow"
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One event raised by the event engine."""
+
+    kind: FlowEventType
+    flow_id: int
+    timestamp_ps: int
+    detail: str = ""
+
+
+class EventEngine:
+    """Raises :class:`FlowEvent` records from flow observations.
+
+    Parameters
+    ----------
+    elephant_bytes: byte threshold beyond which a flow is reported once as an
+        elephant flow.
+    on_event: optional callback invoked for every event raised.
+    """
+
+    def __init__(
+        self,
+        elephant_bytes: int = 10_000_000,
+        on_event: Optional[Callable[[FlowEvent], None]] = None,
+    ) -> None:
+        if elephant_bytes <= 0:
+            raise ValueError("elephant_bytes must be positive")
+        self.elephant_bytes = elephant_bytes
+        self.on_event = on_event
+        self.events: List[FlowEvent] = []
+        self.counts: Dict[FlowEventType, int] = {kind: 0 for kind in FlowEventType}
+        self._reported_elephants: set = set()
+
+    def _raise(self, event: FlowEvent) -> None:
+        self.events.append(event)
+        self.counts[event.kind] += 1
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def observe_new_flow(self, flow_id: int, timestamp_ps: int) -> None:
+        self._raise(FlowEvent(FlowEventType.NEW_FLOW, flow_id, timestamp_ps))
+
+    def observe_update(self, record: FlowRecord, timestamp_ps: int) -> None:
+        """Check per-packet conditions (elephant threshold) on an updated flow."""
+        if record.bytes >= self.elephant_bytes and record.flow_id not in self._reported_elephants:
+            self._reported_elephants.add(record.flow_id)
+            self._raise(
+                FlowEvent(
+                    FlowEventType.ELEPHANT_FLOW,
+                    record.flow_id,
+                    timestamp_ps,
+                    detail=f"{record.bytes} bytes",
+                )
+            )
+
+    def observe_termination(self, flow_id: int, timestamp_ps: int) -> None:
+        self._raise(FlowEvent(FlowEventType.FLOW_TERMINATED, flow_id, timestamp_ps))
+
+    def observe_expiry(self, record: FlowRecord, timestamp_ps: int) -> None:
+        self._raise(
+            FlowEvent(
+                FlowEventType.FLOW_EXPIRED,
+                record.flow_id,
+                timestamp_ps,
+                detail=f"{record.packets} pkts / {record.bytes} bytes",
+            )
+        )
+        self._reported_elephants.discard(record.flow_id)
+
+    def stats(self) -> dict:
+        return {
+            "total_events": len(self.events),
+            "by_type": {kind.value: count for kind, count in self.counts.items()},
+            "elephant_threshold_bytes": self.elephant_bytes,
+        }

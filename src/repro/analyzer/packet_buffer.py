@@ -1,0 +1,97 @@
+"""Packet buffer.
+
+The analyzer's ingress buffer absorbs bursts while descriptors queue for the
+flow processor; when it overflows, packets are dropped and counted — the
+figure a deployment watches to know the flow processor is keeping up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.net.packet import Packet
+
+
+class PacketBuffer:
+    """A bounded packet FIFO with byte accounting.
+
+    Parameters
+    ----------
+    capacity_packets: maximum number of buffered packets.
+    capacity_bytes: optional additional byte ceiling (whichever limit is hit
+        first causes drops), mirroring a real buffer memory.
+    """
+
+    def __init__(self, capacity_packets: int = 1024, capacity_bytes: Optional[int] = None) -> None:
+        if capacity_packets <= 0:
+            raise ValueError("capacity_packets must be positive")
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive when given")
+        self.capacity_packets = capacity_packets
+        self.capacity_bytes = capacity_bytes
+        self._queue: Deque[Packet] = deque()
+        self._buffered_bytes = 0
+        self.accepted = 0
+        self.dropped = 0
+        self.drained = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return self._buffered_bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def _would_overflow(self, packet: Packet) -> bool:
+        if len(self._queue) >= self.capacity_packets:
+            return True
+        if self.capacity_bytes is not None:
+            return self._buffered_bytes + packet.length_bytes > self.capacity_bytes
+        return False
+
+    def push(self, packet: Packet) -> bool:
+        """Buffer ``packet``; returns ``False`` (and counts a drop) on overflow."""
+        if self._would_overflow(packet):
+            self.dropped += 1
+            return False
+        self._queue.append(packet)
+        self._buffered_bytes += packet.length_bytes
+        self.accepted += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._queue))
+        return True
+
+    def pop(self) -> Packet:
+        """Remove and return the oldest buffered packet."""
+        if not self._queue:
+            raise IndexError("pop from empty packet buffer")
+        packet = self._queue.popleft()
+        self._buffered_bytes -= packet.length_bytes
+        self.drained += 1
+        return packet
+
+    def peek(self) -> Packet:
+        if not self._queue:
+            raise IndexError("peek on empty packet buffer")
+        return self._queue[0]
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.accepted + self.dropped
+        return self.dropped / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "capacity_packets": self.capacity_packets,
+            "occupancy": len(self._queue),
+            "max_occupancy": self.max_occupancy,
+            "buffered_bytes": self._buffered_bytes,
+            "accepted": self.accepted,
+            "dropped": self.dropped,
+            "drop_rate": self.drop_rate,
+        }

@@ -1,0 +1,82 @@
+"""Stats engine.
+
+Aggregates link-level statistics (packets, bytes, rates), a per-protocol
+breakdown and packet-size distribution — the counters the traffic analyzer's
+operator dashboard would show next to the per-flow records held in the Flow
+State block.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from repro.net.packet import Packet
+from repro.sim.stats import Histogram, RunningStats
+
+_PROTOCOL_NAMES = {1: "icmp", 6: "tcp", 17: "udp"}
+
+
+class StatsEngine:
+    """Link- and protocol-level aggregation."""
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+        self.first_timestamp_ps: Optional[int] = None
+        self.last_timestamp_ps: int = 0
+        self.by_protocol: Counter = Counter()
+        self.bytes_by_protocol: Counter = Counter()
+        self.packet_sizes = RunningStats(name="packet_bytes")
+        self.size_histogram = Histogram(bucket_width=128, name="packet_size_hist")
+
+    def observe(self, packet: Packet) -> None:
+        """Account one packet."""
+        self.packets += 1
+        self.bytes += packet.length_bytes
+        if self.first_timestamp_ps is None:
+            self.first_timestamp_ps = packet.timestamp_ps
+        self.last_timestamp_ps = max(self.last_timestamp_ps, packet.timestamp_ps)
+        protocol = _PROTOCOL_NAMES.get(packet.key.protocol, str(packet.key.protocol))
+        self.by_protocol[protocol] += 1
+        self.bytes_by_protocol[protocol] += packet.length_bytes
+        self.packet_sizes.record(packet.length_bytes)
+        self.size_histogram.record(packet.length_bytes)
+
+    @property
+    def duration_ps(self) -> int:
+        if self.first_timestamp_ps is None:
+            return 0
+        return self.last_timestamp_ps - self.first_timestamp_ps
+
+    @property
+    def offered_rate_gbps(self) -> float:
+        """Average offered traffic rate over the observed window."""
+        duration = self.duration_ps
+        if duration <= 0:
+            return 0.0
+        return self.bytes * 8 * 1e12 / duration / 1e9
+
+    @property
+    def packet_rate_mpps(self) -> float:
+        duration = self.duration_ps
+        if duration <= 0:
+            return 0.0
+        return self.packets * 1e12 / duration / 1e6
+
+    def protocol_mix(self) -> Dict[str, float]:
+        """Fraction of packets per protocol."""
+        if not self.packets:
+            return {}
+        return {name: count / self.packets for name, count in self.by_protocol.items()}
+
+    def stats(self) -> dict:
+        return {
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "duration_us": self.duration_ps / 1e6,
+            "offered_rate_gbps": self.offered_rate_gbps,
+            "packet_rate_mpps": self.packet_rate_mpps,
+            "mean_packet_bytes": self.packet_sizes.mean,
+            "protocol_mix": self.protocol_mix(),
+        }

@@ -1,0 +1,111 @@
+"""The complete traffic analyzer (paper Figure 7).
+
+Composes the packet buffer, flow processor (Flow LUT + flow state), event
+engine and stats engine into the real-time network traffic analysis system
+the paper describes as its ongoing integration target.  The second FPGA of
+the paper's development kit (deep packet inspection) is out of scope; its
+place in the pipeline is marked by the per-flow events and flow IDs this
+analyzer emits, which is the interface a payload-inspection stage would
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.analyzer.event_engine import EventEngine
+from repro.analyzer.flow_processor import FlowProcessor
+from repro.analyzer.packet_buffer import PacketBuffer
+from repro.analyzer.stats_engine import StatsEngine
+from repro.core.config import FlowLUTConfig
+from repro.net.packet import Packet
+from repro.net.parser import DescriptorExtractor
+
+
+@dataclass(frozen=True)
+class TrafficAnalyzerConfig:
+    """Analyzer-level knobs on top of the Flow LUT configuration."""
+
+    flow_lut: FlowLUTConfig = FlowLUTConfig()
+    packet_buffer_packets: int = 4096
+    elephant_bytes: int = 10_000_000
+    housekeeping_interval_us: Optional[float] = 1_000_000.0
+    bidirectional_flows: bool = False
+
+
+class TrafficAnalyzer:
+    """Real-time traffic analysis on top of the Flow LUT."""
+
+    def __init__(self, config: Optional[TrafficAnalyzerConfig] = None) -> None:
+        self.config = config or TrafficAnalyzerConfig()
+        self.packet_buffer = PacketBuffer(capacity_packets=self.config.packet_buffer_packets)
+        self.stats_engine = StatsEngine()
+        self.event_engine = EventEngine(elephant_bytes=self.config.elephant_bytes)
+        extractor = DescriptorExtractor(bidirectional=self.config.bidirectional_flows)
+        self.flow_processor = FlowProcessor(
+            config=self.config.flow_lut,
+            extractor=extractor,
+            event_engine=self.event_engine,
+            housekeeping_interval_us=self.config.housekeeping_interval_us,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Ingest / run
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, packets: Iterable[Packet]) -> int:
+        """Push packets into the ingress buffer; returns how many were accepted."""
+        accepted = 0
+        for packet in packets:
+            if self.packet_buffer.push(packet):
+                accepted += 1
+        return accepted
+
+    def run(self) -> int:
+        """Process every buffered packet through the flow processor.
+
+        Returns the number of packets processed.  Dropped packets (buffer
+        overflow during :meth:`ingest`) are already accounted in the packet
+        buffer statistics.
+        """
+        processed = 0
+        while not self.packet_buffer.is_empty:
+            packet = self.packet_buffer.pop()
+            self.stats_engine.observe(packet)
+            while not self.flow_processor.process(packet):
+                sim = self.flow_processor.flow_lut.sim
+                sim.run(until_ps=sim.now + self.config.flow_lut.system_clock_period_ps * 8)
+            processed += 1
+        self.flow_processor.flow_lut.drain()
+        return processed
+
+    def analyze(self, packets: Iterable[Packet]) -> int:
+        """Convenience: ingest then run."""
+        self.ingest(packets)
+        return self.run()
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    @property
+    def active_flows(self) -> int:
+        return len(self.flow_processor.flow_state)
+
+    def top_talkers(self, count: int = 10):
+        """The heaviest active flows by byte count."""
+        return self.flow_processor.flow_state.top_flows(count=count, by="bytes")
+
+    def report(self) -> dict:
+        return {
+            "packet_buffer": self.packet_buffer.stats(),
+            "stats_engine": self.stats_engine.stats(),
+            "event_engine": self.event_engine.stats(),
+            "flow_processor": self.flow_processor.stats(),
+            "lookup": {
+                "throughput_mdesc_s": self.flow_processor.flow_lut.throughput_mdesc_s,
+                "miss_rate": self.flow_processor.flow_lut.miss_rate,
+                "completed": self.flow_processor.flow_lut.completed,
+            },
+        }

@@ -1,0 +1,38 @@
+"""Baseline lookup structures from the paper's related-work section.
+
+These provide the comparison points the paper positions itself against:
+
+* :class:`~repro.baselines.single_hash.SingleHashTable` — the conventional
+  single-hash-function table whose collision rate motivates multi-choice
+  hashing.
+* :class:`~repro.baselines.dleft.DLeftHashTable` — multi-choice (d-left)
+  hashing ("Balanced Allocations", reference [6] / Kirsch [9]).
+* :class:`~repro.baselines.cuckoo.CuckooHashTable` — cuckoo hashing with its
+  non-deterministic insertion time (Thinh [7]).
+* :class:`~repro.baselines.bloom.BloomFilter` /
+  :class:`~repro.baselines.bloom.ParallelBloomFilter` — Bloom-filter
+  membership with false positives (references [2]-[5]).
+* :class:`~repro.baselines.conventional_hashcam.ConventionalHashCam` — a
+  Hash-CAM whose CAM and hash stages are searched simultaneously rather than
+  as an early-exit pipeline (the contrast drawn in Section III-A).
+* :class:`~repro.baselines.sram_hashcam.SramHashCam` — the earlier QDR-SRAM
+  based 128K-entry flow lookup circuit (Yang 2012, reference [11]).
+"""
+
+from repro.baselines.bloom import BloomFilter, ParallelBloomFilter
+from repro.baselines.conventional_hashcam import ConventionalHashCam
+from repro.baselines.cuckoo import CuckooHashTable
+from repro.baselines.dleft import DLeftHashTable
+from repro.baselines.single_hash import SingleHashTable
+from repro.baselines.sram_hashcam import SramHashCam, SramHashCamConfig
+
+__all__ = [
+    "BloomFilter",
+    "ConventionalHashCam",
+    "CuckooHashTable",
+    "DLeftHashTable",
+    "ParallelBloomFilter",
+    "SingleHashTable",
+    "SramHashCam",
+    "SramHashCamConfig",
+]

@@ -1,0 +1,155 @@
+"""Bloom-filter baselines (references [2]-[5]).
+
+A Bloom filter answers membership with no false negatives but a tunable
+false-positive rate; the paper notes that false positives are why a Bloom
+filter alone cannot implement a flow table (a "match" still needs the real
+entry to be located), and cites parallel/partitioned variants that lower the
+false-positive rate.  Both the classic and the partitioned ("parallel")
+variants are provided, together with the textbook false-positive formula so
+experiments can compare measured and predicted rates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.hashing.multi_hash import MultiHash
+from repro.sim.rng import SeedLike
+
+
+class BloomFilter:
+    """Classic Bloom filter over a single bit vector.
+
+    Parameters
+    ----------
+    bits: size of the bit vector.
+    hash_count: number of hash functions (``k``).
+    key_bits: key width in bits.
+    seed: hash-family seed.
+    """
+
+    def __init__(self, bits: int, hash_count: int = 4, key_bits: int = 104, seed: SeedLike = None) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        if hash_count <= 0:
+            raise ValueError("hash_count must be positive")
+        self.bits = bits
+        self.hash_count = hash_count
+        self._hashes = MultiHash(hash_count, key_bits, 32, seed=seed)
+        self._vector = bytearray((bits + 7) // 8)
+        self.inserted = 0
+        self.queries = 0
+        self.positives = 0
+
+    def _positions(self, key: bytes) -> Iterable[int]:
+        return (value % self.bits for value in self._hashes.hashes(key))
+
+    def _get(self, position: int) -> bool:
+        return bool(self._vector[position >> 3] & (1 << (position & 7)))
+
+    def _set(self, position: int) -> None:
+        self._vector[position >> 3] |= 1 << (position & 7)
+
+    def insert(self, key: bytes) -> None:
+        for position in self._positions(key):
+            self._set(position)
+        self.inserted += 1
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.query(key)
+
+    def query(self, key: bytes) -> bool:
+        """Membership test (may return false positives, never false negatives)."""
+        self.queries += 1
+        result = all(self._get(position) for position in self._positions(key))
+        if result:
+            self.positives += 1
+        return result
+
+    @property
+    def fill_ratio(self) -> float:
+        set_bits = sum(bin(byte).count("1") for byte in self._vector)
+        return set_bits / self.bits
+
+    def expected_false_positive_rate(self, items: int = 0) -> float:
+        """Textbook estimate ``(1 - e^(-kn/m))^k`` for ``n`` inserted items."""
+        n = items or self.inserted
+        if n == 0:
+            return 0.0
+        k = self.hash_count
+        m = self.bits
+        return (1.0 - math.exp(-k * n / m)) ** k
+
+    def stats(self) -> dict:
+        return {
+            "kind": "bloom",
+            "bits": self.bits,
+            "hash_count": self.hash_count,
+            "inserted": self.inserted,
+            "fill_ratio": self.fill_ratio,
+            "expected_fpr": self.expected_false_positive_rate(),
+        }
+
+
+class ParallelBloomFilter:
+    """Partitioned ("parallel") Bloom filter: one sub-vector per hash function.
+
+    Each hash function owns an independent ``bits / k`` partition that can be
+    implemented as a separate embedded memory bank and queried in parallel —
+    the hardware structure used by references [3]-[5].
+    """
+
+    def __init__(self, bits: int, hash_count: int = 4, key_bits: int = 104, seed: SeedLike = None) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        if hash_count <= 0:
+            raise ValueError("hash_count must be positive")
+        if bits % hash_count:
+            raise ValueError("bits must be divisible by hash_count for equal partitions")
+        self.bits = bits
+        self.hash_count = hash_count
+        self.partition_bits = bits // hash_count
+        self._hashes = MultiHash(hash_count, key_bits, 32, seed=seed)
+        self._partitions = [bytearray((self.partition_bits + 7) // 8) for _ in range(hash_count)]
+        self.inserted = 0
+        self.queries = 0
+        self.positives = 0
+
+    def _positions(self, key: bytes):
+        return [value % self.partition_bits for value in self._hashes.hashes(key)]
+
+    def insert(self, key: bytes) -> None:
+        for partition, position in zip(self._partitions, self._positions(key)):
+            partition[position >> 3] |= 1 << (position & 7)
+        self.inserted += 1
+
+    def query(self, key: bytes) -> bool:
+        self.queries += 1
+        result = all(
+            partition[position >> 3] & (1 << (position & 7))
+            for partition, position in zip(self._partitions, self._positions(key))
+        )
+        if result:
+            self.positives += 1
+        return bool(result)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.query(key)
+
+    def expected_false_positive_rate(self, items: int = 0) -> float:
+        """Partitioned-filter estimate ``(1 - e^(-n/partition_bits))^k``."""
+        n = items or self.inserted
+        if n == 0:
+            return 0.0
+        return (1.0 - math.exp(-n / self.partition_bits)) ** self.hash_count
+
+    def stats(self) -> dict:
+        return {
+            "kind": "parallel_bloom",
+            "bits": self.bits,
+            "hash_count": self.hash_count,
+            "partition_bits": self.partition_bits,
+            "inserted": self.inserted,
+            "expected_fpr": self.expected_false_positive_rate(),
+        }

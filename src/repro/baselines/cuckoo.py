@@ -1,0 +1,150 @@
+"""Cuckoo hashing baseline.
+
+Two hash functions, one entry per slot: an insertion that finds both candidate
+slots occupied evicts ("kicks out") one resident key and re-inserts it at its
+alternate location, possibly cascading.  Lookups are O(1) (at most two probes)
+but insertion time is non-deterministic — exactly the drawback the paper cites
+when dismissing cuckoo hashing (Thinh [7]) for line-rate table building.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hashing.multi_hash import MultiHash
+from repro.sim.rng import SeedLike, make_rng
+
+
+class CuckooHashTable:
+    """Two-choice cuckoo hash table with single-entry slots.
+
+    Parameters
+    ----------
+    slots_per_table: slots in each of the two sub-tables.
+    max_kicks: maximum displacement chain length before the insertion is
+        declared failed (hardware would push the key to a stash/CAM).
+    key_bits: key width in bits.
+    seed: hash-family seed.
+    """
+
+    def __init__(
+        self,
+        slots_per_table: int,
+        max_kicks: int = 64,
+        key_bits: int = 104,
+        seed: SeedLike = None,
+    ) -> None:
+        if slots_per_table <= 0:
+            raise ValueError("slots_per_table must be positive")
+        if max_kicks <= 0:
+            raise ValueError("max_kicks must be positive")
+        self.slots_per_table = slots_per_table
+        self.max_kicks = max_kicks
+        self._hashes = MultiHash(2, key_bits, 32, seed=seed)
+        self._rng = make_rng(seed)
+        self._tables: List[List[Optional[bytes]]] = [
+            [None] * slots_per_table for _ in range(2)
+        ]
+        self.entries = 0
+        self.lookups = 0
+        self.hits = 0
+        self.insert_failures = 0
+        self.total_kicks = 0
+        self.max_observed_kicks = 0
+        self.memory_reads = 0
+
+    def _slots(self, key: bytes) -> List[int]:
+        return self._hashes.indices(key, self.slots_per_table)
+
+    def lookup(self, key: bytes) -> bool:
+        """Membership test: at most two slot reads."""
+        self.lookups += 1
+        slot0, slot1 = self._slots(key)
+        self.memory_reads += 1
+        if self._tables[0][slot0] == key:
+            self.hits += 1
+            return True
+        self.memory_reads += 1
+        if self._tables[1][slot1] == key:
+            self.hits += 1
+            return True
+        return False
+
+    def insert(self, key: bytes) -> bool:
+        """Insert ``key``, displacing residents as needed.
+
+        Returns ``False`` after ``max_kicks`` displacements (table considered
+        too full); the displaced key currently in hand is re-homed, so no
+        stored key is lost.
+        """
+        slot0, slot1 = self._slots(key)
+        if self._tables[0][slot0] == key or self._tables[1][slot1] == key:
+            return True
+
+        current = key
+        table_index = 0
+        kicks = 0
+        while kicks <= self.max_kicks:
+            slot = self._slots(current)[table_index]
+            resident = self._tables[table_index][slot]
+            if resident is None:
+                self._tables[table_index][slot] = current
+                self.entries += 1
+                self.max_observed_kicks = max(self.max_observed_kicks, kicks)
+                return True
+            # Kick the resident out and re-insert it into its other table.
+            self._tables[table_index][slot] = current
+            current = resident
+            table_index ^= 1
+            kicks += 1
+            self.total_kicks += 1
+        # Give the key currently in hand its slot back to avoid losing data.
+        slot = self._slots(current)[table_index]
+        evicted = self._tables[table_index][slot]
+        self._tables[table_index][slot] = current
+        if evicted is not None:
+            # One key is genuinely homeless; count the failure.
+            self.insert_failures += 1
+            self.entries -= 0  # entry count unchanged: one key replaced another
+            return False
+        self.entries += 1
+        self.insert_failures += 1
+        return False
+
+    def delete(self, key: bytes) -> bool:
+        slot0, slot1 = self._slots(key)
+        if self._tables[0][slot0] == key:
+            self._tables[0][slot0] = None
+            self.entries -= 1
+            return True
+        if self._tables[1][slot1] == key:
+            self._tables[1][slot1] = None
+            self.entries -= 1
+            return True
+        return False
+
+    @property
+    def capacity(self) -> int:
+        return 2 * self.slots_per_table
+
+    @property
+    def load_factor(self) -> float:
+        return self.entries / self.capacity
+
+    @property
+    def mean_kicks_per_insert(self) -> float:
+        inserted = self.entries + self.insert_failures
+        return self.total_kicks / inserted if inserted else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "kind": "cuckoo",
+            "entries": self.entries,
+            "capacity": self.capacity,
+            "load_factor": self.load_factor,
+            "insert_failures": self.insert_failures,
+            "total_kicks": self.total_kicks,
+            "max_kicks_observed": self.max_observed_kicks,
+            "mean_kicks_per_insert": self.mean_kicks_per_insert,
+            "lookups": self.lookups,
+        }

@@ -1,0 +1,106 @@
+"""Conventional single-hash-function table baseline.
+
+One hash function indexes a bucket of ``K`` entries; an insertion whose
+bucket is already full is simply lost (in hardware it would have to be
+handled by software or dropped).  Its overflow rate at a given load factor is
+the yardstick against which multi-choice schemes are measured.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hashing.h3 import H3Hash
+from repro.sim.rng import SeedLike
+
+
+class SingleHashTable:
+    """Single-choice hash table with fixed-size buckets.
+
+    Parameters
+    ----------
+    buckets: number of hash locations.
+    bucket_entries: entries per location (``K``).
+    key_bits: key width in bits.
+    seed: hash-function seed.
+    """
+
+    def __init__(
+        self,
+        buckets: int,
+        bucket_entries: int = 2,
+        key_bits: int = 104,
+        seed: SeedLike = None,
+    ) -> None:
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
+        if bucket_entries <= 0:
+            raise ValueError("bucket_entries must be positive")
+        self.buckets = buckets
+        self.bucket_entries = bucket_entries
+        self._hash = H3Hash(key_bits, max(32, buckets.bit_length()), seed=seed)
+        self._table: List[List[bytes]] = [[] for _ in range(buckets)]
+        self.entries = 0
+        self.lookups = 0
+        self.hits = 0
+        self.insertions = 0
+        self.overflows = 0
+        self.memory_reads = 0
+
+    def _index(self, key: bytes) -> int:
+        return self._hash.hash(key) % self.buckets
+
+    def lookup(self, key: bytes) -> bool:
+        """Membership test; always exactly one bucket read."""
+        self.lookups += 1
+        self.memory_reads += 1
+        found = key in self._table[self._index(key)]
+        if found:
+            self.hits += 1
+        return found
+
+    def insert(self, key: bytes) -> bool:
+        """Insert ``key``; returns ``False`` on bucket overflow (entry lost)."""
+        bucket = self._table[self._index(key)]
+        if key in bucket:
+            return True
+        if len(bucket) >= self.bucket_entries:
+            self.overflows += 1
+            return False
+        bucket.append(key)
+        self.entries += 1
+        self.insertions += 1
+        return True
+
+    def delete(self, key: bytes) -> bool:
+        bucket = self._table[self._index(key)]
+        if key in bucket:
+            bucket.remove(key)
+            self.entries -= 1
+            return True
+        return False
+
+    @property
+    def capacity(self) -> int:
+        return self.buckets * self.bucket_entries
+
+    @property
+    def load_factor(self) -> float:
+        return self.entries / self.capacity
+
+    @property
+    def overflow_rate(self) -> float:
+        attempts = self.insertions + self.overflows
+        return self.overflows / attempts if attempts else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "kind": "single_hash",
+            "entries": self.entries,
+            "capacity": self.capacity,
+            "load_factor": self.load_factor,
+            "overflows": self.overflows,
+            "overflow_rate": self.overflow_rate,
+            "memory_reads": self.memory_reads,
+            "lookups": self.lookups,
+        }

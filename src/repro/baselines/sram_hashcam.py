@@ -1,0 +1,117 @@
+"""QDR-SRAM based Hash-CAM baseline (Yang 2012, reference [11]).
+
+The paper's own earlier circuit searched packet headers against a 128 K-entry
+lookup table held in QDRII SRAM.  SRAM gives deterministic low latency and a
+read every cycle, but QDRII+ density tops out at 144 Mbit, which is what caps
+the table at roughly 128 K entries — three orders of magnitude short of the
+8 M flows the DDR3 design stores.  This baseline provides both the capacity
+arithmetic and a simple rate model so benches can show the capacity/throughput
+trade the paper's introduction describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FlowLUTConfig
+from repro.core.hash_cam import HashCamTable
+from repro.memory.sram import QDRSRAMConfig
+from repro.sim.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class SramHashCamConfig:
+    """Configuration of the SRAM-based flow lookup circuit.
+
+    The defaults model the 2012 prototype: a 144-Mbit QDRII+ SRAM, 128 K flow
+    entries of 128 bits (key + metadata), a 64-entry overflow CAM and a
+    200 MHz lookup engine issuing one SRAM word access per cycle.
+    """
+
+    sram: QDRSRAMConfig = QDRSRAMConfig()
+    num_flows: int = 131_072
+    entry_bits: int = 128
+    bucket_entries: int = 2
+    cam_entries: int = 64
+    system_clock_hz: float = 200e6
+
+    @property
+    def table_bits(self) -> int:
+        return self.num_flows * self.entry_bits
+
+    def fits_in_sram(self) -> bool:
+        return self.table_bits <= self.sram.capacity_bits
+
+    @property
+    def words_per_bucket(self) -> int:
+        bucket_bits = self.bucket_entries * self.entry_bits
+        return max(1, -(-bucket_bits // self.sram.word_bits))
+
+
+class SramHashCam:
+    """Functional SRAM Hash-CAM with an analytic lookup-rate model.
+
+    The functional behaviour reuses :class:`HashCamTable` (two-choice plus
+    CAM); the rate model reflects that the SRAM read port returns one word per
+    clock, so a bucket of ``words_per_bucket`` words takes that many cycles
+    and a miss costs two buckets.
+    """
+
+    def __init__(self, config: SramHashCamConfig = SramHashCamConfig(), seed: SeedLike = None) -> None:
+        self.config = config
+        if not config.fits_in_sram():
+            raise ValueError(
+                f"{config.num_flows} entries of {config.entry_bits} bits do not fit in "
+                f"{config.sram.capacity_mbits} Mbit of QDR SRAM"
+            )
+        table_config = FlowLUTConfig(
+            num_flows=config.num_flows,
+            bucket_entries=config.bucket_entries,
+            entry_bits=config.entry_bits,
+            cam_entries=config.cam_entries,
+            system_clock_hz=config.system_clock_hz,
+        )
+        self.table = HashCamTable(table_config, seed=seed)
+
+    # Functional interface -------------------------------------------------
+
+    def lookup(self, key: bytes):
+        return self.table.lookup(key)
+
+    def insert(self, key: bytes):
+        return self.table.insert(key)
+
+    def delete(self, key: bytes) -> bool:
+        return self.table.delete(key)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    # Rate / capacity model -------------------------------------------------
+
+    @property
+    def capacity_entries(self) -> int:
+        return self.config.num_flows
+
+    def lookup_rate_mlps(self, miss_rate: float = 0.0) -> float:
+        """Sustainable lookups per second (millions) at a given miss rate.
+
+        A hit reads one bucket from the SRAM read port; a miss reads two.
+        The port serves one word per clock at ``sram.clock_hz``.
+        """
+        if not 0.0 <= miss_rate <= 1.0:
+            raise ValueError("miss_rate must be within [0, 1]")
+        words_per_lookup = self.config.words_per_bucket * (1.0 + miss_rate)
+        port_rate = self.config.sram.clock_hz
+        return port_rate / words_per_lookup / 1e6
+
+    def stats(self) -> dict:
+        return {
+            "kind": "sram_hashcam",
+            "capacity_entries": self.capacity_entries,
+            "sram_mbits": self.config.sram.capacity_mbits,
+            "table_bits": self.config.table_bits,
+            "lookup_rate_mlps_hit": self.lookup_rate_mlps(0.0),
+            "lookup_rate_mlps_miss": self.lookup_rate_mlps(1.0),
+            "entries": len(self.table),
+        }

@@ -1,0 +1,15 @@
+"""Content Addressable Memory models.
+
+The Hash-CAM table of the paper uses a small on-chip CAM to absorb hash
+collisions (entries that do not fit in either hash bucket).  The paper also
+discusses why large flow tables cannot live entirely in CAM: area, power and
+cost all scale with the number of entries.  :class:`~repro.cam.bcam.BinaryCAM`
+models an exact-match CAM with those resource figures attached;
+:class:`~repro.cam.tcam.TernaryCAM` adds per-entry masks (used by the packet
+classifier example).
+"""
+
+from repro.cam.bcam import BinaryCAM, CamFullError
+from repro.cam.tcam import TernaryCAM, TernaryEntry
+
+__all__ = ["BinaryCAM", "CamFullError", "TernaryCAM", "TernaryEntry"]

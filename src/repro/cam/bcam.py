@@ -1,0 +1,117 @@
+"""Binary (exact-match) CAM model."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+
+class CamFullError(RuntimeError):
+    """Raised when inserting into a full CAM with ``strict=True``."""
+
+
+class BinaryCAM:
+    """An exact-match CAM with a fixed number of entries.
+
+    A hardware CAM compares the search key against every stored entry in
+    parallel, so lookups take a single cycle regardless of occupancy; the
+    price is that storage, power and area grow linearly with capacity.  The
+    model tracks searches/hits/overflows so experiments can report how much
+    collision traffic the CAM absorbed, and exposes a bit-count used by the
+    Table I resource model.
+
+    Parameters
+    ----------
+    capacity: number of entries.
+    key_bits: key width (used only for the resource estimate).
+    value_bits: stored value width (used only for the resource estimate).
+    """
+
+    def __init__(self, capacity: int, key_bits: int = 104, value_bits: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.key_bits = key_bits
+        self.value_bits = value_bits
+        self._entries: Dict[Hashable, object] = {}
+        self.searches = 0
+        self.hits = 0
+        self.insertions = 0
+        self.deletions = 0
+        self.overflows = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Tuple[Hashable, object]]:
+        return iter(self._entries.items())
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def load_factor(self) -> float:
+        return len(self._entries) / self.capacity
+
+    def lookup(self, key: Hashable) -> Optional[object]:
+        """Parallel search; returns the stored value or ``None``."""
+        self.searches += 1
+        value = self._entries.get(key)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def insert(self, key: Hashable, value: object, strict: bool = False) -> bool:
+        """Insert or update ``key``.
+
+        Returns ``False`` (or raises with ``strict=True``) when the CAM is
+        full and ``key`` is not already present.
+        """
+        if key in self._entries:
+            self._entries[key] = value
+            return True
+        if self.is_full:
+            self.overflows += 1
+            if strict:
+                raise CamFullError(f"CAM full at capacity {self.capacity}")
+            return False
+        self._entries[key] = value
+        self.insertions += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        return True
+
+    def delete(self, key: Hashable) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        if key in self._entries:
+            del self._entries[key]
+            self.deletions += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def storage_bits(self) -> int:
+        """Bits of storage a hardware implementation of this CAM needs."""
+        return self.capacity * (self.key_bits + self.value_bits)
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "occupancy": self.occupancy,
+            "max_occupancy": self.max_occupancy,
+            "searches": self.searches,
+            "hits": self.hits,
+            "insertions": self.insertions,
+            "deletions": self.deletions,
+            "overflows": self.overflows,
+            "storage_bits": self.storage_bits(),
+        }

@@ -1,0 +1,85 @@
+"""Ternary CAM model (value/mask entries with priorities)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TernaryEntry:
+    """One TCAM entry: a value, a care-mask and a priority.
+
+    A search key matches when ``key & mask == value & mask``.  Lower priority
+    numbers win, mirroring the first-match semantics of a hardware TCAM whose
+    entries are ordered physically.
+    """
+
+    value: int
+    mask: int
+    priority: int
+    data: object = None
+
+    def matches(self, key: int) -> bool:
+        return (key & self.mask) == (self.value & self.mask)
+
+
+class TernaryCAM:
+    """A priority-ordered ternary CAM.
+
+    Used by the packet-classifier example to model the rule-matching stage
+    that would sit next to the Flow LUT in a real flow processor.
+    """
+
+    def __init__(self, capacity: int, key_bits: int = 104) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.key_bits = key_bits
+        self._entries: List[TernaryEntry] = []
+        self.searches = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def insert(self, entry: TernaryEntry) -> bool:
+        """Insert ``entry``; returns ``False`` when the TCAM is full."""
+        if self.is_full:
+            return False
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: e.priority)
+        return True
+
+    def delete(self, entry: TernaryEntry) -> bool:
+        try:
+            self._entries.remove(entry)
+            return True
+        except ValueError:
+            return False
+
+    def search(self, key: int) -> Optional[TernaryEntry]:
+        """Return the highest-priority (lowest number) matching entry."""
+        self.searches += 1
+        for entry in self._entries:
+            if entry.matches(key):
+                self.hits += 1
+                return entry
+        return None
+
+    def storage_bits(self) -> int:
+        """Bits a hardware TCAM of this capacity needs (value + mask)."""
+        return self.capacity * 2 * self.key_bits
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "occupancy": len(self._entries),
+            "searches": self.searches,
+            "hits": self.hits,
+            "storage_bits": self.storage_bits(),
+        }

@@ -1,0 +1,182 @@
+"""Configuration of the Flow LUT and its memory system."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.memory.controller import PagePolicy
+from repro.memory.timing import DDR3_1600, DDR3Geometry, DDR3Timing, PROTOTYPE_GEOMETRY
+
+
+@dataclass(frozen=True)
+class FlowLUTConfig:
+    """Every architectural knob of the Flow LUT in one place.
+
+    The defaults describe the paper's prototype (Section IV-C): an 8-million
+    entry table split over two 32-bit, 512-MB DDR3 memory sets clocked for
+    an 800 MHz I/O bus, driven by a 200 MHz system clock, with a small
+    overflow CAM and burst-batched updates.
+
+    Attributes
+    ----------
+    num_flows: total flow-entry capacity across both memories.
+    bucket_entries: ``K`` — entries per hash location (Figure 1).
+    entry_bits: storage per table entry (key, valid bit, flow metadata).
+    cam_entries: overflow CAM capacity.
+    key_bits: descriptor key width (104 for the standard 5-tuple).
+    system_clock_hz: Flow LUT logic clock.
+    timing / geometry: DDR3 speed grade and organisation of *each* memory set.
+    page_policy / mapping_scheme: controller behaviour.
+    lu1_queue_depth: per-path depth of the first-lookup input queue.
+    bank_queue_depth: per-bank reorder queue depth inside the Bank Selector.
+    dlu_issue_cycles: minimum number of system-clock cycles between two
+        requests a DLU presents to its memory controller — the quarter-rate
+        controller user interface plus the Bank Selector / Request Filter
+        pipeline.  This is the per-path service ceiling that calibrates the
+        absolute Mdesc/s scale against the paper's prototype.
+    controller_queue_depth / controller_max_outstanding: standard-controller
+        limits (the source of backpressure).
+    bank_select_enabled: disable to ablate the Bank Selector.
+    request_filter_enabled: disable to ablate the Request Filter (unsafe —
+        lookups may observe stale buckets; used only to measure its cost).
+    burst_write_threshold / burst_write_timeout_cycles / burst_writes_enabled:
+        Burst Write Generator behaviour (Figure 5).
+    load_balance_policy / path_a_fraction: sequencer behaviour (Table II-A).
+    insert_on_miss: whether a full miss allocates a new entry (the Table II-A
+        hash-pattern tests run with this off).
+    flow_timeout_us: housekeeping timeout for idle flows.
+    seed: master seed for hash-function selection.
+    """
+
+    num_flows: int = 8_000_000
+    bucket_entries: int = 2
+    entry_bits: int = 128
+    cam_entries: int = 64
+    key_bits: int = 104
+    flow_id_bits: int = 24
+
+    system_clock_hz: float = 200e6
+    timing: DDR3Timing = DDR3_1600
+    geometry: DDR3Geometry = PROTOTYPE_GEOMETRY
+    page_policy: PagePolicy = PagePolicy.OPEN
+    mapping_scheme: str = "bank_interleaved"
+    refresh_enabled: bool = True
+
+    lu1_queue_depth: int = 8
+    bank_queue_depth: int = 4
+    dlu_issue_cycles: int = 3
+    controller_queue_depth: int = 16
+    controller_max_outstanding: int = 8
+    bank_select_enabled: bool = True
+    request_filter_enabled: bool = True
+
+    burst_write_threshold: int = 8
+    burst_write_timeout_cycles: int = 128
+    burst_writes_enabled: bool = True
+
+    load_balance_policy: str = "hash"
+    path_a_fraction: float = 0.5
+
+    insert_on_miss: bool = True
+    flow_timeout_us: float = 15_000_000.0  # 15 s, a typical NetFlow inactive timeout
+    seed: int = 0x2014
+
+    def __post_init__(self) -> None:
+        if self.num_flows <= 0:
+            raise ValueError("num_flows must be positive")
+        if self.bucket_entries <= 0:
+            raise ValueError("bucket_entries must be positive")
+        if self.entry_bits <= 0 or self.entry_bits % 8:
+            raise ValueError("entry_bits must be a positive multiple of 8")
+        if self.cam_entries < 0:
+            raise ValueError("cam_entries must be non-negative")
+        if self.key_bits <= 0:
+            raise ValueError("key_bits must be positive")
+        if self.system_clock_hz <= 0:
+            raise ValueError("system_clock_hz must be positive")
+        if not 0.0 <= self.path_a_fraction <= 1.0:
+            raise ValueError("path_a_fraction must be within [0, 1]")
+        if self.dlu_issue_cycles <= 0:
+            raise ValueError("dlu_issue_cycles must be positive")
+        if self.num_flows % (2 * self.bucket_entries):
+            raise ValueError(
+                "num_flows must be divisible by 2 * bucket_entries so the table "
+                "splits evenly across the two memories"
+            )
+        if self.buckets_per_memory <= 0:
+            raise ValueError("configuration yields no buckets")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def buckets_per_memory(self) -> int:
+        """Hash locations per memory set (table capacity is split in two)."""
+        return self.num_flows // (2 * self.bucket_entries)
+
+    @property
+    def bucket_bytes(self) -> int:
+        """Bytes occupied by one hash bucket in DRAM."""
+        return self.bucket_entries * self.entry_bits // 8
+
+    @property
+    def bursts_per_bucket(self) -> int:
+        """DDR3 bursts needed to read or write one bucket."""
+        return max(1, math.ceil(self.bucket_bytes / self.geometry.burst_bytes))
+
+    @property
+    def system_clock_period_ps(self) -> int:
+        return int(round(1e12 / self.system_clock_hz))
+
+    @property
+    def table_bytes_per_memory(self) -> int:
+        """DRAM footprint of the key table in each memory set."""
+        return self.buckets_per_memory * self.bursts_per_bucket * self.geometry.burst_bytes
+
+    @property
+    def hash_index_bits(self) -> int:
+        """Width of the hash output needed to index one memory's buckets."""
+        return max(1, math.ceil(math.log2(self.buckets_per_memory)))
+
+    def fits_in_memory(self) -> bool:
+        """Whether the key table fits in one memory set."""
+        return self.table_bytes_per_memory <= self.geometry.capacity_bytes
+
+    def with_overrides(self, **kwargs) -> "FlowLUTConfig":
+        """A copy with selected fields replaced (used heavily by ablations)."""
+        return replace(self, **kwargs)
+
+    def summary(self) -> dict:
+        return {
+            "num_flows": self.num_flows,
+            "bucket_entries": self.bucket_entries,
+            "buckets_per_memory": self.buckets_per_memory,
+            "bucket_bytes": self.bucket_bytes,
+            "bursts_per_bucket": self.bursts_per_bucket,
+            "cam_entries": self.cam_entries,
+            "system_clock_mhz": self.system_clock_hz / 1e6,
+            "memory_timing": self.timing.name,
+            "memory_capacity_mb": self.geometry.capacity_mbytes,
+            "table_bytes_per_memory": self.table_bytes_per_memory,
+            "fits_in_memory": self.fits_in_memory(),
+        }
+
+
+PROTOTYPE_CONFIG = FlowLUTConfig()
+"""The paper's prototype configuration (8 M flows, 2 x 512 MB DDR3, 200 MHz)."""
+
+
+def small_test_config(**overrides) -> FlowLUTConfig:
+    """A small configuration convenient for unit tests and quick experiments.
+
+    It keeps the prototype's architecture but shrinks the table to 64 K
+    entries so functional tests run in milliseconds.
+    """
+    params = {
+        "num_flows": 65_536,
+        "cam_entries": 32,
+    }
+    params.update(overrides)
+    return FlowLUTConfig(**params)

@@ -1,0 +1,310 @@
+"""The Data Lookup Unit (paper Figure 4).
+
+Each lookup path owns one DLU sitting between the Flow LUT logic and that
+path's standard DDR3 controller.  It contains three blocks:
+
+* **Bank Selector** — queues the two kinds of incoming lookups (LU1 from the
+  sequencer, LU2 redirected from the other path's Flow Match) and orders them
+  by the DDR3 bank they target, so consecutive requests hit different banks
+  and activates overlap data transfers.
+* **Request Filter** — holds back lookups that target a location with an
+  update in flight, the corner case the paper calls out explicitly.
+* **Memory Control** — issues read requests (and the Update block's batched
+  writes) to the DDR3 controller.  Writes are issued as uninterrupted groups
+  so the DQ bus sees long same-direction bursts (Figure 3's lesson).
+
+The DLU reorders *across* flows only; requests for the same flow key are kept
+in order because a second lookup for a key is never launched while its first
+is still outstanding, and updates block lookups to the same address.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.config import FlowLUTConfig
+from repro.memory.commands import MemoryOp, MemoryRequest
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class PendingLookup:
+    """A lookup waiting inside the Bank Selector."""
+
+    job: object
+    lookup_num: int
+    address: int
+    bank: int
+
+
+@dataclass
+class PendingWrite:
+    """One batched update write waiting in the Memory Control block."""
+
+    address: int
+    bursts: int
+    callback: Optional[Callable[[int, int], None]] = None
+
+
+class DataLookupUnit:
+    """One path's DLU.
+
+    Parameters
+    ----------
+    sim: shared simulator.
+    config: Flow LUT configuration (queue depths, feature toggles).
+    controller: this path's DDR3 controller (or an object with the same
+        ``submit`` / ``can_accept`` interface, e.g. the QDR SRAM model).
+    on_bucket_data: callback ``(job, lookup_num, now_ps)`` invoked when a
+        bucket read completes.
+    name: label used in reports.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: FlowLUTConfig,
+        controller,
+        on_bucket_data: Callable[[object, int, int], None],
+        name: str = "dlu",
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.controller = controller
+        self.on_bucket_data = on_bucket_data
+        self.name = name
+
+        banks = config.geometry.banks
+        self._bank_queues: List[Deque[PendingLookup]] = [deque() for _ in range(banks)]
+        self._bank_pointer = 0
+        self._write_queue: Deque[PendingWrite] = deque()
+        self._blocked: Dict[int, List[PendingLookup]] = {}
+        self._lu1_pending = 0
+        self._lu2_pending = 0
+        self._drain_callbacks: List[Callable[[], None]] = []
+        self._issue_period_ps = config.dlu_issue_cycles * config.system_clock_period_ps
+        self._next_issue_ps = 0
+        self._pump_scheduled = False
+
+        self.lu1_accepted = 0
+        self.lu2_accepted = 0
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.filter_blocks = 0
+        self.max_lu1_pending = 0
+        self.max_lu2_pending = 0
+        self.bank_histogram = [0] * banks
+
+        controller.on_drain(self._pump)
+
+    # ------------------------------------------------------------------ #
+    # Acceptance / backpressure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def lu1_headroom(self) -> int:
+        """Free slots in the first-lookup input queue (drives the sequencer)."""
+        return max(0, self.config.lu1_queue_depth - self._lu1_pending)
+
+    @property
+    def pending_lookups(self) -> int:
+        blocked = sum(len(items) for items in self._blocked.values())
+        return self._lu1_pending + self._lu2_pending + blocked
+
+    @property
+    def busy(self) -> bool:
+        return (
+            self.pending_lookups > 0
+            or bool(self._write_queue)
+            or self.controller.busy
+        )
+
+    def on_lu1_drain(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired whenever LU1 queue space frees up."""
+        self._drain_callbacks.append(callback)
+
+    # ------------------------------------------------------------------ #
+    # Bank Selector + Request Filter (lookup ingress)
+    # ------------------------------------------------------------------ #
+
+    def submit_lookup(self, job, lookup_num: int, address: int) -> bool:
+        """Accept a lookup request (LU1 from the sequencer, LU2 redirected).
+
+        LU1 requests respect the configured queue depth and may be refused;
+        LU2 requests are always accepted so a descriptor already holding
+        resources on the other path can never deadlock.
+        """
+        if lookup_num not in (1, 2):
+            raise ValueError("lookup_num must be 1 or 2")
+        if lookup_num == 1:
+            if self.lu1_headroom <= 0:
+                return False
+            self._lu1_pending += 1
+            self.lu1_accepted += 1
+            self.max_lu1_pending = max(self.max_lu1_pending, self._lu1_pending)
+        else:
+            self._lu2_pending += 1
+            self.lu2_accepted += 1
+            self.max_lu2_pending = max(self.max_lu2_pending, self._lu2_pending)
+
+        bank, _, _ = self.controller.mapping.decompose(address) if hasattr(
+            self.controller, "mapping"
+        ) else (0, 0, 0)
+        pending = PendingLookup(job=job, lookup_num=lookup_num, address=address, bank=bank)
+        self.bank_histogram[bank % len(self.bank_histogram)] += 1
+
+        if self.config.request_filter_enabled and address in self._blocked:
+            self.filter_blocks += 1
+            self._blocked[address].append(pending)
+        else:
+            self._enqueue(pending)
+        self._pump()
+        return True
+
+    def _enqueue(self, pending: PendingLookup) -> None:
+        if self.config.bank_select_enabled:
+            self._bank_queues[pending.bank % len(self._bank_queues)].append(pending)
+        else:
+            # Bank selection disabled: everything funnels through queue 0 in
+            # arrival order (the ablation case).
+            self._bank_queues[0].append(pending)
+
+    def _next_lookup(self) -> Optional[PendingLookup]:
+        """Round-robin over non-empty bank queues (arrival order when the
+        Bank Selector is disabled)."""
+        queues = self._bank_queues
+        count = len(queues)
+        for offset in range(count):
+            index = (self._bank_pointer + offset) % count
+            if queues[index]:
+                self._bank_pointer = (index + 1) % count
+                return queues[index].popleft()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Update ingress (from the Update block)
+    # ------------------------------------------------------------------ #
+
+    def submit_write_burst(self, writes: List[PendingWrite]) -> None:
+        """Accept a batch of update writes from the Burst Write Generator.
+
+        The batch is kept together so the controller sees consecutive write
+        bursts — the behaviour Figure 3 motivates.
+        """
+        for write in writes:
+            self._write_queue.append(write)
+        self._pump()
+
+    def block_address(self, address: int) -> None:
+        """Request Filter: hold lookups to ``address`` until unblocked."""
+        if not self.config.request_filter_enabled:
+            return
+        self._blocked.setdefault(address, [])
+
+    def unblock_address(self, address: int) -> None:
+        """Release lookups held for ``address`` (update completed)."""
+        waiting = self._blocked.pop(address, None)
+        if waiting:
+            for pending in waiting:
+                self._enqueue(pending)
+        self._pump()
+
+    # ------------------------------------------------------------------ #
+    # Memory Control (egress to the DDR3 controller)
+    # ------------------------------------------------------------------ #
+
+    def _pump(self) -> None:
+        issued_any = False
+        while self.controller.can_accept():
+            # The Memory Control block presents at most one request to the
+            # controller user interface every ``dlu_issue_cycles`` system
+            # cycles; defer the rest of the work until that slot opens.
+            if self.sim.now < self._next_issue_ps:
+                self._schedule_pump(self._next_issue_ps)
+                break
+            # Drain queued update writes first so they stay contiguous.
+            if self._write_queue:
+                write = self._write_queue.popleft()
+                request = MemoryRequest(
+                    op=MemoryOp.WRITE,
+                    address=write.address,
+                    bursts=write.bursts,
+                    callback=self._make_write_callback(write),
+                )
+                if not self.controller.submit(request):
+                    self._write_queue.appendleft(write)
+                    break
+                self.writes_issued += 1
+                self._account_issue_slot()
+                issued_any = True
+                continue
+
+            pending = self._next_lookup()
+            if pending is None:
+                break
+            request = MemoryRequest(
+                op=MemoryOp.READ,
+                address=pending.address,
+                bursts=self.config.bursts_per_bucket,
+                callback=self._make_read_callback(pending),
+            )
+            if not self.controller.submit(request):
+                # Put it back where it came from and stop for now.
+                self._bank_queues[pending.bank % len(self._bank_queues)].appendleft(pending)
+                break
+            self.reads_issued += 1
+            self._account_issue_slot()
+            issued_any = True
+            if pending.lookup_num == 1:
+                self._lu1_pending -= 1
+            else:
+                self._lu2_pending -= 1
+
+        if issued_any:
+            for callback in self._drain_callbacks:
+                callback()
+
+    def _account_issue_slot(self) -> None:
+        self._next_issue_ps = max(self.sim.now, self._next_issue_ps) + self._issue_period_ps
+
+    def _schedule_pump(self, when_ps: int) -> None:
+        if self._pump_scheduled:
+            return
+        self._pump_scheduled = True
+        self.sim.schedule_at(max(when_ps, self.sim.now), self._deferred_pump)
+
+    def _deferred_pump(self) -> None:
+        self._pump_scheduled = False
+        self._pump()
+
+    def _make_read_callback(self, pending: PendingLookup):
+        def _on_read(_request: MemoryRequest, now_ps: int) -> None:
+            self.on_bucket_data(pending.job, pending.lookup_num, now_ps)
+
+        return _on_read
+
+    def _make_write_callback(self, write: PendingWrite):
+        def _on_write(_request: MemoryRequest, now_ps: int) -> None:
+            if write.callback is not None:
+                write.callback(write.address, now_ps)
+
+        return _on_write
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "lu1_accepted": self.lu1_accepted,
+            "lu2_accepted": self.lu2_accepted,
+            "reads_issued": self.reads_issued,
+            "writes_issued": self.writes_issued,
+            "filter_blocks": self.filter_blocks,
+            "max_lu1_pending": self.max_lu1_pending,
+            "max_lu2_pending": self.max_lu2_pending,
+            "bank_histogram": list(self.bank_histogram),
+        }

@@ -1,0 +1,82 @@
+"""Flow-ID generation (the FID_GEN block of Figure 2).
+
+Every search result leaving the Flow LUT carries a flow identification value.
+For entries resident in the hash memories the ID is derived from the entry's
+location (memory, bucket, slot) so no extra storage is needed; CAM-resident
+entries and software-assigned flows draw from a free-list allocator so IDs
+can be recycled when housekeeping deletes a flow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Set
+
+
+class FlowIDGenerator:
+    """Allocates and recycles flow identification values.
+
+    Parameters
+    ----------
+    id_bits: width of the flow ID field.
+    reserved: the lowest ID handed out (IDs below are reserved for
+        location-derived values when used alongside a
+        :class:`~repro.core.hash_cam.HashCamTable`).
+    """
+
+    def __init__(self, id_bits: int = 24, reserved: int = 0) -> None:
+        if id_bits <= 0:
+            raise ValueError("id_bits must be positive")
+        if reserved < 0:
+            raise ValueError("reserved must be non-negative")
+        self.id_bits = id_bits
+        self.max_id = (1 << id_bits) - 1
+        if reserved > self.max_id:
+            raise ValueError("reserved range exceeds the ID space")
+        self._next = reserved
+        self._free: Deque[int] = deque()
+        self._live: Set[int] = set()
+        self.allocated = 0
+        self.released = 0
+
+    @property
+    def live_count(self) -> int:
+        """Number of IDs currently allocated."""
+        return len(self._live)
+
+    def allocate(self) -> Optional[int]:
+        """Return a fresh ID, or ``None`` when the space is exhausted."""
+        if self._free:
+            flow_id = self._free.popleft()
+        elif self._next <= self.max_id:
+            flow_id = self._next
+            self._next += 1
+        else:
+            return None
+        self._live.add(flow_id)
+        self.allocated += 1
+        return flow_id
+
+    def release(self, flow_id: int) -> None:
+        """Return ``flow_id`` to the free list.
+
+        Releasing an ID that is not live raises, which catches double-free
+        bugs in the housekeeping path.
+        """
+        if flow_id not in self._live:
+            raise ValueError(f"flow id {flow_id} is not currently allocated")
+        self._live.remove(flow_id)
+        self._free.append(flow_id)
+        self.released += 1
+
+    def is_live(self, flow_id: int) -> bool:
+        return flow_id in self._live
+
+    def stats(self) -> dict:
+        return {
+            "id_bits": self.id_bits,
+            "live": self.live_count,
+            "allocated": self.allocated,
+            "released": self.released,
+            "free_list": len(self._free),
+        }

@@ -1,0 +1,478 @@
+"""The dual-path Flow LUT (paper Figure 2) — the timed top-level model.
+
+A descriptor entering the Flow LUT goes through the following stages, each
+charged with realistic time by the event-driven simulator:
+
+1. The **sequencer / load balancer** picks the first lookup path (A or B) and
+   dispatches at most one descriptor per path per 200 MHz system cycle.
+2. The on-chip **CAM** stage resolves collision-overflow entries immediately
+   (Figure 1, stage 1) without touching DRAM.
+3. The chosen path's **DLU** reads the hash bucket from its DDR3 memory set
+   (LU1); the **Flow Match** block compares the returned entries against the
+   original tuples.
+4. A mismatch redirects the descriptor to the other path (LU2); a second
+   mismatch is a flow miss, which (optionally) allocates a new entry and
+   raises an insertion request towards that path's **Update block**, whose
+   Burst Write Generator batches the DRAM writes.
+5. **FID_GEN** semantics: matched or newly inserted entries yield a
+   location-derived flow ID which is reported in the
+   :class:`LookupOutcome` and, when a :class:`~repro.core.flow_state.FlowStateTable`
+   is attached, used to accumulate per-flow statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import FlowLUTConfig
+from repro.core.dlu import DataLookupUnit
+from repro.core.flow_match import FlowMatch
+from repro.core.flow_state import FlowStateTable
+from repro.core.hash_cam import HashCamTable, LookupStage
+from repro.core.sequencer import Sequencer
+from repro.core.update import UpdateBlock
+from repro.memory.controller import AddressMapping, DDR3Controller
+from repro.net.parser import PacketDescriptor
+from repro.sim.clock import Clock
+from repro.sim.engine import Simulator
+from repro.sim.fifo import Fifo
+from repro.sim.stats import RateMeter, RunningStats
+
+
+@dataclass
+class LookupJob:
+    """A descriptor travelling through the Flow LUT."""
+
+    descriptor: object
+    key: bytes
+    index1: int
+    index2: int
+    submit_ps: int
+    preferred_path: int = -1
+    first_path: Optional[int] = None
+    dispatch_ps: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class LookupOutcome:
+    """The result handed out of the Flow LUT for one descriptor."""
+
+    descriptor: object
+    flow_id: Optional[int]
+    hit: bool
+    new_flow: bool
+    stage: LookupStage
+    first_path: Optional[int]
+    submit_ps: int
+    complete_ps: int
+
+    @property
+    def latency_ps(self) -> int:
+        return self.complete_ps - self.submit_ps
+
+    @property
+    def latency_ns(self) -> float:
+        return self.latency_ps / 1000.0
+
+
+class FlowLUT:
+    """The timed dual-path flow lookup table.
+
+    Parameters
+    ----------
+    config: architecture configuration; defaults to the paper's prototype.
+    sim: an existing simulator to share (a new one is created otherwise).
+    on_result: optional callback invoked with every :class:`LookupOutcome`.
+    flow_state: optional per-flow state table (attached by the NetFlow /
+        traffic-analyzer applications).
+    input_queue_depth: descriptor FIFO in front of the sequencer.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FlowLUTConfig] = None,
+        sim: Optional[Simulator] = None,
+        on_result: Optional[Callable[[LookupOutcome], None]] = None,
+        flow_state: Optional[FlowStateTable] = None,
+        input_queue_depth: int = 32,
+    ) -> None:
+        self.config = config or FlowLUTConfig()
+        self.sim = sim or Simulator()
+        self.on_result = on_result
+        self.flow_state = flow_state
+
+        cfg = self.config
+        self.clock = Clock(cfg.system_clock_hz, name="flow_lut_sys")
+        self._sys_period = cfg.system_clock_period_ps
+
+        self.table = HashCamTable(cfg)
+        self.sequencer = Sequencer(
+            policy=cfg.load_balance_policy,
+            path_a_fraction=cfg.path_a_fraction,
+            seed=cfg.seed,
+        )
+
+        self.controllers: List[DDR3Controller] = []
+        self.dlus: List[DataLookupUnit] = []
+        self.flow_matches: List[FlowMatch] = []
+        self.updates: List[UpdateBlock] = []
+        for path, label in enumerate("ab"):
+            controller = DDR3Controller(
+                sim=self.sim,
+                timing=cfg.timing,
+                geometry=cfg.geometry,
+                mapping=AddressMapping(cfg.geometry, cfg.mapping_scheme),
+                page_policy=cfg.page_policy,
+                queue_depth=cfg.controller_queue_depth,
+                max_outstanding=cfg.controller_max_outstanding,
+                refresh_enabled=cfg.refresh_enabled,
+                name=f"ddr3_{label}",
+            )
+            dlu = DataLookupUnit(
+                sim=self.sim,
+                config=cfg,
+                controller=controller,
+                on_bucket_data=self._on_bucket_data,
+                name=f"dlu_{label}",
+            )
+            dlu.on_lu1_drain(self._schedule_dispatch)
+            self.controllers.append(controller)
+            self.dlus.append(dlu)
+            self.flow_matches.append(FlowMatch(name=f"flow_match_{label}"))
+            self.updates.append(UpdateBlock(self.sim, cfg, dlu, name=f"updt_{label}"))
+
+        self._input: Fifo[LookupJob] = Fifo(capacity=input_queue_depth, name="sequencer_input")
+        self._dispatch_scheduled = False
+        self._in_dispatch = False
+
+        self.results: List[LookupOutcome] = []
+        self.submitted = 0
+        self.completed = 0
+        self.hits = 0
+        self.misses = 0
+        self.new_flows = 0
+        self.insert_failures = 0
+        self.rate = RateMeter(name="flow_lut_rate")
+        self.latency = RunningStats(name="lookup_latency_ps")
+        self._first_submit_ps: Optional[int] = None
+        self._last_complete_ps: int = 0
+        self._live_keys: Dict[int, bytes] = {}
+
+    # ------------------------------------------------------------------ #
+    # Address helpers
+    # ------------------------------------------------------------------ #
+
+    def _bucket_address(self, bucket: int) -> int:
+        cfg = self.config
+        return bucket * cfg.bursts_per_bucket * cfg.geometry.burst_bytes
+
+    def _bucket_for_memory(self, job: LookupJob, memory: int) -> int:
+        return job.index1 if memory == 0 else job.index2
+
+    # ------------------------------------------------------------------ #
+    # Submission and warm-up
+    # ------------------------------------------------------------------ #
+
+    def can_accept(self) -> bool:
+        return not self._input.is_full
+
+    def submit(self, descriptor) -> bool:
+        """Offer one descriptor; returns ``False`` when the input FIFO is full.
+
+        ``descriptor`` is normally a :class:`~repro.net.parser.PacketDescriptor`;
+        any object with ``key_bytes`` works, and an optional ``bucket_indices``
+        attribute overrides the hash computation (used by the Table II-A hash
+        pattern experiments).
+        """
+        if self._input.is_full:
+            return False
+        key = descriptor.key_bytes
+        indices = getattr(descriptor, "bucket_indices", None)
+        if indices is None:
+            index1, index2 = self.table.hash_indices(key)
+        else:
+            index1, index2 = indices
+            index1 %= self.table.buckets_per_memory
+            index2 %= self.table.buckets_per_memory
+        job = LookupJob(
+            descriptor=descriptor,
+            key=key,
+            index1=index1,
+            index2=index2,
+            submit_ps=self.sim.now,
+        )
+        job.preferred_path = self.sequencer.preferred_path(index1)
+        self._input.push(job)
+        self.submitted += 1
+        if self._first_submit_ps is None:
+            self._first_submit_ps = self.sim.now
+        self._schedule_dispatch()
+        return True
+
+    def preload(self, keys) -> int:
+        """Populate the table functionally (no simulated time).
+
+        Used to model an already-built table, e.g. Table II-B's "table
+        occupied with 10K entries".  Returns the number of keys actually
+        inserted (duplicates and overflow failures are not counted).
+        """
+        inserted = 0
+        for key in keys:
+            key_bytes = key.key_bytes if isinstance(key, PacketDescriptor) else key
+            result = self.table.insert(key_bytes)
+            if result.inserted:
+                inserted += 1
+                if result.flow_id is not None:
+                    self._live_keys[result.flow_id] = key_bytes
+        return inserted
+
+    # ------------------------------------------------------------------ #
+    # Dispatch (sequencer + CAM stage)
+    # ------------------------------------------------------------------ #
+
+    def _schedule_dispatch(self) -> None:
+        if self._dispatch_scheduled or self._in_dispatch or self._input.is_empty:
+            return
+        self._dispatch_scheduled = True
+        self.sim.schedule_at(self.clock.next_edge(self.sim.now), self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        self._in_dispatch = True
+        dispatched: set = set()
+        try:
+            while self._input and len(dispatched) < 2:
+                job = self._input.peek()
+
+                # Stage 1: the on-chip CAM resolves overflow entries without DRAM.
+                cam_value = self.table.cam.lookup(job.key)
+                if cam_value is not None:
+                    self._input.pop()
+                    job.first_path = None
+                    self._finish(job, found=True, stage=LookupStage.CAM,
+                                 flow_id=int(cam_value), new_flow=False)
+                    continue
+
+                headroom_a = self.dlus[0].lu1_headroom if 0 not in dispatched else 0
+                headroom_b = self.dlus[1].lu1_headroom if 1 not in dispatched else 0
+                available = {p for p in (0, 1) if p not in dispatched}
+                path = self.sequencer.choose(job.preferred_path, headroom_a, headroom_b, available)
+                if path is None:
+                    break
+                self._input.pop()
+                dispatched.add(path)
+                job.first_path = path
+                job.dispatch_ps = self.sim.now
+                address = self._bucket_address(self._bucket_for_memory(job, path))
+                self.dlus[path].submit_lookup(job, 1, address)
+        finally:
+            self._in_dispatch = False
+        if self._input and (dispatched or any(dlu.lu1_headroom > 0 for dlu in self.dlus)):
+            self._dispatch_scheduled = True
+            self.sim.schedule_at(self.clock.next_edge(self.sim.now + 1), self._dispatch)
+
+    # ------------------------------------------------------------------ #
+    # Lookup pipeline (bucket data -> flow match -> second lookup / miss)
+    # ------------------------------------------------------------------ #
+
+    def _on_bucket_data(self, job: LookupJob, lookup_num: int, now_ps: int) -> None:
+        path = job.first_path if lookup_num == 1 else 1 - job.first_path
+        delay = self.flow_matches[path].compare_cycles * self._sys_period
+        self.sim.schedule(delay, self._after_match, job, lookup_num)
+
+    def _after_match(self, job: LookupJob, lookup_num: int) -> None:
+        path = job.first_path if lookup_num == 1 else 1 - job.first_path
+        memory = path
+        bucket = self._bucket_for_memory(job, memory)
+        entries = self.table.bucket_entries_at(memory, bucket)
+        result = self.flow_matches[path].match(entries, job.key)
+
+        if result.matched:
+            stage = LookupStage.MEM1 if memory == 0 else LookupStage.MEM2
+            self._finish(job, found=True, stage=stage, flow_id=result.flow_id, new_flow=False)
+            return
+
+        if lookup_num == 1:
+            other = 1 - path
+            address = self._bucket_address(self._bucket_for_memory(job, other))
+            self.dlus[other].submit_lookup(job, 2, address)
+            return
+
+        self._handle_full_miss(job)
+
+    def _handle_full_miss(self, job: LookupJob) -> None:
+        if not self.config.insert_on_miss:
+            self._finish(job, found=False, stage=LookupStage.MISS, flow_id=None, new_flow=False)
+            return
+        preferred = job.first_path if job.first_path in (0, 1) else None
+        insert = self.table.insert(
+            job.key, preferred_memory=preferred, indices=(job.index1, job.index2)
+        )
+        if insert.already_present:
+            # Another packet of the same brand-new flow raced ahead and its
+            # insertion landed while this lookup was in flight; resolve it as
+            # a hit on the freshly created entry rather than a duplicate.
+            self._finish(
+                job, found=True, stage=insert.stage, flow_id=insert.flow_id, new_flow=False
+            )
+            return
+        if not insert.inserted:
+            self.insert_failures += 1
+            self._finish(job, found=False, stage=LookupStage.MISS, flow_id=None, new_flow=False)
+            return
+        if insert.stage in (LookupStage.MEM1, LookupStage.MEM2):
+            address = self._bucket_address(insert.bucket)
+            self.updates[insert.memory].request_insert(address, job.key)
+        if insert.flow_id is not None:
+            self._live_keys[insert.flow_id] = job.key
+        self._finish(job, found=False, stage=insert.stage, flow_id=insert.flow_id, new_flow=True)
+
+    # ------------------------------------------------------------------ #
+    # Completion (FID_GEN and flow state)
+    # ------------------------------------------------------------------ #
+
+    def _finish(
+        self,
+        job: LookupJob,
+        found: bool,
+        stage: LookupStage,
+        flow_id: Optional[int],
+        new_flow: bool,
+    ) -> None:
+        now = self.sim.now
+        outcome = LookupOutcome(
+            descriptor=job.descriptor,
+            flow_id=flow_id,
+            hit=found,
+            new_flow=new_flow,
+            stage=stage,
+            first_path=job.first_path,
+            submit_ps=job.submit_ps,
+            complete_ps=now,
+        )
+        self.results.append(outcome)
+        self.completed += 1
+        if found:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if new_flow:
+            self.new_flows += 1
+        self.rate.record(now)
+        self.latency.record(now - job.submit_ps)
+        self._last_complete_ps = max(self._last_complete_ps, now)
+
+        descriptor = job.descriptor
+        key = getattr(descriptor, "key", None)
+        if self.flow_state is not None and flow_id is not None and key is not None:
+            self.flow_state.update(
+                flow_id,
+                key,
+                length_bytes=getattr(descriptor, "length_bytes", 0),
+                timestamp_ps=getattr(descriptor, "timestamp_ps", now),
+                tcp_flags=getattr(descriptor, "tcp_flags", 0),
+            )
+        if self.on_result is not None:
+            self.on_result(outcome)
+
+    # ------------------------------------------------------------------ #
+    # Deletion and housekeeping
+    # ------------------------------------------------------------------ #
+
+    def delete_flow(self, key_bytes: bytes) -> bool:
+        """Remove a flow entry, charging the DRAM write through the Update block."""
+        location = self.table.lookup(key_bytes)
+        if not location.found:
+            return False
+        if location.stage in (LookupStage.MEM1, LookupStage.MEM2):
+            address = self._bucket_address(location.bucket)
+            self.updates[location.memory].request_delete(address, key_bytes)
+        self.table.delete(key_bytes)
+        if location.flow_id is not None:
+            self._live_keys.pop(location.flow_id, None)
+        return True
+
+    def run_housekeeping(self, now_ps: Optional[int] = None) -> int:
+        """One housekeeping pass: expire idle flows and delete their entries.
+
+        Requires an attached flow-state table.  Returns the number of flows
+        removed.
+        """
+        if self.flow_state is None:
+            return 0
+        now = self.sim.now if now_ps is None else now_ps
+        expired = self.flow_state.expire(now)
+        removed = 0
+        for record in expired:
+            key_bytes = self._live_keys.get(record.flow_id)
+            if key_bytes is None:
+                continue
+            if self.delete_flow(key_bytes):
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Draining and reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def busy(self) -> bool:
+        return (
+            bool(self._input)
+            or any(dlu.busy for dlu in self.dlus)
+            or any(update.busy for update in self.updates)
+        )
+
+    def drain(self, max_rounds: int = 64) -> None:
+        """Run the simulator until every in-flight lookup and update retires."""
+        for _ in range(max_rounds):
+            self.sim.run()
+            pending_updates = any(update.pending for update in self.updates)
+            if pending_updates:
+                for update in self.updates:
+                    update.flush()
+                continue
+            if not self.busy and self.sim.peek_next_time() is None:
+                return
+        raise RuntimeError("Flow LUT failed to drain; in-flight work is stuck")
+
+    @property
+    def elapsed_ps(self) -> int:
+        """First submission to last completion."""
+        if self._first_submit_ps is None:
+            return 0
+        return max(0, self._last_complete_ps - self._first_submit_ps)
+
+    @property
+    def throughput_mdesc_s(self) -> float:
+        """Average processing rate in million descriptors per second."""
+        elapsed = self.elapsed_ps
+        if elapsed <= 0:
+            return 0.0
+        return self.completed * 1e6 / elapsed
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.completed if self.completed else 0.0
+
+    def report(self) -> dict:
+        return {
+            "config": self.config.summary(),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "hits": self.hits,
+            "misses": self.misses,
+            "new_flows": self.new_flows,
+            "insert_failures": self.insert_failures,
+            "miss_rate": self.miss_rate,
+            "throughput_mdesc_s": self.throughput_mdesc_s,
+            "mean_latency_ns": self.latency.mean / 1000.0,
+            "max_latency_ns": (self.latency.maximum / 1000.0) if self.latency.count else 0.0,
+            "sequencer": self.sequencer.stats(),
+            "dlus": [dlu.stats() for dlu in self.dlus],
+            "updates": [update.stats() for update in self.updates],
+            "flow_matches": [fm.stats() for fm in self.flow_matches],
+            "controllers": [controller.report() for controller in self.controllers],
+            "table": self.table.stats(),
+        }

@@ -1,0 +1,77 @@
+"""The Flow Match block.
+
+Each lookup path has a Flow Match block that compares every entry read from
+its DDR3 memory against the original tuples of the descriptor (Figure 2).  A
+match produces the entry's location/ID; a mismatch redirects the descriptor
+to the other path, and a mismatch on the second path raises the insertion
+request towards the Update block.
+
+In hardware the K comparators work in parallel in one system clock cycle;
+the model exposes that cycle cost through ``compare_cycles`` so the timed
+Flow LUT charges it consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.hash_cam import TableEntry
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of comparing one bucket against a descriptor key."""
+
+    matched: bool
+    slot: Optional[int] = None
+    flow_id: Optional[int] = None
+    entries_compared: int = 0
+
+
+class FlowMatch:
+    """Parallel comparator over the ``K`` entries of one bucket.
+
+    Parameters
+    ----------
+    name: label (``"flow_match_a"`` / ``"flow_match_b"`` in the Flow LUT).
+    compare_cycles: system-clock cycles one bucket comparison occupies.
+    """
+
+    def __init__(self, name: str = "flow_match", compare_cycles: int = 1) -> None:
+        if compare_cycles <= 0:
+            raise ValueError("compare_cycles must be positive")
+        self.name = name
+        self.compare_cycles = compare_cycles
+        self.comparisons = 0
+        self.matches = 0
+        self.mismatches = 0
+
+    def match(self, entries: Sequence[TableEntry], key: bytes) -> MatchResult:
+        """Compare ``key`` against every entry of a bucket."""
+        self.comparisons += 1
+        for slot, entry in enumerate(entries):
+            if entry.key == key:
+                self.matches += 1
+                return MatchResult(
+                    matched=True,
+                    slot=slot,
+                    flow_id=entry.flow_id,
+                    entries_compared=slot + 1,
+                )
+        self.mismatches += 1
+        return MatchResult(matched=False, entries_compared=len(entries))
+
+    @property
+    def match_rate(self) -> float:
+        """Fraction of comparisons that matched."""
+        return self.matches / self.comparisons if self.comparisons else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "comparisons": self.comparisons,
+            "matches": self.matches,
+            "mismatches": self.mismatches,
+            "match_rate": self.match_rate,
+        }

@@ -1,0 +1,158 @@
+"""Per-flow state storage and housekeeping.
+
+The paper's target application is NetFlow-style monitoring: besides looking a
+packet's flow up, the processor stores and retrieves per-flow state (packet
+and byte counters, timestamps, TCP flags).  A housekeeping function
+periodically checks and removes timed-out flow entries so new flows can be
+stored; those removals become the deletion requests fed to the Update block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.net.fivetuple import FlowKey
+
+
+@dataclass
+class FlowRecord:
+    """Accumulated state of one flow."""
+
+    flow_id: int
+    key: FlowKey
+    packets: int = 0
+    bytes: int = 0
+    first_seen_ps: int = 0
+    last_seen_ps: int = 0
+    tcp_flags: int = 0
+
+    @property
+    def duration_ps(self) -> int:
+        return self.last_seen_ps - self.first_seen_ps
+
+    @property
+    def mean_packet_bytes(self) -> float:
+        return self.bytes / self.packets if self.packets else 0.0
+
+    def as_export(self) -> dict:
+        """NetFlow-style export record."""
+        return {
+            "flow_id": self.flow_id,
+            "src": self.key.src_ip_str,
+            "dst": self.key.dst_ip_str,
+            "src_port": self.key.src_port,
+            "dst_port": self.key.dst_port,
+            "protocol": self.key.protocol,
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "first_seen_us": self.first_seen_ps / 1e6,
+            "last_seen_us": self.last_seen_ps / 1e6,
+            "tcp_flags": self.tcp_flags,
+        }
+
+
+class FlowStateTable:
+    """Per-flow statistics keyed by flow ID, with timeout housekeeping.
+
+    Parameters
+    ----------
+    timeout_us: a flow is considered idle (and eligible for removal) when no
+        packet has been seen for this long.
+    """
+
+    def __init__(self, timeout_us: float = 15_000_000.0) -> None:
+        if timeout_us <= 0:
+            raise ValueError("timeout_us must be positive")
+        self.timeout_us = timeout_us
+        self._records: Dict[int, FlowRecord] = {}
+        self.exported: List[FlowRecord] = []
+        self.created = 0
+        self.updated = 0
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, flow_id: int) -> bool:
+        return flow_id in self._records
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self._records.values())
+
+    @property
+    def timeout_ps(self) -> int:
+        return int(self.timeout_us * 1e6)
+
+    def get(self, flow_id: int) -> Optional[FlowRecord]:
+        return self._records.get(flow_id)
+
+    def update(
+        self,
+        flow_id: int,
+        key: FlowKey,
+        length_bytes: int,
+        timestamp_ps: int,
+        tcp_flags: int = 0,
+    ) -> FlowRecord:
+        """Account one packet to ``flow_id``, creating the record if needed."""
+        record = self._records.get(flow_id)
+        if record is None:
+            record = FlowRecord(
+                flow_id=flow_id,
+                key=key,
+                first_seen_ps=timestamp_ps,
+                last_seen_ps=timestamp_ps,
+            )
+            self._records[flow_id] = record
+            self.created += 1
+        else:
+            self.updated += 1
+        record.packets += 1
+        record.bytes += length_bytes
+        record.last_seen_ps = max(record.last_seen_ps, timestamp_ps)
+        record.tcp_flags |= tcp_flags
+        return record
+
+    def remove(self, flow_id: int) -> Optional[FlowRecord]:
+        """Remove and return a record (e.g. on FIN/RST termination)."""
+        record = self._records.pop(flow_id, None)
+        if record is not None:
+            self.exported.append(record)
+        return record
+
+    def expire(self, now_ps: int) -> List[FlowRecord]:
+        """Housekeeping pass: remove every flow idle for longer than the timeout.
+
+        Returns the expired records; the caller turns them into deletion
+        requests towards the Update block.
+        """
+        timeout_ps = self.timeout_ps
+        stale = [
+            flow_id
+            for flow_id, record in self._records.items()
+            if now_ps - record.last_seen_ps > timeout_ps
+        ]
+        removed = []
+        for flow_id in stale:
+            record = self._records.pop(flow_id)
+            self.exported.append(record)
+            removed.append(record)
+        self.expired += len(removed)
+        return removed
+
+    def top_flows(self, count: int = 10, by: str = "bytes") -> List[FlowRecord]:
+        """The ``count`` largest active flows by ``"bytes"`` or ``"packets"``."""
+        if by not in ("bytes", "packets"):
+            raise ValueError("by must be 'bytes' or 'packets'")
+        return sorted(self._records.values(), key=lambda r: getattr(r, by), reverse=True)[:count]
+
+    def stats(self) -> dict:
+        return {
+            "active_flows": len(self._records),
+            "created": self.created,
+            "updated": self.updated,
+            "expired": self.expired,
+            "exported": len(self.exported),
+            "timeout_us": self.timeout_us,
+        }

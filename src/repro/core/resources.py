@@ -1,0 +1,120 @@
+"""On-chip resource model (the Table I analogue).
+
+Table I of the paper reports the FPGA resources the Flow LUT prototype uses
+on a Stratix V: 31,006 ALMs, 2,604,288 block-memory bits, 39,664 registers,
+2 PLLs and 2 DLLs.  A Python reproduction cannot synthesise RTL, so the part
+we reproduce is the *architecturally determined* storage budget: every queue,
+CAM, hash matrix and buffer the configuration implies, counted in bits.  The
+logic (ALM) count is reported as not reproducible; the paper's figures are
+kept alongside for the benchmark table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.config import FlowLUTConfig
+
+PAPER_TABLE1 = {
+    "device": "Stratix V 5SGXEA7N2F45C2",
+    "alms": 31_006,
+    "alm_utilisation": 0.13,
+    "block_memory_bits": 2_604_288,
+    "registers": 39_664,
+    "plls": 2,
+    "dlls": 2,
+}
+"""The paper's reported resource usage (Table I)."""
+
+
+@dataclass
+class ResourceReport:
+    """Estimated on-chip storage for a Flow LUT configuration."""
+
+    config_summary: dict
+    breakdown_bits: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def block_memory_bits(self) -> int:
+        return sum(
+            bits for name, bits in self.breakdown_bits.items() if not name.startswith("_")
+        )
+
+    @property
+    def block_memory_mbits(self) -> float:
+        return self.block_memory_bits / 1e6
+
+    def register_estimate(self) -> int:
+        """A coarse register estimate: pipeline/state registers per block.
+
+        Derived from datapath widths (descriptor, hash, address and data
+        buses) times a per-block pipeline depth.  This is an order-of-
+        magnitude figure, not a synthesis result.
+        """
+        descriptor_bits = self.breakdown_bits.get("_descriptor_bits", 0)
+        # Roughly: sequencer + 2x(DLU, Flow Match, Updt) + FID_GEN, each with a
+        # handful of descriptor-wide pipeline stages.
+        pipeline_stages = 1 + 2 * (3 + 2 + 2) + 1
+        return descriptor_bits * pipeline_stages
+
+    def as_dict(self) -> dict:
+        breakdown = {k: v for k, v in self.breakdown_bits.items() if not k.startswith("_")}
+        return {
+            "block_memory_bits": self.block_memory_bits,
+            "block_memory_mbits": round(self.block_memory_mbits, 3),
+            "register_estimate": self.register_estimate(),
+            "breakdown_bits": breakdown,
+            "paper_table1": PAPER_TABLE1,
+            "config": self.config_summary,
+        }
+
+
+def estimate_resources(
+    config: FlowLUTConfig,
+    input_queue_depth: int = 32,
+    result_buffer_entries: int = 64,
+    packet_descriptor_buffer: int = 512,
+) -> ResourceReport:
+    """Estimate the block-memory bits a hardware Flow LUT of this shape needs.
+
+    Parameters
+    ----------
+    config: the Flow LUT configuration.
+    input_queue_depth: descriptor FIFO in front of the sequencer.
+    result_buffer_entries: in-flight descriptor/result reorder storage.
+    packet_descriptor_buffer: descriptors buffered while their packets wait in
+        the (off-LUT) packet buffer; the prototype sizes this generously,
+        which is where most of Table I's block RAM goes.
+    """
+    # One stored descriptor: the n-tuple key, both hash indices, a length /
+    # timestamp / flags sidecar and the request bookkeeping.
+    descriptor_bits = config.key_bits + 2 * config.hash_index_bits + 64
+
+    cam_bits = config.cam_entries * (config.key_bits + config.flow_id_bits)
+    hash_matrix_bits = 2 * config.key_bits * max(32, config.hash_index_bits)
+    lu1_queue_bits = 2 * config.lu1_queue_depth * descriptor_bits
+    bank_queue_bits = 2 * config.geometry.banks * config.bank_queue_depth * descriptor_bits
+    controller_queue_bits = 2 * config.controller_queue_depth * (
+        32 + config.bucket_bytes * 8
+    )
+    burst_write_bits = 2 * config.burst_write_threshold * (32 + config.bucket_bytes * 8)
+    reorder_bits = result_buffer_entries * descriptor_bits
+    input_fifo_bits = input_queue_depth * descriptor_bits
+    packet_descriptor_bits = packet_descriptor_buffer * descriptor_bits
+    read_data_bits = 2 * config.controller_max_outstanding * config.bucket_bytes * 8
+
+    breakdown = {
+        "overflow_cam": cam_bits,
+        "hash_matrices": hash_matrix_bits,
+        "lu1_queues": lu1_queue_bits,
+        "bank_selector_queues": bank_queue_bits,
+        "controller_command_queues": controller_queue_bits,
+        "burst_write_buffers": burst_write_bits,
+        "result_reorder_buffer": reorder_bits,
+        "sequencer_input_fifo": input_fifo_bits,
+        "packet_descriptor_buffer": packet_descriptor_bits,
+        "read_data_buffers": read_data_bits,
+        "_descriptor_bits": descriptor_bits,
+    }
+    return ResourceReport(config_summary=config.summary(), breakdown_bits=breakdown)

@@ -1,0 +1,28 @@
+"""Hardware-style hash functions.
+
+Flow lookup tables in hardware use cheap, XOR-heavy universal hash functions
+rather than cryptographic ones.  This package provides the families typically
+implemented on FPGAs and referenced by the paper's related work:
+
+* :class:`~repro.hashing.h3.H3Hash` — the H3 family (a random binary matrix
+  multiplied with the key over GF(2)), the classic FPGA choice.
+* :mod:`repro.hashing.crc` — CRC-32 / CRC-16-CCITT, table-driven.
+* :class:`~repro.hashing.tabulation.TabulationHash` — per-byte lookup tables.
+* :class:`~repro.hashing.multi_hash.MultiHash` — a bundle of ``k`` independent
+  functions, used by the two-choice scheme, Bloom filters and d-left hashing.
+"""
+
+from repro.hashing.crc import CRC16_CCITT, CRC32, CRCHash, fold_hash
+from repro.hashing.h3 import H3Hash
+from repro.hashing.multi_hash import MultiHash
+from repro.hashing.tabulation import TabulationHash
+
+__all__ = [
+    "CRC16_CCITT",
+    "CRC32",
+    "CRCHash",
+    "H3Hash",
+    "MultiHash",
+    "TabulationHash",
+    "fold_hash",
+]

@@ -1,0 +1,135 @@
+"""Table-driven CRC hash functions (CRC-32 and CRC-16-CCITT)."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+KeyLike = Union[bytes, bytearray, int]
+
+
+def _reflect_bits(value: int, width: int) -> int:
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def _build_table(polynomial: int, width: int) -> List[int]:
+    """Build the 256-entry remainder table for an MSB-first CRC."""
+    table = []
+    top_bit = 1 << (width - 1)
+    mask = (1 << width) - 1
+    for byte in range(256):
+        remainder = byte << (width - 8)
+        for _ in range(8):
+            if remainder & top_bit:
+                remainder = ((remainder << 1) ^ polynomial) & mask
+            else:
+                remainder = (remainder << 1) & mask
+        table.append(remainder)
+    return table
+
+
+def _build_reflected_table(polynomial: int, width: int) -> List[int]:
+    """Build the 256-entry remainder table for an LSB-first (reflected) CRC."""
+    reflected_poly = _reflect_bits(polynomial, width)
+    table = []
+    for byte in range(256):
+        remainder = byte
+        for _ in range(8):
+            if remainder & 1:
+                remainder = (remainder >> 1) ^ reflected_poly
+            else:
+                remainder >>= 1
+        table.append(remainder)
+    return table
+
+
+class CRCHash:
+    """Generic table-driven CRC.
+
+    Parameters
+    ----------
+    polynomial: generator polynomial (without the leading term).
+    width: CRC width in bits.
+    initial: initial register value.
+    final_xor: value XORed into the result.
+    reflected: process bits LSB-first (the IEEE 802.3 / zlib convention) when
+        ``True``; MSB-first (CCITT-FALSE style) otherwise.
+    """
+
+    def __init__(
+        self,
+        polynomial: int,
+        width: int,
+        initial: int = 0,
+        final_xor: int = 0,
+        reflected: bool = False,
+    ) -> None:
+        if width < 8 or width > 64:
+            raise ValueError("CRC width must be between 8 and 64 bits")
+        self.polynomial = polynomial
+        self.width = width
+        self.initial = initial
+        self.final_xor = final_xor
+        self.reflected = reflected
+        self._table = (
+            _build_reflected_table(polynomial, width) if reflected else _build_table(polynomial, width)
+        )
+        self._mask = (1 << width) - 1
+
+    def _normalise(self, key: KeyLike) -> bytes:
+        if isinstance(key, (bytes, bytearray)):
+            return bytes(key)
+        if isinstance(key, int):
+            if key < 0:
+                raise ValueError("integer keys must be non-negative")
+            length = max(1, (key.bit_length() + 7) // 8)
+            return key.to_bytes(length, "big")
+        raise TypeError(f"unsupported key type {type(key)!r}")
+
+    def __call__(self, key: KeyLike) -> int:
+        return self.hash(key)
+
+    def hash(self, key: KeyLike) -> int:
+        """CRC of ``key`` (bytes, bytearray, or non-negative int)."""
+        data = self._normalise(key)
+        remainder = self.initial
+        if self.reflected:
+            for byte in data:
+                index = (remainder ^ byte) & 0xFF
+                remainder = (remainder >> 8) ^ self._table[index]
+        else:
+            shift = self.width - 8
+            for byte in data:
+                index = ((remainder >> shift) ^ byte) & 0xFF
+                remainder = ((remainder << 8) ^ self._table[index]) & self._mask
+        return (remainder ^ self.final_xor) & self._mask
+
+    def bucket(self, key: KeyLike, table_size: int) -> int:
+        """CRC of ``key`` reduced into ``[0, table_size)``."""
+        if table_size <= 0:
+            raise ValueError("table_size must be positive")
+        return self.hash(key) % table_size
+
+
+CRC32 = CRCHash(
+    polynomial=0x04C11DB7, width=32, initial=0xFFFFFFFF, final_xor=0xFFFFFFFF, reflected=True
+)
+"""IEEE 802.3 CRC-32 (reflected, the Ethernet FCS convention)."""
+
+CRC16_CCITT = CRCHash(polynomial=0x1021, width=16, initial=0xFFFF)
+"""CRC-16-CCITT (X.25 / HDLC)."""
+
+
+def fold_hash(value: int, bits: int) -> int:
+    """Fold an arbitrarily wide hash value down to ``bits`` bits by XOR."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    mask = (1 << bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded

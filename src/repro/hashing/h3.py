@@ -1,0 +1,81 @@
+"""The H3 universal hash family.
+
+An H3 hash of an ``n``-bit key to an ``m``-bit value is defined by an
+``n x m`` random binary matrix ``Q``: the output is the XOR of the rows of
+``Q`` selected by the set bits of the key.  In hardware this is a tree of XOR
+gates, which is why H3 is the de-facto hash family in FPGA packet-processing
+designs (and a natural choice for the paper's two pre-selected hash
+functions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.sim.rng import SeedLike, make_rng
+
+KeyLike = Union[int, bytes, bytearray]
+
+
+def _key_to_int(key: KeyLike) -> int:
+    if isinstance(key, (bytes, bytearray)):
+        return int.from_bytes(bytes(key), "big")
+    if isinstance(key, int):
+        if key < 0:
+            raise ValueError("integer keys must be non-negative")
+        return key
+    raise TypeError(f"unsupported key type {type(key)!r}")
+
+
+class H3Hash:
+    """One member of the H3 family.
+
+    Parameters
+    ----------
+    key_bits: width of the input keys in bits.  Longer inputs raise.
+    output_bits: width of the hash value.
+    seed: seed (or shared :class:`random.Random`) selecting the member.
+    """
+
+    def __init__(self, key_bits: int, output_bits: int, seed: SeedLike = None) -> None:
+        if key_bits <= 0:
+            raise ValueError("key_bits must be positive")
+        if output_bits <= 0:
+            raise ValueError("output_bits must be positive")
+        self.key_bits = key_bits
+        self.output_bits = output_bits
+        rng = make_rng(seed)
+        mask = (1 << output_bits) - 1
+        self._rows = [rng.getrandbits(output_bits) & mask for _ in range(key_bits)]
+        self._mask = mask
+
+    def __call__(self, key: KeyLike) -> int:
+        return self.hash(key)
+
+    def hash(self, key: KeyLike) -> int:
+        """Hash ``key`` to an ``output_bits``-wide integer."""
+        value = _key_to_int(key)
+        if value >> self.key_bits:
+            raise ValueError(
+                f"key has more than {self.key_bits} bits: {value.bit_length()} bits"
+            )
+        result = 0
+        rows = self._rows
+        index = 0
+        while value:
+            if value & 1:
+                result ^= rows[index]
+            value >>= 1
+            index += 1
+        return result & self._mask
+
+    def bucket(self, key: KeyLike, table_size: int) -> int:
+        """Hash ``key`` into ``[0, table_size)``."""
+        if table_size <= 0:
+            raise ValueError("table_size must be positive")
+        return self.hash(key) % table_size
+
+    @property
+    def matrix(self) -> list:
+        """The defining matrix rows (read-only copy)."""
+        return list(self._rows)

@@ -1,0 +1,98 @@
+"""Bundles of independent hash functions.
+
+The two-choice Hash-CAM table needs two independent hash functions; Bloom
+filters and d-left hashing need ``k``.  :class:`MultiHash` constructs a family
+of independently seeded functions of a chosen kind and exposes them through a
+single object so callers never accidentally reuse the same function twice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Union
+
+from repro.hashing.crc import CRCHash
+from repro.hashing.h3 import H3Hash, KeyLike
+from repro.hashing.tabulation import TabulationHash
+from repro.sim.rng import SeedLike, make_rng
+
+HashFunction = Callable[[KeyLike], int]
+
+
+class MultiHash:
+    """``k`` independent hash functions sharing an interface.
+
+    Parameters
+    ----------
+    count: number of functions.
+    key_bits: input key width in bits.
+    output_bits: output width in bits.
+    kind: ``"h3"`` (default), ``"tabulation"`` or ``"crc"``.  The CRC variant
+        derives independence by prepending a per-function salt byte.
+    seed: master seed; per-function seeds are drawn from it.
+    """
+
+    KINDS = ("h3", "tabulation", "crc")
+
+    def __init__(
+        self,
+        count: int,
+        key_bits: int,
+        output_bits: int,
+        kind: str = "h3",
+        seed: SeedLike = None,
+    ) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown hash kind {kind!r}; expected one of {self.KINDS}")
+        self.count = count
+        self.key_bits = key_bits
+        self.output_bits = output_bits
+        self.kind = kind
+        rng = make_rng(seed)
+        self._functions: List[HashFunction] = []
+        key_bytes = (key_bits + 7) // 8
+        for index in range(count):
+            sub_seed = rng.getrandbits(64)
+            if kind == "h3":
+                self._functions.append(H3Hash(key_bits, output_bits, seed=sub_seed))
+            elif kind == "tabulation":
+                self._functions.append(TabulationHash(key_bytes, output_bits, seed=sub_seed))
+            else:
+                crc = CRCHash(polynomial=0x04C11DB7, width=32, initial=sub_seed & 0xFFFFFFFF)
+                mask = (1 << output_bits) - 1
+                salt = bytes([index & 0xFF])
+
+                def crc_fn(key: KeyLike, _crc=crc, _mask=mask, _salt=salt) -> int:
+                    data = key if isinstance(key, (bytes, bytearray)) else _int_to_bytes(key)
+                    return _crc.hash(_salt + bytes(data)) & _mask
+
+                self._functions.append(crc_fn)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index: int) -> HashFunction:
+        return self._functions[index]
+
+    def __iter__(self):
+        return iter(self._functions)
+
+    def hashes(self, key: KeyLike) -> List[int]:
+        """All ``count`` hash values of ``key``."""
+        return [fn(key) for fn in self._functions]
+
+    def indices(self, key: KeyLike, table_size: int) -> List[int]:
+        """All ``count`` hash values reduced into ``[0, table_size)``."""
+        if table_size <= 0:
+            raise ValueError("table_size must be positive")
+        return [fn(key) % table_size for fn in self._functions]
+
+
+def _int_to_bytes(value: Union[int, bytes, bytearray]) -> bytes:
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    if value < 0:
+        raise ValueError("integer keys must be non-negative")
+    length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")

@@ -1,0 +1,56 @@
+"""DDR3 SDRAM substrate.
+
+The paper's contribution is an architecture for hiding DDR3 SDRAM latency
+behind bank-aware scheduling and burst batching, so a faithful reproduction
+needs a DDR3 device/controller model that enforces the JEDEC-style timing
+constraints the paper reasons about (row cycle time, read/write bus
+turnaround, burst-oriented data transfer).  This package provides:
+
+* :mod:`repro.memory.timing` — speed-grade parameter sets (DDR3-1066 -187E is
+  the grade the paper's Figure 3 is computed from) and device geometry.
+* :mod:`repro.memory.commands` — the DRAM command set and user-level
+  :class:`~repro.memory.commands.MemoryRequest`.
+* :mod:`repro.memory.bank` / :mod:`repro.memory.dram` — per-bank state machines
+  and the multi-bank device model with DQ-bus occupancy accounting.
+* :mod:`repro.memory.controller` — an in-order reservation controller with an
+  FR-FCFS-style row-hit preference, modelling the "standard DDR3 memory
+  controller" the paper places behind the Data Lookup Unit.
+* :mod:`repro.memory.bandwidth` — the analytical DQ utilisation model used to
+  regenerate Figure 3.
+* :mod:`repro.memory.sram` — a QDR-SRAM model used by the SRAM Hash-CAM
+  baseline (Yang 2012, reference [11]).
+"""
+
+from repro.memory.bandwidth import burst_group_utilisation, utilisation_sweep
+from repro.memory.bank import Bank, BankState
+from repro.memory.commands import CommandType, MemoryOp, MemoryRequest
+from repro.memory.controller import AddressMapping, DDR3Controller, PagePolicy
+from repro.memory.dram import DDR3Device
+from repro.memory.sram import QDRSRAM
+from repro.memory.timing import (
+    DDR3_1066_187E,
+    DDR3_1333,
+    DDR3_1600,
+    DDR3Geometry,
+    DDR3Timing,
+)
+
+__all__ = [
+    "AddressMapping",
+    "Bank",
+    "BankState",
+    "CommandType",
+    "DDR3Controller",
+    "DDR3Device",
+    "DDR3Geometry",
+    "DDR3Timing",
+    "DDR3_1066_187E",
+    "DDR3_1333",
+    "DDR3_1600",
+    "MemoryOp",
+    "MemoryRequest",
+    "PagePolicy",
+    "QDRSRAM",
+    "burst_group_utilisation",
+    "utilisation_sweep",
+]

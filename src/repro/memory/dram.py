@@ -1,0 +1,303 @@
+"""Multi-bank DDR3 device model.
+
+The device is a *reservation* model: callers ask it to perform a read or
+write of one or more bursts to a (bank, row, column) location, and the device
+computes the earliest legal time for every command in the sequence given the
+JEDEC constraints and the commands reserved so far.  This captures exactly the
+effects the paper's architecture exploits and suffers from:
+
+* row hits are cheap, row conflicts pay the row cycle time (tRC);
+* activates to *different* banks can overlap another bank's data transfer,
+  which is what the DLU's Bank Selector banks on (Section IV-A);
+* read↔write bus turnaround wastes DQ cycles, which is why the Update block's
+  Burst Write Generator batches writes (Section IV-B, Figure 3);
+* the DQ bus carries BL/2 clock cycles of data per burst, so utilisation can
+  be accounted exactly (Figure 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.memory.bank import Bank
+from repro.memory.commands import Command, CommandType, MemoryOp
+from repro.memory.timing import DDR3Geometry, DDR3Timing
+
+
+@dataclass
+class AccessResult:
+    """Timing of one reserved access (possibly multiple consecutive bursts)."""
+
+    op: MemoryOp
+    bank: int
+    row: int
+    row_hit: bool
+    first_command_ps: int
+    cas_ps: int
+    data_start_ps: int
+    data_end_ps: int
+    complete_ps: int
+    commands: List[Command] = field(default_factory=list)
+
+
+class DDR3Device:
+    """One DDR3 memory set (a rank of devices behind one controller).
+
+    Parameters
+    ----------
+    timing: speed-grade timing parameters.
+    geometry: bank/row/column organisation and data-bus width.
+    auto_precharge: when ``True`` every access closes its row afterwards
+        (closed-page); when ``False`` rows stay open until a conflict or a
+        refresh closes them (open-page).
+    refresh_enabled: model periodic REFRESH commands (tREFI / tRFC).
+    """
+
+    def __init__(
+        self,
+        timing: DDR3Timing,
+        geometry: DDR3Geometry,
+        auto_precharge: bool = False,
+        refresh_enabled: bool = True,
+    ) -> None:
+        self.timing = timing
+        self.geometry = geometry
+        self.auto_precharge = auto_precharge
+        self.refresh_enabled = refresh_enabled
+
+        self.banks = [Bank(index=i) for i in range(geometry.banks)]
+        self._last_activate_any_ps = -(10**18)
+        self._activate_window: Deque[int] = deque(maxlen=4)
+        self._last_read_cas_ps = -(10**18)
+        self._last_write_cas_ps = -(10**18)
+        self._last_cas_ps = -(10**18)
+        self._next_refresh_ps = timing.ps(timing.t_refi) if refresh_enabled else None
+
+        self.data_bus_busy_ps = 0
+        self.first_activity_ps: Optional[int] = None
+        self.last_activity_ps: int = 0
+        self.reads = 0
+        self.writes = 0
+        self.refreshes = 0
+        self.row_hits = 0
+        self.row_conflicts = 0
+        self.row_empty = 0
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _t(self, cycles: int) -> int:
+        return self.timing.ps(cycles)
+
+    def _maybe_refresh(self, now_ps: int) -> int:
+        """Perform any overdue refreshes; returns the earliest time normal
+        commands may resume."""
+        if self._next_refresh_ps is None:
+            return now_ps
+        resume = now_ps
+        while self._next_refresh_ps <= resume:
+            # All banks must be precharged before REFRESH; model this by
+            # starting the refresh once every bank could have been precharged.
+            start = max(
+                resume,
+                self._next_refresh_ps,
+                max(bank.precharge_allowed_ps for bank in self.banks),
+            )
+            end = start + self._t(self.timing.t_rfc)
+            for bank in self.banks:
+                bank.open_row = None
+                bank.activate_allowed_ps = max(bank.activate_allowed_ps, end)
+                bank.cas_allowed_ps = max(bank.cas_allowed_ps, end)
+                bank.precharge_allowed_ps = max(bank.precharge_allowed_ps, end)
+            self.refreshes += 1
+            self._next_refresh_ps += self._t(self.timing.t_refi)
+            resume = end
+        return resume
+
+    def _activate_constraints(self, bank: Bank, earliest: int) -> int:
+        """Earliest ACT time respecting tRRD, tFAW, tRC and bank state."""
+        t = max(earliest, bank.activate_allowed_ps)
+        t = max(t, bank.last_activate_ps + self._t(self.timing.t_rc))
+        t = max(t, self._last_activate_any_ps + self._t(self.timing.t_rrd))
+        if len(self._activate_window) == 4:
+            t = max(t, self._activate_window[0] + self._t(self.timing.t_faw))
+        return t
+
+    def _cas_constraints(self, op: MemoryOp, earliest: int) -> int:
+        """Earliest CAS time respecting tCCD and bus-turnaround rules."""
+        timing = self.timing
+        t = max(earliest, self._last_cas_ps + self._t(timing.t_ccd))
+        if op is MemoryOp.READ:
+            t = max(t, self._last_write_cas_ps + self._t(timing.write_to_read))
+        else:
+            t = max(t, self._last_read_cas_ps + self._t(timing.read_to_write))
+        return t
+
+    def _record_data_burst(self, start_ps: int, end_ps: int) -> None:
+        self.data_bus_busy_ps += end_ps - start_ps
+        if self.first_activity_ps is None:
+            self.first_activity_ps = start_ps
+        self.last_activity_ps = max(self.last_activity_ps, end_ps)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def access(
+        self,
+        op: MemoryOp,
+        bank_index: int,
+        row: int,
+        column: int,
+        now_ps: int,
+        bursts: int = 1,
+    ) -> AccessResult:
+        """Reserve a read or write of ``bursts`` consecutive bursts.
+
+        Returns the full command/data timing.  The device state is updated so
+        subsequent calls observe this reservation.
+        """
+        if not 0 <= bank_index < self.geometry.banks:
+            raise ValueError(f"bank {bank_index} out of range 0..{self.geometry.banks - 1}")
+        if not 0 <= row < self.geometry.rows:
+            raise ValueError(f"row {row} out of range 0..{self.geometry.rows - 1}")
+        if bursts <= 0:
+            raise ValueError("bursts must be positive")
+
+        timing = self.timing
+        bank = self.banks[bank_index]
+        now_ps = self._maybe_refresh(now_ps)
+
+        commands: List[Command] = []
+        kind = self.banks[bank_index].classify_access(row)
+        first_command_ps = now_ps
+
+        if kind == "hit":
+            self.row_hits += 1
+            bank.row_hits += 1
+            cas_earliest = max(now_ps, bank.cas_allowed_ps)
+        else:
+            if kind == "conflict":
+                self.row_conflicts += 1
+                bank.row_conflicts += 1
+                pre_ps = max(now_ps, bank.precharge_allowed_ps)
+                commands.append(Command(CommandType.PRECHARGE, bank_index, issue_ps=pre_ps))
+                bank.record_precharge(pre_ps)
+                act_earliest = pre_ps + self._t(timing.t_rp)
+            else:
+                self.row_empty += 1
+                bank.row_empty += 1
+                act_earliest = now_ps
+            act_ps = self._activate_constraints(bank, act_earliest)
+            commands.append(Command(CommandType.ACTIVATE, bank_index, row=row, issue_ps=act_ps))
+            bank.record_activate(row, act_ps)
+            self._last_activate_any_ps = act_ps
+            self._activate_window.append(act_ps)
+            first_command_ps = commands[0].issue_ps
+            cas_earliest = act_ps + self._t(timing.t_rcd)
+            bank.cas_allowed_ps = max(bank.cas_allowed_ps, cas_earliest)
+            # tRAS lower-bounds the following precharge.
+            bank.precharge_allowed_ps = max(
+                bank.precharge_allowed_ps, act_ps + self._t(timing.t_ras)
+            )
+
+        cas_kind = CommandType.READ if op is MemoryOp.READ else CommandType.WRITE
+        data_latency = timing.read_latency if op is MemoryOp.READ else timing.write_latency
+        burst_ps = self._t(timing.burst_cycles)
+
+        cas_times: List[int] = []
+        cas_ps = self._cas_constraints(op, max(cas_earliest, bank.cas_allowed_ps))
+        for i in range(bursts):
+            if i:
+                cas_ps = self._cas_constraints(op, cas_ps + self._t(timing.t_ccd))
+            commands.append(
+                Command(cas_kind, bank_index, row=row, column=column + i * timing.bl, issue_ps=cas_ps)
+            )
+            cas_times.append(cas_ps)
+            data_start = cas_ps + self._t(data_latency)
+            self._record_data_burst(data_start, data_start + burst_ps)
+
+        first_cas_ps = cas_times[0]
+        last_cas_ps = cas_times[-1]
+        if not commands or commands[0].issue_ps > first_cas_ps:
+            first_command_ps = first_cas_ps
+        else:
+            first_command_ps = commands[0].issue_ps
+
+        data_start_ps = first_cas_ps + self._t(data_latency)
+        data_end_ps = last_cas_ps + self._t(data_latency) + burst_ps
+
+        # Update global CAS trackers.
+        self._last_cas_ps = last_cas_ps
+        if op is MemoryOp.READ:
+            self._last_read_cas_ps = last_cas_ps
+            self.reads += bursts
+            bank.precharge_allowed_ps = max(
+                bank.precharge_allowed_ps, last_cas_ps + self._t(timing.t_rtp)
+            )
+        else:
+            self._last_write_cas_ps = last_cas_ps
+            self.writes += bursts
+            bank.precharge_allowed_ps = max(
+                bank.precharge_allowed_ps, last_cas_ps + self._t(timing.write_to_precharge)
+            )
+        bank.cas_allowed_ps = max(bank.cas_allowed_ps, last_cas_ps + self._t(timing.t_ccd))
+
+        if self.auto_precharge:
+            pre_ps = bank.precharge_allowed_ps
+            commands.append(Command(CommandType.PRECHARGE, bank_index, issue_ps=pre_ps))
+            bank.record_precharge(pre_ps)
+            bank.activate_allowed_ps = max(bank.activate_allowed_ps, pre_ps + self._t(timing.t_rp))
+
+        complete_ps = data_end_ps
+        return AccessResult(
+            op=op,
+            bank=bank_index,
+            row=row,
+            row_hit=(kind == "hit"),
+            first_command_ps=first_command_ps,
+            cas_ps=first_cas_ps,
+            data_start_ps=data_start_ps,
+            data_end_ps=data_end_ps,
+            complete_ps=complete_ps,
+            commands=commands,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def observed_window_ps(self) -> int:
+        """Span between the first and last DQ-bus activity."""
+        if self.first_activity_ps is None:
+            return 0
+        return self.last_activity_ps - self.first_activity_ps
+
+    def dq_utilisation(self, window_ps: Optional[int] = None) -> float:
+        """Fraction of the window during which the DQ bus carried data."""
+        window = self.observed_window_ps if window_ps is None else window_ps
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.data_bus_busy_ps / window)
+
+    def open_row(self, bank_index: int) -> Optional[int]:
+        """Currently open row in ``bank_index`` (``None`` when precharged)."""
+        return self.banks[bank_index].open_row
+
+    def stats(self) -> dict:
+        return {
+            "timing": self.timing.name,
+            "reads": self.reads,
+            "writes": self.writes,
+            "refreshes": self.refreshes,
+            "row_hits": self.row_hits,
+            "row_empty": self.row_empty,
+            "row_conflicts": self.row_conflicts,
+            "data_bus_busy_ps": self.data_bus_busy_ps,
+            "observed_window_ps": self.observed_window_ps,
+            "dq_utilisation": self.dq_utilisation(),
+        }

@@ -1,0 +1,133 @@
+"""QDR-SRAM model.
+
+The paper contrasts its DDR3 design with the earlier SRAM-based Hash-CAM
+circuit (Yang 2012, reference [11]) which used QDRII SRAM: very low, fixed
+access latency and separate read/write ports, but a total density capped at
+144 Mbit — enough for roughly 128 K flow entries rather than 8 M.  This model
+is used by the :mod:`repro.baselines.sram_hashcam` baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.memory.commands import MemoryOp, MemoryRequest
+from repro.sim.engine import Simulator
+from repro.sim.stats import RunningStats
+
+
+@dataclass(frozen=True)
+class QDRSRAMConfig:
+    """QDRII+ SRAM configuration.
+
+    The defaults model a 144-Mbit QDRII+ part with a 36-bit word, 550 MHz
+    clock and 2-cycle read latency.
+    """
+
+    capacity_mbits: int = 144
+    word_bits: int = 36
+    clock_hz: float = 550e6
+    read_latency_cycles: int = 2
+    write_latency_cycles: int = 1
+
+    @property
+    def period_ps(self) -> int:
+        return int(round(1e12 / self.clock_hz))
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.capacity_mbits * (1 << 20)
+
+    @property
+    def words(self) -> int:
+        return self.capacity_bits // self.word_bits
+
+
+class QDRSRAM:
+    """A dual-port (separate read and write) SRAM with fixed latency.
+
+    Each port accepts at most one word access per clock cycle; requests for
+    more than one word occupy the port for consecutive cycles.  The interface
+    mirrors :class:`repro.memory.controller.DDR3Controller.submit` so the
+    baselines can swap memories without changing the lookup logic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[QDRSRAMConfig] = None,
+        queue_depth: int = 16,
+        name: str = "qdr_sram",
+    ) -> None:
+        self.sim = sim
+        self.config = config or QDRSRAMConfig()
+        self.queue_depth = queue_depth
+        self.name = name
+        self._read_port_free_ps = 0
+        self._write_port_free_ps = 0
+        self._outstanding = 0
+        self.reads = 0
+        self.writes = 0
+        self.rejected = 0
+        self.latency_stats = RunningStats(name=f"{name}-latency-ps")
+        self._drain_callbacks: List = []
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    @property
+    def busy(self) -> bool:
+        return self._outstanding > 0
+
+    def can_accept(self) -> bool:
+        return self._outstanding < self.queue_depth
+
+    def on_drain(self, callback) -> None:
+        self._drain_callbacks.append(callback)
+
+    def submit(self, request: MemoryRequest) -> bool:
+        """Queue a word (or multi-word) access; ``bursts`` counts words here."""
+        if not self.can_accept():
+            self.rejected += 1
+            return False
+        config = self.config
+        now = self.sim.now
+        request.submit_ps = now
+        period = config.period_ps
+        words = request.bursts
+        if request.is_read:
+            start = max(now, self._read_port_free_ps)
+            self._read_port_free_ps = start + words * period
+            complete = start + (config.read_latency_cycles + words) * period
+            self.reads += words
+        else:
+            start = max(now, self._write_port_free_ps)
+            self._write_port_free_ps = start + words * period
+            complete = start + (config.write_latency_cycles + words) * period
+            self.writes += words
+        request.issue_ps = start
+        request.complete_ps = complete
+        request.row_hit = True
+        self._outstanding += 1
+        self.sim.schedule_at(complete, self._complete, request)
+        return True
+
+    def _complete(self, request: MemoryRequest) -> None:
+        self._outstanding -= 1
+        self.latency_stats.record(self.sim.now - (request.submit_ps or self.sim.now))
+        if request.callback is not None:
+            request.callback(request, self.sim.now)
+        for callback in self._drain_callbacks:
+            callback()
+
+    def report(self) -> dict:
+        return {
+            "name": self.name,
+            "reads": self.reads,
+            "writes": self.writes,
+            "rejected": self.rejected,
+            "mean_latency_ns": self.latency_stats.mean / 1000.0,
+            "capacity_mbits": self.config.capacity_mbits,
+        }

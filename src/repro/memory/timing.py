@@ -1,0 +1,253 @@
+"""DDR3 timing parameter sets and device geometry.
+
+All timing fields are expressed in memory-clock cycles (tCK) except
+``t_ck_ps`` which defines the clock itself.  The presets are derived from
+Micron's 1 Gb DDR3 SDRAM datasheet (the paper's reference [12]); the -187E
+speed grade (DDR3-1066, tCK = 1.875 ns) is the one Figure 3 is calculated
+from, while the FPGA prototype runs the memory I/O bus at 800 MHz
+(DDR3-1600-class timings).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+def _cycles(nanoseconds: float, t_ck_ns: float, minimum_ck: int = 0) -> int:
+    """JEDEC-style conversion: ceil(ns / tCK), floored at a minimum cycle count."""
+    return max(minimum_ck, int(math.ceil(round(nanoseconds / t_ck_ns, 6))))
+
+
+@dataclass(frozen=True)
+class DDR3Timing:
+    """DDR3 timing constraints, in memory-clock cycles unless noted.
+
+    Attributes
+    ----------
+    name: speed-grade label (e.g. ``"DDR3-1066 (-187E)"``).
+    t_ck_ps: clock period in picoseconds.
+    cl: CAS (read) latency.
+    cwl: CAS write latency.
+    al: additive latency (0 in all presets).
+    bl: burst length (always 8 for DDR3).
+    t_rcd: ACTIVATE to READ/WRITE delay.
+    t_rp: PRECHARGE to ACTIVATE delay.
+    t_rc: ACTIVATE to ACTIVATE delay, same bank (row cycle time).
+    t_ras: ACTIVATE to PRECHARGE minimum.
+    t_ccd: CAS to CAS delay (any bank).
+    t_rtp: READ to PRECHARGE delay.
+    t_wtr: end of write data to READ command delay.
+    t_wr: end of write data to PRECHARGE delay (write recovery).
+    t_rrd: ACTIVATE to ACTIVATE delay, different banks.
+    t_faw: rolling window in which at most four ACTIVATEs may be issued.
+    t_rfc: REFRESH cycle time.
+    t_refi: average refresh interval.
+    """
+
+    name: str
+    t_ck_ps: int
+    cl: int
+    cwl: int
+    al: int
+    bl: int
+    t_rcd: int
+    t_rp: int
+    t_rc: int
+    t_ras: int
+    t_ccd: int
+    t_rtp: int
+    t_wtr: int
+    t_wr: int
+    t_rrd: int
+    t_faw: int
+    t_rfc: int
+    t_refi: int
+
+    @property
+    def read_latency(self) -> int:
+        """RL = AL + CL."""
+        return self.al + self.cl
+
+    @property
+    def write_latency(self) -> int:
+        """WL = AL + CWL."""
+        return self.al + self.cwl
+
+    @property
+    def burst_cycles(self) -> int:
+        """Clock cycles the DQ bus is occupied by one burst (BL/2, double data rate)."""
+        return self.bl // 2
+
+    @property
+    def read_to_write(self) -> int:
+        """Minimum READ-command to WRITE-command spacing (same rank).
+
+        JEDEC: RL + tCCD + 2 - WL.
+        """
+        return self.read_latency + self.t_ccd + 2 - self.write_latency
+
+    @property
+    def write_to_read(self) -> int:
+        """Minimum WRITE-command to READ-command spacing (same rank).
+
+        JEDEC: WL + BL/2 + tWTR.
+        """
+        return self.write_latency + self.burst_cycles + self.t_wtr
+
+    @property
+    def write_to_precharge(self) -> int:
+        """WRITE command to PRECHARGE of the same bank: WL + BL/2 + tWR."""
+        return self.write_latency + self.burst_cycles + self.t_wr
+
+    @property
+    def freq_mhz(self) -> float:
+        """Memory clock frequency in MHz (the data rate is twice this)."""
+        return 1e6 / self.t_ck_ps
+
+    @property
+    def data_rate_mtps(self) -> float:
+        """Data rate in mega-transfers per second."""
+        return 2 * self.freq_mhz
+
+    def ps(self, cycles: float) -> int:
+        """Convert a cycle count to picoseconds."""
+        return int(round(cycles * self.t_ck_ps))
+
+    def cycles_from_ps(self, duration_ps: int) -> int:
+        """Convert picoseconds to a (ceiling) cycle count."""
+        return int(math.ceil(duration_ps / self.t_ck_ps))
+
+    def with_overrides(self, **kwargs) -> "DDR3Timing":
+        """Return a copy with some fields replaced (used by ablation studies)."""
+        return replace(self, **kwargs)
+
+
+def _make_timing(
+    name: str,
+    t_ck_ns: float,
+    cl: int,
+    cwl: int,
+    t_rcd_ns: float,
+    t_rp_ns: float,
+    t_rc_ns: float,
+    t_ras_ns: float,
+    t_wr_ns: float = 15.0,
+    t_rrd_ns: float = 7.5,
+    t_faw_ns: float = 40.0,
+    t_rfc_ns: float = 110.0,
+    t_refi_ns: float = 7800.0,
+) -> DDR3Timing:
+    return DDR3Timing(
+        name=name,
+        t_ck_ps=int(round(t_ck_ns * 1000)),
+        cl=cl,
+        cwl=cwl,
+        al=0,
+        bl=8,
+        t_rcd=_cycles(t_rcd_ns, t_ck_ns),
+        t_rp=_cycles(t_rp_ns, t_ck_ns),
+        t_rc=_cycles(t_rc_ns, t_ck_ns),
+        t_ras=_cycles(t_ras_ns, t_ck_ns),
+        t_ccd=4,
+        t_rtp=_cycles(7.5, t_ck_ns, minimum_ck=4),
+        t_wtr=_cycles(7.5, t_ck_ns, minimum_ck=4),
+        t_wr=_cycles(t_wr_ns, t_ck_ns),
+        t_rrd=_cycles(t_rrd_ns, t_ck_ns, minimum_ck=4),
+        t_faw=_cycles(t_faw_ns, t_ck_ns),
+        t_rfc=_cycles(t_rfc_ns, t_ck_ns),
+        t_refi=_cycles(t_refi_ns, t_ck_ns),
+    )
+
+
+DDR3_1066_187E = _make_timing(
+    name="DDR3-1066 (-187E)",
+    t_ck_ns=1.875,
+    cl=7,
+    cwl=6,
+    t_rcd_ns=13.125,
+    t_rp_ns=13.125,
+    t_rc_ns=50.625,
+    t_ras_ns=37.5,
+)
+"""Micron 1Gb DDR3-1066, the speed grade the paper's Figure 3 is computed from."""
+
+DDR3_1333 = _make_timing(
+    name="DDR3-1333 (-15E)",
+    t_ck_ns=1.5,
+    cl=9,
+    cwl=7,
+    t_rcd_ns=13.5,
+    t_rp_ns=13.5,
+    t_rc_ns=49.5,
+    t_ras_ns=36.0,
+)
+"""Intermediate speed grade, used in sensitivity studies."""
+
+DDR3_1600 = _make_timing(
+    name="DDR3-1600 (-125)",
+    t_ck_ns=1.25,
+    cl=11,
+    cwl=8,
+    t_rcd_ns=13.75,
+    t_rp_ns=13.75,
+    t_rc_ns=48.75,
+    t_ras_ns=35.0,
+)
+"""800 MHz memory I/O clock — the grade used by the paper's FPGA prototype."""
+
+
+@dataclass(frozen=True)
+class DDR3Geometry:
+    """Geometry of one DDR3 memory set as seen by the Flow LUT.
+
+    The paper's prototype attaches two separate 32-bit wide, 512-MByte DDR3
+    SDRAM sets (one per lookup path).
+    """
+
+    banks: int = 8
+    rows: int = 16384
+    columns: int = 1024
+    data_width_bits: int = 32
+    burst_length: int = 8
+
+    def __post_init__(self) -> None:
+        for field_name in ("banks", "rows", "columns", "data_width_bits", "burst_length"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+            if value & (value - 1):
+                raise ValueError(f"{field_name} must be a power of two, got {value}")
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes transferred by one full burst."""
+        return self.data_width_bits // 8 * self.burst_length
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes stored in one row of one bank."""
+        return self.columns * self.data_width_bits // 8
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total device capacity in bytes."""
+        return self.banks * self.rows * self.row_bytes
+
+    @property
+    def capacity_mbytes(self) -> float:
+        return self.capacity_bytes / (1 << 20)
+
+    @property
+    def bursts_per_row(self) -> int:
+        return self.columns // self.burst_length
+
+
+PROTOTYPE_GEOMETRY = DDR3Geometry(
+    banks=8,
+    rows=16384,
+    columns=1024,
+    data_width_bits=32,
+    burst_length=8,
+)
+"""512 MB, 32-bit wide memory set matching the paper's prototype (Section IV-C)."""

@@ -1,0 +1,22 @@
+"""Packet substrate: headers, flow keys, descriptor extraction and line-rate math."""
+
+from repro.net.ethernet import (
+    LinkSpec,
+    achievable_link_gbps,
+    required_packet_rate_mpps,
+)
+from repro.net.fivetuple import FlowKey
+from repro.net.packet import Packet, TCP_FLAGS
+from repro.net.parser import DescriptorExtractor, PacketDescriptor, TupleField
+
+__all__ = [
+    "DescriptorExtractor",
+    "FlowKey",
+    "LinkSpec",
+    "Packet",
+    "PacketDescriptor",
+    "TCP_FLAGS",
+    "TupleField",
+    "achievable_link_gbps",
+    "required_packet_rate_mpps",
+]

@@ -1,0 +1,85 @@
+"""Ethernet line-rate arithmetic (paper Section V-B).
+
+The paper sizes its throughput requirement from the worst case at 40 GbE:
+72-byte layer-1 frames (64-byte minimum frame plus 8-byte preamble/SFD) with
+a standard 12-byte inter-frame gap need 59.52 Mpps; shrinking the gap to one
+byte raises that to 68.49 Mpps.  These helpers reproduce that arithmetic for
+any link speed so the feasibility benchmark can compare the Flow LUT's
+descriptor rate against the requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import MIN_L1_FRAME_BYTES
+
+STANDARD_IPG_BYTES = 12
+WORST_CASE_IPG_BYTES = 1
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An Ethernet link described by its nominal bit rate."""
+
+    rate_gbps: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rate_gbps <= 0:
+            raise ValueError("rate_gbps must be positive")
+
+    @property
+    def rate_bps(self) -> float:
+        return self.rate_gbps * 1e9
+
+    def packet_rate_mpps(
+        self,
+        l1_frame_bytes: int = MIN_L1_FRAME_BYTES,
+        ipg_bytes: int = STANDARD_IPG_BYTES,
+    ) -> float:
+        """Packets per second (in millions) this link carries at the given frame size."""
+        return required_packet_rate_mpps(self.rate_gbps, l1_frame_bytes, ipg_bytes)
+
+
+ETHERNET_10G = LinkSpec(10.0, "10GbE")
+ETHERNET_40G = LinkSpec(40.0, "40GbE")
+ETHERNET_100G = LinkSpec(100.0, "100GbE")
+
+
+def required_packet_rate_mpps(
+    link_gbps: float,
+    l1_frame_bytes: int = MIN_L1_FRAME_BYTES,
+    ipg_bytes: int = STANDARD_IPG_BYTES,
+) -> float:
+    """Packet rate (Mpps) needed to saturate ``link_gbps``.
+
+    ``l1_frame_bytes`` is the layer-1 frame (including preamble/SFD); the
+    inter-frame gap is added on top, matching the paper's calculation:
+    40 Gbps / ((72 + 12) * 8 bits) = 59.52 Mpps.
+    """
+    if link_gbps <= 0:
+        raise ValueError("link_gbps must be positive")
+    if l1_frame_bytes <= 0:
+        raise ValueError("l1_frame_bytes must be positive")
+    if ipg_bytes < 0:
+        raise ValueError("ipg_bytes must be non-negative")
+    bits_per_packet = (l1_frame_bytes + ipg_bytes) * 8
+    return link_gbps * 1e9 / bits_per_packet / 1e6
+
+
+def achievable_link_gbps(
+    packet_rate_mpps: float,
+    l1_frame_bytes: int = MIN_L1_FRAME_BYTES,
+    ipg_bytes: int = STANDARD_IPG_BYTES,
+) -> float:
+    """Link speed (Gbps) a given packet-processing rate can sustain.
+
+    This is the inverse of :func:`required_packet_rate_mpps`; the paper uses
+    it to argue that 94 Mdesc/s at minimum packet size corresponds to more
+    than 50 Gbps.
+    """
+    if packet_rate_mpps < 0:
+        raise ValueError("packet_rate_mpps must be non-negative")
+    bits_per_packet = (l1_frame_bytes + ipg_bytes) * 8
+    return packet_rate_mpps * 1e6 * bits_per_packet / 1e9

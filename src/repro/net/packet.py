@@ -1,0 +1,61 @@
+"""A minimal packet model.
+
+Only the fields the flow processor consumes are represented: the 5-tuple,
+the layer-1 length (used by line-rate accounting and per-flow byte counters),
+an arrival timestamp and the TCP flags (used by the flow-state housekeeping
+to detect FIN/RST terminated flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.fivetuple import FlowKey
+
+TCP_FLAGS = {
+    "FIN": 0x01,
+    "SYN": 0x02,
+    "RST": 0x04,
+    "PSH": 0x08,
+    "ACK": 0x10,
+    "URG": 0x20,
+}
+
+ETHERNET_HEADER_BYTES = 14
+ETHERNET_FCS_BYTES = 4
+ETHERNET_PREAMBLE_BYTES = 8
+MIN_L2_FRAME_BYTES = 64
+MIN_L1_FRAME_BYTES = MIN_L2_FRAME_BYTES + ETHERNET_PREAMBLE_BYTES  # 72, as used in Section V-B
+
+
+@dataclass
+class Packet:
+    """One packet as seen by the flow processor."""
+
+    key: FlowKey
+    length_bytes: int = MIN_L2_FRAME_BYTES
+    timestamp_ps: int = 0
+    tcp_flags: int = 0
+    sequence: Optional[int] = None
+    payload: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.length_bytes <= 0:
+            raise ValueError(f"length_bytes must be positive, got {self.length_bytes}")
+        if not 0 <= self.tcp_flags <= 0xFF:
+            raise ValueError(f"tcp_flags out of range: {self.tcp_flags}")
+
+    @property
+    def l1_length_bytes(self) -> int:
+        """Layer-1 length (frame plus preamble/SFD), as used by the paper."""
+        return self.length_bytes + ETHERNET_PREAMBLE_BYTES
+
+    def has_flag(self, flag: str) -> bool:
+        """Whether the named TCP flag (e.g. ``"FIN"``) is set."""
+        return bool(self.tcp_flags & TCP_FLAGS[flag])
+
+    @property
+    def terminates_flow(self) -> bool:
+        """FIN or RST packets terminate a TCP flow."""
+        return bool(self.tcp_flags & (TCP_FLAGS["FIN"] | TCP_FLAGS["RST"]))

@@ -1,0 +1,34 @@
+"""Experiment orchestration and reporting.
+
+Every table and figure of the paper's evaluation has a corresponding
+``run_*`` function here that builds the workload, drives the models and
+returns both the measured rows and the paper's published rows, so the
+benchmark scripts stay thin and the numbers are reusable from examples and
+notebooks.
+"""
+
+from repro.reporting.experiments import (
+    run_fig3_bandwidth,
+    run_fig6_flow_ratio,
+    run_linerate_feasibility,
+    run_table1_resources,
+    run_table2a_load_balance,
+    run_table2b_miss_rate,
+)
+from repro.reporting.paper import PAPER_FIG3, PAPER_FIG6, PAPER_TABLE2A, PAPER_TABLE2B
+from repro.reporting.tables import format_comparison, format_table
+
+__all__ = [
+    "PAPER_FIG3",
+    "PAPER_FIG6",
+    "PAPER_TABLE2A",
+    "PAPER_TABLE2B",
+    "format_comparison",
+    "format_table",
+    "run_fig3_bandwidth",
+    "run_fig6_flow_ratio",
+    "run_linerate_feasibility",
+    "run_table1_resources",
+    "run_table2a_load_balance",
+    "run_table2b_miss_rate",
+]

@@ -1,0 +1,68 @@
+"""Published reference values from the paper's evaluation section.
+
+These constants are what the benchmark harness prints next to the measured
+values; they are transcription of Tables I/II, Figure 3's endpoints, Figure
+6's anchor points and the Section V-B discussion figures.
+"""
+
+PAPER_TABLE2A = [
+    {"pattern": "random", "path_a_load": 0.508, "rate_mdesc_s": 44.05},
+    {"pattern": "bank_increment", "path_a_load": 0.500, "rate_mdesc_s": 44.59},
+    {"pattern": "bank_increment", "path_a_load": 0.250, "rate_mdesc_s": 41.09},
+    {"pattern": "bank_increment", "path_a_load": 0.000, "rate_mdesc_s": 36.53},
+]
+"""Table II(A): processing rate with defined hash patterns."""
+
+PAPER_TABLE2B = [
+    {"miss_rate": 1.00, "rate_mdesc_s": 46.90},
+    {"miss_rate": 0.75, "rate_mdesc_s": 54.97},
+    {"miss_rate": 0.50, "rate_mdesc_s": 70.16},
+    {"miss_rate": 0.25, "rate_mdesc_s": 94.36},
+    {"miss_rate": 0.00, "rate_mdesc_s": 96.92},
+]
+"""Table II(B): processing rate versus flow miss rate on a 10K-entry table."""
+
+PAPER_FIG3 = {
+    "timing": "DDR3-1066 (-187E)",
+    "burst_length": 8,
+    "utilisation_at_1": 0.20,
+    "utilisation_at_35": 0.90,
+}
+"""Figure 3: DQ bandwidth utilisation versus same-row read/write burst count."""
+
+PAPER_FIG6 = [
+    {"packets": 1_000, "new_flow_ratio": 0.57},
+    {"packets": 10_000, "new_flow_ratio": 0.3381},
+    {"packets": "large", "new_flow_ratio": 0.10},
+]
+"""Figure 6: new-flow / packet ratio of the 2012 European switch-fabric trace
+(594 M packets); the "large" row is the paper's "below 10 %" statement."""
+
+PAPER_DISCUSSION = {
+    "min_l1_frame_bytes": 72,
+    "standard_ipg_mpps_40g": 59.52,
+    "worst_case_ipg_mpps_40g": 68.49,
+    "rate_below_50pct_miss_mdesc_s": 70.0,
+    "rate_at_2pct_miss_mdesc_s": 94.0,
+    "claimed_throughput_gbps": 50.0,
+    "warm_table_miss_rate": 0.02,
+}
+"""Section V-B: line-rate requirement and the warm-table throughput claim."""
+
+PAPER_COMPETITORS = [
+    {"name": "Cisco Catalyst 6500 Supervisor 2T-XL", "flow_entries": 1_000_000, "note": "NetFlow table"},
+    {"name": "Netronome NFP3240", "flow_entries": 8_000_000, "link_gbps": 20.0},
+    {"name": "This work (prototype)", "flow_entries": 8_000_000, "link_gbps": 40.0},
+]
+"""Commercial comparison points quoted in Section V-B."""
+
+PAPER_PROTOTYPE = {
+    "fpga": "Altera Stratix V 5SGXEA7N2F45C2",
+    "system_clock_mhz": 200.0,
+    "memory_io_clock_mhz": 800.0,
+    "memory_per_path_mbytes": 512,
+    "memory_bus_width_bits": 32,
+    "flow_entries": 8_000_000,
+    "min_lookup_rate_mlps": 70.0,
+}
+"""Prototype parameters from the abstract and Section IV-C."""

@@ -1,0 +1,70 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    float_digits: int = 2,
+) -> str:
+    """Render rows of dicts as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    cells = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in cells)) for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    measured: Sequence[Mapping],
+    paper: Sequence[Mapping],
+    key: str,
+    value: str,
+    title: str = "",
+) -> str:
+    """Side-by-side measured-versus-paper table joined on ``key``.
+
+    Rows of ``measured`` and ``paper`` are matched by their ``key`` field; the
+    ``value`` field of each is shown together with the measured/paper ratio.
+    """
+    paper_by_key = {row[key]: row for row in paper}
+    rows = []
+    for row in measured:
+        reference = paper_by_key.get(row[key])
+        paper_value = reference.get(value) if reference else None
+        measured_value = row.get(value)
+        ratio = None
+        if isinstance(paper_value, (int, float)) and isinstance(measured_value, (int, float)) and paper_value:
+            ratio = measured_value / paper_value
+        rows.append(
+            {
+                key: row[key],
+                f"measured_{value}": measured_value,
+                f"paper_{value}": paper_value if paper_value is not None else "-",
+                "measured/paper": ratio if ratio is not None else "-",
+            }
+        )
+    return format_table(rows, title=title)

@@ -1,0 +1,105 @@
+"""Bounded FIFO model with occupancy statistics.
+
+Hardware queues (the sequencer input queue, the DLU bank queues, the burst
+write generator's pending list) are modelled with :class:`Fifo`.  The FIFO
+tracks high-water marks and push/pop counts so that tests and the resource
+model can reason about required queue depths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class FifoFullError(RuntimeError):
+    """Raised when pushing to a full bounded FIFO."""
+
+
+class Fifo(Generic[T]):
+    """A bounded first-in-first-out queue.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; ``None`` means unbounded.
+    name:
+        Label used in error messages and statistics reports.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "fifo") -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def push(self, item: T) -> None:
+        """Append ``item``; raises :class:`FifoFullError` when full."""
+        if self.is_full:
+            self.rejected += 1
+            raise FifoFullError(f"{self.name}: full at capacity {self.capacity}")
+        self._items.append(item)
+        self.pushes += 1
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+
+    def try_push(self, item: T) -> bool:
+        """Append ``item`` if space permits; returns ``False`` instead of raising."""
+        if self.is_full:
+            self.rejected += 1
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> T:
+        """Remove and return the oldest item."""
+        if not self._items:
+            raise IndexError(f"{self.name}: pop from empty FIFO")
+        self.pops += 1
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        """Return the oldest item without removing it."""
+        if not self._items:
+            raise IndexError(f"{self.name}: peek on empty FIFO")
+        return self._items[0]
+
+    def clear(self) -> None:
+        """Drop all queued items (statistics are preserved)."""
+        self._items.clear()
+
+    def stats(self) -> dict:
+        """Occupancy statistics suitable for inclusion in reports."""
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "occupancy": len(self._items),
+            "max_occupancy": self.max_occupancy,
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "rejected": self.rejected,
+        }

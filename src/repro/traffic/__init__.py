@@ -1,0 +1,44 @@
+"""Workload generation.
+
+The paper evaluates the Flow LUT with three kinds of input:
+
+* **hash patterns** fed straight to the sequencer (Table II-A) — random hash
+  values versus a "unique hash with bank increment" sequence —
+  :mod:`repro.traffic.patterns`;
+* **flow descriptors** with a controlled match rate against a pre-populated
+  table (Table II-B) — :mod:`repro.traffic.generators`;
+* **a real 2012 switch-fabric trace** analysed for its new-flow/packet ratio
+  (Figure 6) — substituted here by a calibrated heavy-tailed synthetic trace,
+  :mod:`repro.traffic.flows`, with file I/O in :mod:`repro.traffic.trace`.
+"""
+
+from repro.traffic.flows import (
+    SyntheticTraceConfig,
+    SyntheticTraceGenerator,
+    analyze_new_flow_ratio,
+)
+from repro.traffic.generators import (
+    descriptors_from_keys,
+    match_rate_workload,
+    random_flow_keys,
+)
+from repro.traffic.patterns import (
+    PatternDescriptor,
+    bank_increment_patterns,
+    random_hash_patterns,
+)
+from repro.traffic.trace import read_trace_csv, write_trace_csv
+
+__all__ = [
+    "PatternDescriptor",
+    "SyntheticTraceConfig",
+    "SyntheticTraceGenerator",
+    "analyze_new_flow_ratio",
+    "bank_increment_patterns",
+    "descriptors_from_keys",
+    "match_rate_workload",
+    "random_flow_keys",
+    "random_hash_patterns",
+    "read_trace_csv",
+    "write_trace_csv",
+]

@@ -1,0 +1,104 @@
+"""Flow-descriptor workloads with a controlled match rate (Table II-B).
+
+Table II-B populates the Flow LUT with 10 thousand standard 5-tuple flow
+entries and then queries it with another 10 thousand descriptors whose match
+fraction is fixed (0 % to 100 % miss rate), with the matching descriptors
+randomly distributed through the input.  These helpers build both the
+pre-population key set and the query workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.net.fivetuple import FlowKey, PROTO_TCP, PROTO_UDP
+from repro.net.packet import Packet
+from repro.net.parser import DescriptorExtractor, PacketDescriptor
+from repro.sim.rng import SeedLike, make_rng
+
+
+def random_flow_keys(count: int, seed: SeedLike = None) -> List[FlowKey]:
+    """``count`` distinct random 5-tuples."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = make_rng(seed)
+    keys = set()
+    result: List[FlowKey] = []
+    while len(result) < count:
+        key = FlowKey(
+            src_ip=rng.getrandbits(32),
+            dst_ip=rng.getrandbits(32),
+            src_port=rng.randrange(1, 65536),
+            dst_port=rng.randrange(1, 65536),
+            protocol=PROTO_TCP if rng.random() < 0.7 else PROTO_UDP,
+        )
+        if key in keys:
+            continue
+        keys.add(key)
+        result.append(key)
+    return result
+
+
+def descriptors_from_keys(
+    keys: Sequence[FlowKey],
+    extractor: Optional[DescriptorExtractor] = None,
+    length_bytes: int = 64,
+    inter_arrival_ps: int = 0,
+    start_ps: int = 0,
+) -> List[PacketDescriptor]:
+    """Turn flow keys into packet descriptors (one packet per key, in order)."""
+    extractor = extractor or DescriptorExtractor()
+    descriptors = []
+    timestamp = start_ps
+    for key in keys:
+        packet = Packet(key=key, length_bytes=length_bytes, timestamp_ps=timestamp)
+        descriptors.append(extractor.extract(packet))
+        timestamp += inter_arrival_ps
+    return descriptors
+
+
+def match_rate_workload(
+    table_keys: Sequence[FlowKey],
+    query_count: int,
+    match_fraction: float,
+    seed: SeedLike = None,
+    extractor: Optional[DescriptorExtractor] = None,
+) -> List[PacketDescriptor]:
+    """A query workload with a predefined match rate against ``table_keys``.
+
+    ``match_fraction`` of the queries reference keys already in the table
+    (selected uniformly with replacement); the remainder are fresh keys that
+    will miss.  Matching and missing queries are shuffled together so the
+    matches are "randomly distributed", as in the paper's test description.
+    """
+    if not 0.0 <= match_fraction <= 1.0:
+        raise ValueError("match_fraction must be within [0, 1]")
+    if query_count <= 0:
+        raise ValueError("query_count must be positive")
+    if match_fraction > 0 and not table_keys:
+        raise ValueError("match_fraction > 0 requires a non-empty table key set")
+
+    rng = make_rng(seed)
+    match_count = int(round(query_count * match_fraction))
+    miss_count = query_count - match_count
+
+    queries: List[FlowKey] = []
+    for _ in range(match_count):
+        queries.append(table_keys[rng.randrange(len(table_keys))])
+
+    existing = set(table_keys)
+    fresh = random_flow_keys(miss_count * 2 + 16, seed=rng.getrandbits(32))
+    added = 0
+    for key in fresh:
+        if added >= miss_count:
+            break
+        if key in existing:
+            continue
+        queries.append(key)
+        existing.add(key)
+        added += 1
+    if added < miss_count:
+        raise RuntimeError("failed to generate enough distinct miss keys")
+
+    rng.shuffle(queries)
+    return descriptors_from_keys(queries, extractor=extractor)

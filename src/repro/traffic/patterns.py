@@ -1,0 +1,113 @@
+"""Hash-pattern workloads for the Table II-A experiments.
+
+Table II-A drives the sequencer directly with *hash patterns* rather than
+real packet headers, isolating the behaviour of the load balancer and the
+Bank Selector:
+
+* ``random_hash_patterns`` — uniformly random hash values on both paths,
+  the realistic case;
+* ``bank_increment_patterns`` — a synthetic "unique hash with bank address
+  incremented by 1" sequence, the best case for bank interleaving (each
+  consecutive lookup lands on the next DDR3 bank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import FlowLUTConfig
+from repro.memory.controller import AddressMapping
+from repro.sim.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class PatternDescriptor:
+    """A descriptor whose hash values are chosen by the experiment.
+
+    ``bucket_indices`` overrides the Flow LUT's own hash computation so the
+    experiment controls exactly which buckets (and therefore which DDR3
+    banks) are accessed.
+    """
+
+    key_bytes: bytes
+    bucket_indices: Tuple[int, int]
+    key: Optional[object] = None
+    length_bytes: int = 64
+    timestamp_ps: int = 0
+    tcp_flags: int = 0
+
+
+def _random_key(rng, key_bytes: int = 13) -> bytes:
+    return bytes(rng.getrandbits(8) for _ in range(key_bytes))
+
+
+def random_hash_patterns(
+    count: int,
+    config: FlowLUTConfig,
+    seed: SeedLike = None,
+) -> List[PatternDescriptor]:
+    """Uniformly random hash values on both paths (Table II-A, "Random hash")."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = make_rng(seed)
+    buckets = config.buckets_per_memory
+    key_width = (config.key_bits + 7) // 8
+    descriptors = []
+    for _ in range(count):
+        descriptors.append(
+            PatternDescriptor(
+                key_bytes=_random_key(rng, key_width),
+                bucket_indices=(rng.randrange(buckets), rng.randrange(buckets)),
+            )
+        )
+    return descriptors
+
+
+def bank_increment_patterns(
+    count: int,
+    config: FlowLUTConfig,
+    seed: SeedLike = None,
+) -> List[PatternDescriptor]:
+    """Unique hash values whose bank address increments by one per descriptor.
+
+    Consecutive descriptors target consecutive DDR3 banks (wrapping around),
+    and no two descriptors share a bucket, so the access stream is the ideal
+    input for the Bank Selector (Table II-A, "Unique hash with bank
+    increment").
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = make_rng(seed)
+    mapping = AddressMapping(config.geometry, config.mapping_scheme)
+    banks = config.geometry.banks
+    buckets = config.buckets_per_memory
+    bucket_stride_bytes = config.bursts_per_bucket * config.geometry.burst_bytes
+    key_width = (config.key_bits + 7) // 8
+
+    # Group buckets by the bank their first burst maps to, so we can walk the
+    # banks in strict increment order while keeping every bucket unique.
+    per_bank: List[List[int]] = [[] for _ in range(banks)]
+    for bucket in range(buckets):
+        bank, _, _ = mapping.decompose(bucket * bucket_stride_bytes)
+        per_bank[bank].append(bucket)
+    positions = [0] * banks
+
+    descriptors = []
+    for i in range(count):
+        bank = i % banks
+        pool = per_bank[bank]
+        if not pool:
+            # Degenerate geometry (fewer buckets than banks): fall back to a
+            # simple unique increment.
+            bucket = i % buckets
+        else:
+            bucket = pool[positions[bank] % len(pool)]
+            positions[bank] += 1
+        descriptors.append(
+            PatternDescriptor(
+                key_bytes=_random_key(rng, key_width),
+                bucket_indices=(bucket, (bucket + buckets // 2) % buckets),
+            )
+        )
+    return descriptors

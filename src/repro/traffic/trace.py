@@ -1,0 +1,80 @@
+"""Trace file I/O.
+
+Experiments that want a fixed, shareable workload (rather than regenerating
+packets from a seed) can serialise packet streams to a simple CSV format:
+``timestamp_ps,src_ip,dst_ip,src_port,dst_port,protocol,length,tcp_flags``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.net.fivetuple import FlowKey
+from repro.net.packet import Packet
+
+PathLike = Union[str, Path]
+
+_FIELDS = [
+    "timestamp_ps",
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "protocol",
+    "length_bytes",
+    "tcp_flags",
+]
+
+
+def write_trace_csv(path: PathLike, packets: Iterable[Packet]) -> int:
+    """Write packets to ``path``; returns the number of rows written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS)
+        for packet in packets:
+            key = packet.key
+            writer.writerow(
+                [
+                    packet.timestamp_ps,
+                    key.src_ip,
+                    key.dst_ip,
+                    key.src_port,
+                    key.dst_port,
+                    key.protocol,
+                    packet.length_bytes,
+                    packet.tcp_flags,
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_trace_csv(path: PathLike) -> Iterator[Packet]:
+    """Stream packets back from a CSV trace written by :func:`write_trace_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = [field for field in _FIELDS if field not in (reader.fieldnames or [])]
+        if missing:
+            raise ValueError(f"trace file {path} is missing columns: {missing}")
+        for row in reader:
+            key = FlowKey(
+                src_ip=int(row["src_ip"]),
+                dst_ip=int(row["dst_ip"]),
+                src_port=int(row["src_port"]),
+                dst_port=int(row["dst_port"]),
+                protocol=int(row["protocol"]),
+            )
+            yield Packet(
+                key=key,
+                length_bytes=int(row["length_bytes"]),
+                timestamp_ps=int(row["timestamp_ps"]),
+                tcp_flags=int(row["tcp_flags"]),
+            )
+
+
+def load_trace(path: PathLike) -> List[Packet]:
+    """Read an entire trace into memory."""
+    return list(read_trace_csv(path))

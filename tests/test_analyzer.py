@@ -1,0 +1,202 @@
+"""Tests for the traffic-analyzer integration (paper Figure 7)."""
+
+import pytest
+
+from repro.analyzer import (
+    EventEngine,
+    FlowEventType,
+    FlowProcessor,
+    PacketBuffer,
+    StatsEngine,
+    TrafficAnalyzer,
+    TrafficAnalyzerConfig,
+)
+from repro.core.config import small_test_config
+from repro.net.fivetuple import FlowKey
+from repro.net.packet import Packet, TCP_FLAGS
+from repro.traffic import SyntheticTraceGenerator
+
+
+def _key(i=1, proto=6):
+    return FlowKey(i, i + 1, 1000 + i, 80, proto)
+
+
+# --------------------------------------------------------------------------- #
+# Packet buffer
+# --------------------------------------------------------------------------- #
+
+
+def test_packet_buffer_fifo_and_byte_accounting():
+    buffer = PacketBuffer(capacity_packets=4)
+    packets = [Packet(key=_key(i), length_bytes=100 + i) for i in range(3)]
+    for packet in packets:
+        assert buffer.push(packet)
+    assert len(buffer) == 3
+    assert buffer.buffered_bytes == 303
+    assert buffer.pop() is packets[0]
+    assert buffer.buffered_bytes == 203
+
+
+def test_packet_buffer_drops_on_packet_and_byte_limits():
+    buffer = PacketBuffer(capacity_packets=2)
+    assert buffer.push(Packet(key=_key(1)))
+    assert buffer.push(Packet(key=_key(2)))
+    assert not buffer.push(Packet(key=_key(3)))
+    assert buffer.dropped == 1
+    assert 0 < buffer.drop_rate < 1
+
+    tight = PacketBuffer(capacity_packets=100, capacity_bytes=150)
+    assert tight.push(Packet(key=_key(1), length_bytes=100))
+    assert not tight.push(Packet(key=_key(2), length_bytes=100))
+
+
+def test_packet_buffer_validation_and_empty_errors():
+    with pytest.raises(ValueError):
+        PacketBuffer(capacity_packets=0)
+    with pytest.raises(ValueError):
+        PacketBuffer(capacity_packets=1, capacity_bytes=0)
+    buffer = PacketBuffer()
+    with pytest.raises(IndexError):
+        buffer.pop()
+    with pytest.raises(IndexError):
+        buffer.peek()
+
+
+# --------------------------------------------------------------------------- #
+# Event engine
+# --------------------------------------------------------------------------- #
+
+
+def test_event_engine_raises_each_event_type():
+    events = []
+    engine = EventEngine(elephant_bytes=1000, on_event=events.append)
+    engine.observe_new_flow(1, 10)
+    from repro.core.flow_state import FlowRecord
+
+    record = FlowRecord(flow_id=1, key=_key(1), packets=5, bytes=5000)
+    engine.observe_update(record, 20)
+    engine.observe_update(record, 30)  # elephant reported only once
+    engine.observe_termination(1, 40)
+    engine.observe_expiry(record, 50)
+    kinds = [event.kind for event in events]
+    assert kinds.count(FlowEventType.ELEPHANT_FLOW) == 1
+    assert FlowEventType.NEW_FLOW in kinds
+    assert FlowEventType.FLOW_TERMINATED in kinds
+    assert FlowEventType.FLOW_EXPIRED in kinds
+    assert engine.stats()["total_events"] == 4
+
+
+def test_event_engine_validation():
+    with pytest.raises(ValueError):
+        EventEngine(elephant_bytes=0)
+
+
+# --------------------------------------------------------------------------- #
+# Stats engine
+# --------------------------------------------------------------------------- #
+
+
+def test_stats_engine_aggregates_protocol_mix_and_rates():
+    engine = StatsEngine()
+    engine.observe(Packet(key=_key(1, proto=6), length_bytes=100, timestamp_ps=0))
+    engine.observe(Packet(key=_key(2, proto=17), length_bytes=300, timestamp_ps=1_000_000))
+    engine.observe(Packet(key=_key(3, proto=6), length_bytes=200, timestamp_ps=2_000_000))
+    stats = engine.stats()
+    assert stats["packets"] == 3
+    assert stats["bytes"] == 600
+    assert engine.protocol_mix()["tcp"] == pytest.approx(2 / 3)
+    assert stats["offered_rate_gbps"] > 0
+    assert stats["packet_rate_mpps"] > 0
+    assert stats["mean_packet_bytes"] == pytest.approx(200.0)
+
+
+def test_stats_engine_empty():
+    engine = StatsEngine()
+    assert engine.offered_rate_gbps == 0.0
+    assert engine.protocol_mix() == {}
+
+
+# --------------------------------------------------------------------------- #
+# Flow processor
+# --------------------------------------------------------------------------- #
+
+
+def test_flow_processor_counts_flows_and_hits():
+    processor = FlowProcessor(config=small_test_config(), housekeeping_interval_us=None)
+    packets = [Packet(key=_key(i % 10), length_bytes=100, timestamp_ps=i * 1000) for i in range(100)]
+    processed = processor.process_all(packets)
+    assert processed == 100
+    stats = processor.stats()
+    assert stats["active_flows"] == 10
+    assert processor.flow_lut.new_flows == 10
+    assert processor.flow_lut.hits == 90
+    records = list(processor.flow_state)
+    assert sum(record.packets for record in records) == 100
+
+
+def test_flow_processor_housekeeping_expires_idle_flows():
+    processor = FlowProcessor(
+        config=small_test_config(flow_timeout_us=10.0), housekeeping_interval_us=None
+    )
+    packets = [Packet(key=_key(i), timestamp_ps=i * 1000) for i in range(5)]
+    processor.process_all(packets)
+    removed = processor.run_housekeeping(trace_time_ps=int(1e9))
+    processor.flow_lut.drain()
+    assert removed == 5
+    assert processor.stats()["active_flows"] == 0
+    assert len(processor.flow_lut.table) == 0
+
+
+def test_flow_processor_raises_events_through_engine():
+    engine = EventEngine(elephant_bytes=500)
+    processor = FlowProcessor(
+        config=small_test_config(), event_engine=engine, housekeeping_interval_us=None
+    )
+    key = _key(1)
+    packets = [Packet(key=key, length_bytes=400, timestamp_ps=i) for i in range(3)]
+    packets.append(Packet(key=key, length_bytes=400, timestamp_ps=10, tcp_flags=TCP_FLAGS["FIN"]))
+    processor.process_all(packets)
+    counts = engine.stats()["by_type"]
+    assert counts["new_flow"] == 1
+    assert counts["elephant_flow"] == 1
+    assert counts["flow_terminated"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Traffic analyzer end to end
+# --------------------------------------------------------------------------- #
+
+
+def test_traffic_analyzer_end_to_end_on_synthetic_trace():
+    analyzer = TrafficAnalyzer(TrafficAnalyzerConfig(flow_lut=small_test_config()))
+    packets = SyntheticTraceGenerator(seed=30).packet_list(1500)
+    processed = analyzer.analyze(packets)
+    assert processed == 1500
+    report = analyzer.report()
+    assert report["stats_engine"]["packets"] == 1500
+    assert report["lookup"]["completed"] == 1500
+    assert 0 < report["lookup"]["miss_rate"] < 1
+    assert analyzer.active_flows == report["flow_processor"]["active_flows"]
+    assert analyzer.active_flows > 100
+    top = analyzer.top_talkers(5)
+    assert len(top) == 5
+    assert top[0].bytes >= top[-1].bytes
+
+
+def test_traffic_analyzer_buffer_overflow_is_counted_not_fatal():
+    config = TrafficAnalyzerConfig(flow_lut=small_test_config(), packet_buffer_packets=100)
+    analyzer = TrafficAnalyzer(config)
+    packets = SyntheticTraceGenerator(seed=31).packet_list(300)
+    accepted = analyzer.ingest(packets)
+    assert accepted == 100
+    assert analyzer.packet_buffer.dropped == 200
+    assert analyzer.run() == 100
+
+
+def test_traffic_analyzer_bidirectional_mode_merges_directions():
+    config = TrafficAnalyzerConfig(flow_lut=small_test_config(), bidirectional_flows=True)
+    analyzer = TrafficAnalyzer(config)
+    key = _key(5)
+    packets = [Packet(key=key, timestamp_ps=0), Packet(key=key.reversed(), timestamp_ps=1000)]
+    analyzer.analyze(packets)
+    assert analyzer.active_flows == 1

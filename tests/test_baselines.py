@@ -1,0 +1,258 @@
+"""Tests for the related-work baseline structures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    BloomFilter,
+    ConventionalHashCam,
+    CuckooHashTable,
+    DLeftHashTable,
+    ParallelBloomFilter,
+    SingleHashTable,
+    SramHashCam,
+    SramHashCamConfig,
+)
+from repro.baselines.conventional_hashcam import PipelinedHashCam
+from repro.core.config import small_test_config
+from repro.memory.sram import QDRSRAMConfig
+
+
+def keys(count, start=0):
+    return [i.to_bytes(13, "big") for i in range(start, start + count)]
+
+
+# --------------------------------------------------------------------------- #
+# Single hash
+# --------------------------------------------------------------------------- #
+
+
+def test_single_hash_insert_lookup_delete():
+    table = SingleHashTable(buckets=128, bucket_entries=2, seed=1)
+    for key in keys(50):
+        table.insert(key)
+    assert all(table.lookup(key) for key in keys(50) if key in [k for k in keys(50)])
+    assert table.delete(keys(1)[0])
+    assert not table.lookup(keys(1)[0])
+    assert not table.delete(b"\xff" * 13)
+    assert table.memory_reads == table.lookups  # exactly one read per lookup
+
+
+def test_single_hash_overflows_at_high_load():
+    table = SingleHashTable(buckets=32, bucket_entries=1, seed=2)
+    for key in keys(64):
+        table.insert(key)
+    assert table.overflows > 0
+    assert 0 < table.overflow_rate < 1
+    assert table.stats()["kind"] == "single_hash"
+
+
+def test_single_hash_validation():
+    with pytest.raises(ValueError):
+        SingleHashTable(buckets=0)
+    with pytest.raises(ValueError):
+        SingleHashTable(buckets=8, bucket_entries=0)
+
+
+# --------------------------------------------------------------------------- #
+# d-left
+# --------------------------------------------------------------------------- #
+
+
+def test_dleft_beats_single_hash_on_overflows():
+    """The motivation for multi-choice hashing: far fewer lost insertions at
+    the same total capacity and load."""
+    total_keys = 360  # 70% load on 512 slots
+    single = SingleHashTable(buckets=256, bucket_entries=2, seed=3)
+    dleft = DLeftHashTable(buckets_per_table=128, choices=2, bucket_entries=2, seed=3)
+    for key in keys(total_keys):
+        single.insert(key)
+        dleft.insert(key)
+    assert dleft.overflows < single.overflows
+
+
+def test_dleft_lookup_and_delete():
+    table = DLeftHashTable(buckets_per_table=64, choices=3, bucket_entries=2, seed=4)
+    for key in keys(100):
+        assert table.insert(key)
+    for key in keys(100):
+        assert table.lookup(key)
+    assert 1.0 <= table.reads_per_lookup <= 3.0
+    assert table.delete(keys(1)[0])
+    assert not table.lookup(keys(1)[0])
+    assert table.insert(keys(2, start=1)[0])  # reinsertion works
+
+
+def test_dleft_validation():
+    with pytest.raises(ValueError):
+        DLeftHashTable(buckets_per_table=0)
+    with pytest.raises(ValueError):
+        DLeftHashTable(buckets_per_table=8, choices=1)
+
+
+# --------------------------------------------------------------------------- #
+# Cuckoo
+# --------------------------------------------------------------------------- #
+
+
+def test_cuckoo_lookup_is_at_most_two_probes():
+    table = CuckooHashTable(slots_per_table=256, seed=5)
+    for key in keys(200):
+        table.insert(key)
+    reads_before = table.memory_reads
+    lookups = 100
+    for key in keys(lookups):
+        assert table.lookup(key)
+    assert table.memory_reads - reads_before <= 2 * lookups
+
+
+def test_cuckoo_displacement_happens_at_moderate_load():
+    table = CuckooHashTable(slots_per_table=128, seed=6)
+    for key in keys(200):  # ~78% load
+        table.insert(key)
+    assert table.total_kicks > 0
+    assert table.load_factor <= 1.0
+    # Every key that was not reported as a failure is findable.
+    found = sum(1 for key in keys(200) if table.lookup(key))
+    assert found >= 200 - table.insert_failures
+
+
+def test_cuckoo_insert_failure_at_extreme_load():
+    table = CuckooHashTable(slots_per_table=16, max_kicks=8, seed=7)
+    for key in keys(40):
+        table.insert(key)
+    assert table.insert_failures > 0
+    assert table.stats()["mean_kicks_per_insert"] > 0
+
+
+def test_cuckoo_delete_and_validation():
+    table = CuckooHashTable(slots_per_table=64, seed=8)
+    key = keys(1)[0]
+    table.insert(key)
+    assert table.delete(key)
+    assert not table.delete(key)
+    with pytest.raises(ValueError):
+        CuckooHashTable(slots_per_table=0)
+    with pytest.raises(ValueError):
+        CuckooHashTable(slots_per_table=8, max_kicks=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sets(st.binary(min_size=13, max_size=13), max_size=100))
+def test_cuckoo_no_false_negatives_property(key_set):
+    table = CuckooHashTable(slots_per_table=512, seed=9)
+    inserted = [key for key in key_set if table.insert(key)]
+    for key in inserted:
+        assert table.lookup(key)
+
+
+# --------------------------------------------------------------------------- #
+# Bloom filters
+# --------------------------------------------------------------------------- #
+
+
+def test_bloom_filter_no_false_negatives():
+    bloom = BloomFilter(bits=4096, hash_count=4, seed=10)
+    inserted = keys(200)
+    for key in inserted:
+        bloom.insert(key)
+    assert all(bloom.query(key) for key in inserted)
+
+
+def test_bloom_filter_false_positive_rate_matches_theory():
+    bloom = BloomFilter(bits=8192, hash_count=4, seed=11)
+    for key in keys(1000):
+        bloom.insert(key)
+    trials = 2000
+    false_positives = sum(1 for key in keys(trials, start=100_000) if bloom.query(key))
+    measured = false_positives / trials
+    expected = bloom.expected_false_positive_rate()
+    assert measured == pytest.approx(expected, abs=0.05)
+    assert 0 < bloom.fill_ratio < 1
+
+
+def test_parallel_bloom_filter_behaviour_and_partitioning():
+    parallel = ParallelBloomFilter(bits=8192, hash_count=4, seed=12)
+    for key in keys(500):
+        parallel.insert(key)
+    assert all(key in parallel for key in keys(500))
+    assert parallel.partition_bits == 2048
+    assert 0 <= parallel.expected_false_positive_rate() < 1
+    with pytest.raises(ValueError):
+        ParallelBloomFilter(bits=100, hash_count=3)
+
+
+def test_bloom_validation():
+    with pytest.raises(ValueError):
+        BloomFilter(bits=0)
+    with pytest.raises(ValueError):
+        BloomFilter(bits=64, hash_count=0)
+    assert BloomFilter(bits=64).expected_false_positive_rate() == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Conventional vs pipelined Hash-CAM
+# --------------------------------------------------------------------------- #
+
+
+def test_pipelined_hashcam_saves_reads_on_hits():
+    config = small_test_config()
+    conventional = ConventionalHashCam(config, seed=13)
+    pipelined = PipelinedHashCam(config, seed=13)
+    sample = keys(500)
+    for key in sample:
+        conventional.insert(key)
+        pipelined.insert(key)
+    for key in sample:
+        assert conventional.lookup(key).found
+        assert pipelined.lookup(key).found
+    assert pipelined.reads_per_lookup < conventional.reads_per_lookup
+    assert conventional.reads_per_lookup == pytest.approx(2.0)
+    assert pipelined.stats()["kind"] == "pipelined_hashcam"
+
+
+def test_pipelined_hashcam_costs_two_reads_on_misses():
+    config = small_test_config()
+    pipelined = PipelinedHashCam(config, seed=14)
+    for key in keys(100):
+        pipelined.lookup(key)
+    assert pipelined.reads_per_lookup == pytest.approx(2.0)
+
+
+# --------------------------------------------------------------------------- #
+# SRAM Hash-CAM (reference [11])
+# --------------------------------------------------------------------------- #
+
+
+def test_sram_hashcam_capacity_is_three_orders_below_ddr3_design():
+    sram = SramHashCam(seed=15)
+    assert sram.capacity_entries == 131_072
+    assert sram.capacity_entries * 61 <= 8_000_000  # ~61x fewer entries than 8 M
+
+
+def test_sram_hashcam_functional_lookup():
+    sram = SramHashCam(seed=16)
+    sample = keys(100)
+    for key in sample:
+        sram.insert(key)
+    assert all(sram.lookup(key).found for key in sample)
+    assert len(sram) == 100
+    assert sram.delete(sample[0])
+
+
+def test_sram_hashcam_rate_model():
+    sram = SramHashCam(seed=17)
+    hit_rate = sram.lookup_rate_mlps(0.0)
+    miss_rate = sram.lookup_rate_mlps(1.0)
+    assert hit_rate > miss_rate
+    assert hit_rate == pytest.approx(2 * miss_rate, rel=0.01)
+    with pytest.raises(ValueError):
+        sram.lookup_rate_mlps(1.5)
+    stats = sram.stats()
+    assert stats["sram_mbits"] == 144
+
+
+def test_sram_hashcam_rejects_oversized_tables():
+    config = SramHashCamConfig(num_flows=2_000_000, entry_bits=128)
+    with pytest.raises(ValueError):
+        SramHashCam(config)

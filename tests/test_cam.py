@@ -1,0 +1,123 @@
+"""Tests for the CAM models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cam import BinaryCAM, CamFullError, TernaryCAM, TernaryEntry
+
+
+def test_bcam_insert_lookup_delete_cycle():
+    cam = BinaryCAM(capacity=4)
+    assert cam.lookup(b"k1") is None
+    assert cam.insert(b"k1", 101)
+    assert cam.lookup(b"k1") == 101
+    assert cam.delete(b"k1")
+    assert cam.lookup(b"k1") is None
+    assert not cam.delete(b"k1")
+
+
+def test_bcam_capacity_and_overflow():
+    cam = BinaryCAM(capacity=2)
+    assert cam.insert("a", 1)
+    assert cam.insert("b", 2)
+    assert cam.is_full
+    assert not cam.insert("c", 3)
+    assert cam.overflows == 1
+    with pytest.raises(CamFullError):
+        cam.insert("d", 4, strict=True)
+
+
+def test_bcam_update_existing_key_does_not_overflow():
+    cam = BinaryCAM(capacity=1)
+    cam.insert("a", 1)
+    assert cam.insert("a", 2)
+    assert cam.lookup("a") == 2
+    assert cam.occupancy == 1
+
+
+def test_bcam_statistics():
+    cam = BinaryCAM(capacity=8, key_bits=104, value_bits=24)
+    cam.insert("x", 1)
+    cam.lookup("x")
+    cam.lookup("y")
+    stats = cam.stats()
+    assert stats["searches"] == 2
+    assert stats["hits"] == 1
+    assert stats["storage_bits"] == 8 * (104 + 24)
+    assert stats["max_occupancy"] == 1
+
+
+def test_bcam_invalid_capacity():
+    with pytest.raises(ValueError):
+        BinaryCAM(capacity=0)
+
+
+def test_bcam_contains_len_iter():
+    cam = BinaryCAM(capacity=4)
+    cam.insert("a", 1)
+    cam.insert("b", 2)
+    assert "a" in cam
+    assert len(cam) == 2
+    assert dict(iter(cam)) == {"a": 1, "b": 2}
+    cam.clear()
+    assert len(cam) == 0
+
+
+@given(st.sets(st.binary(min_size=1, max_size=13), max_size=32))
+def test_bcam_stores_everything_within_capacity(keys):
+    cam = BinaryCAM(capacity=32)
+    for index, key in enumerate(keys):
+        assert cam.insert(key, index)
+    for index, key in enumerate(keys):
+        assert cam.lookup(key) == index
+    assert cam.occupancy == len(keys)
+
+
+# --------------------------------------------------------------------------- #
+# TCAM
+# --------------------------------------------------------------------------- #
+
+
+def test_tcam_exact_and_wildcard_matching():
+    tcam = TernaryCAM(capacity=4, key_bits=16)
+    exact = TernaryEntry(value=0x1234, mask=0xFFFF, priority=0, data="exact")
+    prefix = TernaryEntry(value=0x1200, mask=0xFF00, priority=1, data="prefix")
+    default = TernaryEntry(value=0x0000, mask=0x0000, priority=10, data="default")
+    for entry in (default, prefix, exact):
+        assert tcam.insert(entry)
+    assert tcam.search(0x1234).data == "exact"
+    assert tcam.search(0x12FF).data == "prefix"
+    assert tcam.search(0xABCD).data == "default"
+
+
+def test_tcam_priority_order_wins():
+    tcam = TernaryCAM(capacity=4, key_bits=8)
+    low = TernaryEntry(value=0x00, mask=0x00, priority=5, data="low")
+    high = TernaryEntry(value=0x00, mask=0x00, priority=1, data="high")
+    tcam.insert(low)
+    tcam.insert(high)
+    assert tcam.search(0x42).data == "high"
+
+
+def test_tcam_capacity_delete_and_stats():
+    tcam = TernaryCAM(capacity=1)
+    entry = TernaryEntry(value=1, mask=1, priority=0)
+    assert tcam.insert(entry)
+    assert not tcam.insert(TernaryEntry(value=2, mask=3, priority=1))
+    assert tcam.delete(entry)
+    assert not tcam.delete(entry)
+    tcam.search(0)
+    stats = tcam.stats()
+    assert stats["searches"] == 1
+    assert stats["storage_bits"] == 2 * 104  # default key_bits
+
+
+def test_tcam_no_match_returns_none():
+    tcam = TernaryCAM(capacity=2, key_bits=8)
+    tcam.insert(TernaryEntry(value=0xFF, mask=0xFF, priority=0))
+    assert tcam.search(0x00) is None
+
+
+def test_tcam_invalid_capacity():
+    with pytest.raises(ValueError):
+        TernaryCAM(capacity=0)

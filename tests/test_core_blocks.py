@@ -1,0 +1,294 @@
+"""Tests for the smaller Flow LUT blocks: FID_GEN, Flow Match, sequencer,
+flow state and the configuration object."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import FlowLUTConfig, PROTOTYPE_CONFIG, small_test_config
+from repro.core.fid_gen import FlowIDGenerator
+from repro.core.flow_match import FlowMatch
+from repro.core.flow_state import FlowStateTable
+from repro.core.hash_cam import TableEntry
+from repro.core.sequencer import LoadBalancePolicy, Sequencer
+from repro.net.fivetuple import FlowKey
+
+
+# --------------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------------- #
+
+
+def test_prototype_config_matches_paper_parameters():
+    cfg = PROTOTYPE_CONFIG
+    assert cfg.num_flows == 8_000_000
+    assert cfg.system_clock_hz == 200e6
+    assert cfg.geometry.capacity_mbytes == pytest.approx(512.0)
+    assert cfg.timing.freq_mhz == pytest.approx(800.0)
+    assert cfg.fits_in_memory()
+
+
+def test_config_derived_quantities():
+    cfg = small_test_config()
+    assert cfg.buckets_per_memory == cfg.num_flows // (2 * cfg.bucket_entries)
+    assert cfg.bucket_bytes == cfg.bucket_entries * cfg.entry_bits // 8
+    assert cfg.bursts_per_bucket >= 1
+    assert cfg.system_clock_period_ps == 5000
+    assert cfg.hash_index_bits >= 1
+    summary = cfg.summary()
+    assert summary["num_flows"] == cfg.num_flows
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FlowLUTConfig(num_flows=0)
+    with pytest.raises(ValueError):
+        FlowLUTConfig(num_flows=10, bucket_entries=4)  # not divisible by 2*K
+    with pytest.raises(ValueError):
+        FlowLUTConfig(entry_bits=100)  # not a byte multiple
+    with pytest.raises(ValueError):
+        FlowLUTConfig(path_a_fraction=1.5)
+    with pytest.raises(ValueError):
+        FlowLUTConfig(dlu_issue_cycles=0)
+
+
+def test_with_overrides_creates_new_config():
+    cfg = small_test_config()
+    other = cfg.with_overrides(cam_entries=128)
+    assert other.cam_entries == 128
+    assert cfg.cam_entries == 32
+
+
+# --------------------------------------------------------------------------- #
+# FID_GEN
+# --------------------------------------------------------------------------- #
+
+
+def test_fid_generator_allocates_unique_ids():
+    gen = FlowIDGenerator(id_bits=8)
+    ids = [gen.allocate() for _ in range(10)]
+    assert len(set(ids)) == 10
+    assert gen.live_count == 10
+
+
+def test_fid_generator_recycles_released_ids():
+    gen = FlowIDGenerator(id_bits=8)
+    first = gen.allocate()
+    gen.release(first)
+    assert not gen.is_live(first)
+    assert gen.allocate() == first
+
+
+def test_fid_generator_exhaustion():
+    gen = FlowIDGenerator(id_bits=2)
+    ids = [gen.allocate() for _ in range(4)]
+    assert None not in ids
+    assert gen.allocate() is None
+    gen.release(ids[0])
+    assert gen.allocate() == ids[0]
+
+
+def test_fid_generator_double_release_raises():
+    gen = FlowIDGenerator(id_bits=4)
+    flow_id = gen.allocate()
+    gen.release(flow_id)
+    with pytest.raises(ValueError):
+        gen.release(flow_id)
+
+
+def test_fid_generator_reserved_range_and_validation():
+    gen = FlowIDGenerator(id_bits=8, reserved=100)
+    assert gen.allocate() == 100
+    with pytest.raises(ValueError):
+        FlowIDGenerator(id_bits=0)
+    with pytest.raises(ValueError):
+        FlowIDGenerator(id_bits=4, reserved=100)
+    stats = gen.stats()
+    assert stats["allocated"] == 1
+
+
+@given(st.lists(st.booleans(), max_size=100))
+def test_fid_generator_live_count_invariant(operations):
+    gen = FlowIDGenerator(id_bits=16)
+    live = []
+    for allocate in operations:
+        if allocate or not live:
+            flow_id = gen.allocate()
+            if flow_id is not None:
+                live.append(flow_id)
+        else:
+            gen.release(live.pop())
+        assert gen.live_count == len(live)
+
+
+# --------------------------------------------------------------------------- #
+# Flow Match
+# --------------------------------------------------------------------------- #
+
+
+def test_flow_match_finds_matching_slot():
+    match = FlowMatch()
+    entries = [TableEntry(key=b"a" * 13, flow_id=1), TableEntry(key=b"b" * 13, flow_id=2)]
+    result = match.match(entries, b"b" * 13)
+    assert result.matched and result.slot == 1 and result.flow_id == 2
+
+
+def test_flow_match_miss_and_stats():
+    match = FlowMatch(name="fm")
+    entries = [TableEntry(key=b"a" * 13, flow_id=1)]
+    assert not match.match(entries, b"z" * 13).matched
+    assert match.match(entries, b"a" * 13).matched
+    stats = match.stats()
+    assert stats["comparisons"] == 2
+    assert stats["matches"] == 1
+    assert stats["match_rate"] == pytest.approx(0.5)
+
+
+def test_flow_match_empty_bucket():
+    match = FlowMatch()
+    result = match.match([], b"a" * 13)
+    assert not result.matched
+    assert result.entries_compared == 0
+
+
+def test_flow_match_validation():
+    with pytest.raises(ValueError):
+        FlowMatch(compare_cycles=0)
+
+
+# --------------------------------------------------------------------------- #
+# Sequencer / load balancer
+# --------------------------------------------------------------------------- #
+
+
+def test_fixed_policy_hits_requested_fraction():
+    seq = Sequencer(policy="fixed", path_a_fraction=0.25)
+    choices = [seq.preferred_path(0) for _ in range(1000)]
+    assert choices.count(0) == 250
+
+
+def test_fixed_policy_zero_and_one():
+    all_b = Sequencer(policy="fixed", path_a_fraction=0.0)
+    assert all(all_b.preferred_path(0) == 1 for _ in range(50))
+    all_a = Sequencer(policy="fixed", path_a_fraction=1.0)
+    assert all(all_a.preferred_path(0) == 0 for _ in range(50))
+
+
+def test_hash_policy_uses_hash_parity():
+    seq = Sequencer(policy="hash")
+    assert seq.preferred_path(4) == 0
+    assert seq.preferred_path(5) == 1
+
+
+def test_round_robin_alternates():
+    seq = Sequencer(policy="round_robin")
+    assert [seq.preferred_path(0) for _ in range(4)] == [0, 1, 0, 1]
+
+
+def test_choose_respects_headroom_and_counts_stalls():
+    seq = Sequencer(policy="fixed", path_a_fraction=1.0)
+    preferred = seq.preferred_path(0)
+    assert seq.choose(preferred, headroom_a=0, headroom_b=8) is None
+    assert seq.stalled == 1
+    assert seq.choose(preferred, headroom_a=2, headroom_b=8) == 0
+    assert seq.dispatched[0] == 1
+
+
+def test_adaptive_prefers_more_headroom_and_alternates_on_ties():
+    seq = Sequencer(policy="adaptive")
+    assert seq.choose(-1, headroom_a=1, headroom_b=7) == 1
+    assert seq.choose(-1, headroom_a=7, headroom_b=1) == 0
+    first = seq.choose(-1, headroom_a=4, headroom_b=4)
+    second = seq.choose(-1, headroom_a=4, headroom_b=4)
+    assert {first, second} == {0, 1}
+
+
+def test_choose_respects_available_set():
+    seq = Sequencer(policy="adaptive")
+    assert seq.choose(-1, headroom_a=8, headroom_b=8, available={1}) == 1
+    assert seq.choose(-1, headroom_a=8, headroom_b=0, available={1}) is None
+
+
+def test_path_a_load_measurement():
+    seq = Sequencer(policy="round_robin")
+    for _ in range(10):
+        preferred = seq.preferred_path(0)
+        seq.choose(preferred, 8, 8)
+    assert seq.path_a_load == pytest.approx(0.5)
+    assert seq.stats()["dispatched_a"] == 5
+
+
+def test_sequencer_validation():
+    with pytest.raises(ValueError):
+        Sequencer(policy="fixed", path_a_fraction=2.0)
+    with pytest.raises(ValueError):
+        Sequencer(policy="nonsense")
+
+
+# --------------------------------------------------------------------------- #
+# Flow state and housekeeping
+# --------------------------------------------------------------------------- #
+
+
+def _key(i=1):
+    return FlowKey(i, i + 1, 10, 20, 6)
+
+
+def test_flow_state_accumulates_counters():
+    table = FlowStateTable(timeout_us=100.0)
+    table.update(1, _key(), length_bytes=100, timestamp_ps=0)
+    table.update(1, _key(), length_bytes=200, timestamp_ps=5_000_000)
+    record = table.get(1)
+    assert record.packets == 2
+    assert record.bytes == 300
+    assert record.duration_ps == 5_000_000
+    assert record.mean_packet_bytes == pytest.approx(150.0)
+    assert table.created == 1 and table.updated == 1
+
+
+def test_flow_state_expire_removes_idle_flows_only():
+    table = FlowStateTable(timeout_us=10.0)  # 10 us timeout
+    table.update(1, _key(1), 100, timestamp_ps=0)
+    table.update(2, _key(2), 100, timestamp_ps=9_000_000)
+    expired = table.expire(now_ps=12_000_000)
+    assert [record.flow_id for record in expired] == [1]
+    assert 1 not in table and 2 in table
+    assert table.expired == 1
+    assert len(table.exported) == 1
+
+
+def test_flow_state_remove_and_export():
+    table = FlowStateTable(timeout_us=100.0)
+    table.update(7, _key(7), 50, 0)
+    record = table.remove(7)
+    assert record.flow_id == 7
+    assert table.remove(7) is None
+    export = record.as_export()
+    assert export["packets"] == 1 and export["protocol"] == 6
+
+
+def test_flow_state_top_flows():
+    table = FlowStateTable(timeout_us=100.0)
+    for i, size in enumerate((100, 5000, 300)):
+        table.update(i, _key(i), size, 0)
+    top = table.top_flows(count=2, by="bytes")
+    assert [record.flow_id for record in top] == [1, 2]
+    with pytest.raises(ValueError):
+        table.top_flows(by="latency")
+
+
+def test_flow_state_tcp_flags_accumulate():
+    table = FlowStateTable(timeout_us=100.0)
+    table.update(1, _key(), 10, 0, tcp_flags=0x02)
+    table.update(1, _key(), 10, 1, tcp_flags=0x10)
+    assert table.get(1).tcp_flags == 0x12
+
+
+def test_flow_state_validation_and_stats():
+    with pytest.raises(ValueError):
+        FlowStateTable(timeout_us=0)
+    table = FlowStateTable(timeout_us=50.0)
+    table.update(1, _key(), 10, 0)
+    stats = table.stats()
+    assert stats["active_flows"] == 1
+    assert stats["timeout_us"] == 50.0
+    assert len(list(iter(table))) == 1

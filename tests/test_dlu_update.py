@@ -1,0 +1,207 @@
+"""Tests for the Data Lookup Unit and the Update block in isolation."""
+
+import pytest
+
+from repro.core.config import small_test_config
+from repro.core.dlu import DataLookupUnit, PendingWrite
+from repro.core.update import UpdateBlock
+from repro.memory.controller import AddressMapping, DDR3Controller
+from repro.sim.engine import Simulator
+
+
+def make_dlu(**config_overrides):
+    config = small_test_config(**config_overrides)
+    sim = Simulator()
+    controller = DDR3Controller(
+        sim,
+        config.timing,
+        config.geometry,
+        mapping=AddressMapping(config.geometry, config.mapping_scheme),
+        queue_depth=config.controller_queue_depth,
+        max_outstanding=config.controller_max_outstanding,
+        refresh_enabled=False,
+    )
+    completions = []
+    dlu = DataLookupUnit(
+        sim,
+        config,
+        controller,
+        on_bucket_data=lambda job, num, now: completions.append((job, num, now)),
+    )
+    return sim, config, controller, dlu, completions
+
+
+def test_lookup_flows_through_to_completion():
+    sim, config, controller, dlu, completions = make_dlu()
+    assert dlu.submit_lookup("job-1", 1, address=0)
+    sim.run()
+    assert [(job, num) for job, num, _ in completions] == [("job-1", 1)]
+    assert dlu.reads_issued == 1
+    assert not dlu.busy
+
+
+def test_lu1_queue_depth_backpressure_and_lu2_always_accepted():
+    sim, config, controller, dlu, _ = make_dlu(
+        lu1_queue_depth=2, controller_max_outstanding=1, controller_queue_depth=1,
+        dlu_issue_cycles=1000,  # effectively freeze issue so queues fill
+    )
+    accepted = [dlu.submit_lookup(f"j{i}", 1, address=i * 32) for i in range(5)]
+    assert accepted.count(True) <= 3  # one may issue immediately, two queue
+    assert dlu.lu1_headroom == 0
+    # LU2 requests must never be refused.
+    assert dlu.submit_lookup("redirected", 2, address=999 * 32)
+    assert dlu.lu2_accepted == 1
+
+
+def test_lu1_headroom_recovers_and_drain_callback_fires():
+    sim, config, controller, dlu, completions = make_dlu(lu1_queue_depth=2)
+    drained = []
+    dlu.on_lu1_drain(lambda: drained.append(sim.now))
+    for i in range(2):
+        dlu.submit_lookup(f"j{i}", 1, address=i * 32)
+    sim.run()
+    assert dlu.lu1_headroom == 2
+    assert drained
+    assert len(completions) == 2
+
+
+def test_bank_selector_spreads_requests_across_banks():
+    sim, config, controller, dlu, completions = make_dlu(lu1_queue_depth=32)
+    stride = config.bursts_per_bucket * config.geometry.burst_bytes
+    for i in range(16):
+        dlu.submit_lookup(f"j{i}", 1, address=i * stride)
+    sim.run()
+    active_banks = sum(1 for count in dlu.bank_histogram if count)
+    assert active_banks == config.geometry.banks
+    assert len(completions) == 16
+
+
+def test_bank_selector_disabled_uses_single_queue():
+    sim, config, controller, dlu, completions = make_dlu(bank_select_enabled=False)
+    for i in range(8):
+        dlu.submit_lookup(f"j{i}", 1, address=i * 32)
+    sim.run()
+    assert len(completions) == 8
+
+
+def test_request_filter_holds_lookup_until_unblock():
+    sim, config, controller, dlu, completions = make_dlu()
+    dlu.block_address(128)
+    dlu.submit_lookup("held", 1, address=128)
+    sim.run()
+    assert completions == []
+    assert dlu.filter_blocks == 1
+    dlu.unblock_address(128)
+    sim.run()
+    assert [(job) for job, _, _ in completions] == ["held"]
+
+
+def test_request_filter_disabled_does_not_hold():
+    sim, config, controller, dlu, completions = make_dlu(request_filter_enabled=False)
+    dlu.block_address(128)
+    dlu.submit_lookup("free", 1, address=128)
+    sim.run()
+    assert len(completions) == 1
+    assert dlu.filter_blocks == 0
+
+
+def test_write_bursts_complete_and_invoke_callbacks():
+    sim, config, controller, dlu, _ = make_dlu()
+    done = []
+    writes = [PendingWrite(address=i * 32, bursts=1, callback=lambda addr, now: done.append(addr)) for i in range(4)]
+    dlu.submit_write_burst(writes)
+    sim.run()
+    assert sorted(done) == [0, 32, 64, 96]
+    assert dlu.writes_issued == 4
+
+
+def test_issue_pacing_limits_request_rate():
+    sim, config, controller, dlu, completions = make_dlu(dlu_issue_cycles=4)
+    for i in range(8):
+        dlu.submit_lookup(f"j{i}", 1, address=i * 32)
+    sim.run()
+    assert len(completions) == 8
+    # Eight requests spaced at 4 system cycles each need at least 7*4 cycles.
+    assert sim.now >= 7 * 4 * config.system_clock_period_ps
+
+
+def test_invalid_lookup_num_rejected():
+    sim, config, controller, dlu, _ = make_dlu()
+    with pytest.raises(ValueError):
+        dlu.submit_lookup("bad", 3, address=0)
+
+
+def test_dlu_stats_structure():
+    sim, config, controller, dlu, _ = make_dlu()
+    dlu.submit_lookup("j", 1, address=0)
+    sim.run()
+    stats = dlu.stats()
+    assert stats["reads_issued"] == 1
+    assert len(stats["bank_histogram"]) == config.geometry.banks
+
+
+# --------------------------------------------------------------------------- #
+# Update block (Req_Arb + BWr_Gen)
+# --------------------------------------------------------------------------- #
+
+
+def make_update(**config_overrides):
+    sim, config, controller, dlu, completions = make_dlu(**config_overrides)
+    update = UpdateBlock(sim, config, dlu)
+    return sim, config, dlu, update
+
+
+def test_threshold_flush_issues_whole_batch():
+    sim, config, dlu, update = make_update(burst_write_threshold=4, burst_write_timeout_cycles=10_000)
+    for i in range(4):
+        update.request_insert(address=i * 32, key=bytes([i]) * 13)
+    assert update.flushes == 1
+    assert update.threshold_flushes == 1
+    sim.run()
+    assert update.completed_writes == 4
+    assert update.batch_sizes.mean == pytest.approx(4.0)
+
+
+def test_timeout_flush_releases_partial_batch():
+    sim, config, dlu, update = make_update(burst_write_threshold=64, burst_write_timeout_cycles=8)
+    update.request_insert(address=0, key=b"\x01" * 13)
+    update.request_delete(address=32, key=b"\x02" * 13)
+    assert update.pending == 2
+    sim.run()
+    assert update.timeout_flushes == 1
+    assert update.completed_writes == 2
+    assert update.delete_requests == 1
+
+
+def test_burst_writes_disabled_flushes_immediately():
+    sim, config, dlu, update = make_update(burst_writes_enabled=False)
+    update.request_insert(address=0, key=b"\x01" * 13)
+    assert update.pending == 0
+    assert update.flushes == 1
+    sim.run()
+    assert update.completed_writes == 1
+
+
+def test_update_blocks_lookups_to_same_address_until_written():
+    sim, config, dlu, update = make_update(burst_write_threshold=64, burst_write_timeout_cycles=50)
+    held = []
+    dlu.on_bucket_data = lambda job, num, now: held.append(job)
+    update.request_insert(address=256, key=b"\x05" * 13)
+    dlu.submit_lookup("racer", 1, address=256)
+    # Nothing may complete before the update is flushed and written.
+    assert dlu.filter_blocks == 1
+    sim.run()
+    assert held == ["racer"]
+    assert update.completed_writes == 1
+
+
+def test_forced_flush_and_callback():
+    sim, config, dlu, update = make_update(burst_write_threshold=64, burst_write_timeout_cycles=10_000)
+    done = []
+    update.request_insert(address=0, key=b"\x01" * 13, callback=lambda addr, now: done.append(addr))
+    update.flush()
+    sim.run()
+    assert done == [0]
+    stats = update.stats()
+    assert stats["insert_requests"] == 1
+    assert stats["flushes"] == 1

@@ -1,0 +1,73 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples are the library's documented entry points, so they are executed
+here (with their normal workload sizes, which are deliberately small) and
+their stdout is checked for the headline figures they promise to print.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Import an example module by path and run its ``main()``."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart_example(capsys):
+    output = run_example("quickstart", capsys)
+    assert "throughput:" in output
+    assert "Mdesc/s" in output
+    assert "preloaded 5000 flow entries" in output
+
+
+def test_netflow_monitor_example(capsys):
+    output = run_example("netflow_monitor", capsys)
+    assert "flows expired:" in output
+    assert "largest exported flows" in output
+    assert "top active talkers:" in output
+
+
+def test_traffic_analyzer_demo_example(capsys):
+    output = run_example("traffic_analyzer_demo", capsys)
+    assert "flow lookup:" in output
+    assert "top talkers:" in output
+    assert "flow events:" in output
+
+
+def test_ddr3_bandwidth_explorer_example(capsys):
+    output = run_example("ddr3_bandwidth_explorer", capsys)
+    assert "DDR3-1066" in output
+    assert "90% utilisation" in output
+
+
+def test_packet_classifier_example(capsys):
+    output = run_example("packet_classifier", capsys)
+    assert "classification verdicts" in output
+    assert "TCAM" in output
+
+
+def test_examples_directory_contains_expected_scripts():
+    names = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart",
+        "netflow_monitor",
+        "traffic_analyzer_demo",
+        "ddr3_bandwidth_explorer",
+        "packet_classifier",
+        "paper_tables",
+    } <= names

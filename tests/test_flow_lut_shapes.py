@@ -1,0 +1,113 @@
+"""Shape tests: the qualitative results the paper's evaluation reports must
+emerge from the timed model (orderings and ratios, not absolute numbers)."""
+
+import random
+
+import pytest
+
+from repro.core.config import small_test_config
+from repro.core.flow_lut import FlowLUT
+from repro.core.harness import run_lookup_experiment
+from repro.traffic.generators import descriptors_from_keys, match_rate_workload, random_flow_keys
+from repro.traffic.patterns import bank_increment_patterns, random_hash_patterns
+
+QUERIES = 1500
+RATE = 100e6
+
+
+def run_miss_rate(miss_rate: float, **config_overrides) -> float:
+    """Throughput (Mdesc/s) for a Table II-B style workload at ``miss_rate``."""
+    config = small_test_config(**config_overrides)
+    keys = random_flow_keys(4000, seed=21)
+    lut = FlowLUT(config)
+    lut.preload([d.key_bytes for d in descriptors_from_keys(keys)])
+    queries = match_rate_workload(keys, QUERIES, match_fraction=1.0 - miss_rate, seed=22)
+    return run_lookup_experiment(lut, queries, input_rate_hz=RATE).throughput_mdesc_s
+
+
+def run_load_balance(path_a_fraction: float, count: int = 1500) -> float:
+    """Throughput for a Table II-A style bank-increment workload."""
+    config = small_test_config(load_balance_policy="fixed", path_a_fraction=path_a_fraction)
+    lut = FlowLUT(config)
+    patterns = bank_increment_patterns(count, config, seed=23)
+    return run_lookup_experiment(lut, patterns, input_rate_hz=RATE).throughput_mdesc_s
+
+
+def test_hit_dominated_traffic_is_roughly_twice_as_fast_as_miss_dominated():
+    """Table II-B's headline shape: 0% miss runs ~2x faster than 100% miss."""
+    hit_rate = run_miss_rate(0.0)
+    miss_rate = run_miss_rate(1.0)
+    ratio = hit_rate / miss_rate
+    assert 1.7 <= ratio <= 2.6
+
+
+def test_throughput_decreases_monotonically_with_miss_rate():
+    rates = [run_miss_rate(miss) for miss in (0.0, 0.5, 1.0)]
+    assert rates[0] > rates[1] > rates[2]
+
+
+def test_rate_exceeds_40gbe_requirement_below_50_percent_miss():
+    """Section V-B: below 50% miss the circuit sustains > 59.52 Mpps."""
+    assert run_miss_rate(0.5) > 59.52
+
+
+def test_warm_table_rate_approaches_input_rate():
+    """At 0% miss the LUT is input-limited near the 100 MHz offered rate."""
+    assert run_miss_rate(0.0) > 90.0
+
+
+def test_balanced_load_beats_single_path_first_lookup():
+    """Table II-A: 50% path-A load is faster than forcing everything to one path."""
+    balanced = run_load_balance(0.5)
+    quarter = run_load_balance(0.25)
+    single = run_load_balance(0.0)
+    assert balanced > quarter > single
+    assert single / balanced < 0.90  # a clear (>=10%) degradation, as in the paper
+
+
+def test_random_hash_is_close_to_ideal_bank_increment():
+    """Table II-A: random hash shows no drastic degradation versus the ideal
+    bank-increment pattern (the Bank Selector does its job)."""
+    config = small_test_config()
+    lut = FlowLUT(config)
+    random_result = run_lookup_experiment(
+        lut, random_hash_patterns(1500, config, seed=24), input_rate_hz=RATE
+    )
+    ideal = run_load_balance(0.5)
+    assert random_result.throughput_mdesc_s / ideal > 0.85
+
+
+def test_bank_selector_ablation_hurts_random_hash_throughput():
+    """Disabling the Bank Selector (the paper's motivation for it) lowers the
+    random-pattern processing rate."""
+    config_on = small_test_config()
+    config_off = small_test_config(bank_select_enabled=False)
+    patterns = random_hash_patterns(1500, config_on, seed=25)
+    with_selector = run_lookup_experiment(FlowLUT(config_on), list(patterns), input_rate_hz=RATE)
+    without_selector = run_lookup_experiment(FlowLUT(config_off), list(patterns), input_rate_hz=RATE)
+    assert without_selector.throughput_mdesc_s <= with_selector.throughput_mdesc_s
+
+
+def test_burst_write_batching_does_not_hurt_miss_heavy_traffic():
+    """The Burst Write Generator exists to keep miss-heavy (insert-heavy)
+    workloads efficient; disabling it must not make things faster."""
+    batched = run_miss_rate(1.0)
+    unbatched = run_miss_rate(1.0, burst_writes_enabled=False)
+    assert unbatched <= batched * 1.05
+
+
+def test_load_balance_measured_fraction_matches_setting():
+    config = small_test_config(load_balance_policy="fixed", path_a_fraction=0.25)
+    lut = FlowLUT(config)
+    patterns = bank_increment_patterns(1000, config, seed=26)
+    result = run_lookup_experiment(lut, patterns, input_rate_hz=RATE)
+    assert result.path_a_load == pytest.approx(0.25, abs=0.01)
+
+
+def test_hash_balancer_splits_random_traffic_roughly_evenly():
+    config = small_test_config()
+    lut = FlowLUT(config)
+    result = run_lookup_experiment(
+        lut, random_hash_patterns(2000, config, seed=27), input_rate_hz=RATE
+    )
+    assert 0.45 <= result.path_a_load <= 0.55

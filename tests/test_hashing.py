@@ -1,0 +1,201 @@
+"""Tests for the hardware-style hash functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing import CRC16_CCITT, CRC32, CRCHash, H3Hash, MultiHash, TabulationHash, fold_hash
+
+
+# --------------------------------------------------------------------------- #
+# H3
+# --------------------------------------------------------------------------- #
+
+
+def test_h3_deterministic_and_seed_dependent():
+    h1 = H3Hash(104, 20, seed=1)
+    h2 = H3Hash(104, 20, seed=1)
+    h3 = H3Hash(104, 20, seed=2)
+    key = b"\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d"
+    assert h1.hash(key) == h2.hash(key)
+    assert any(h1.hash(bytes([i]) * 13) != h3.hash(bytes([i]) * 13) for i in range(16))
+
+
+def test_h3_zero_key_hashes_to_zero():
+    # XOR of no rows is zero: a structural property of the H3 family.
+    h = H3Hash(32, 16, seed=3)
+    assert h.hash(0) == 0
+    assert h.hash(b"\x00\x00\x00\x00") == 0
+
+
+def test_h3_linearity_over_xor():
+    # H3 is linear: h(a ^ b) == h(a) ^ h(b).
+    h = H3Hash(32, 16, seed=9)
+    a, b = 0x12345678, 0x0F0F00FF
+    assert h.hash(a ^ b) == h.hash(a) ^ h.hash(b)
+
+
+def test_h3_rejects_oversized_keys_and_bad_params():
+    h = H3Hash(8, 8, seed=0)
+    with pytest.raises(ValueError):
+        h.hash(1 << 8)
+    with pytest.raises(ValueError):
+        H3Hash(0, 8)
+    with pytest.raises(ValueError):
+        H3Hash(8, 0)
+    with pytest.raises(ValueError):
+        h.hash(-1)
+    with pytest.raises(TypeError):
+        h.hash("not bytes")
+
+
+def test_h3_output_distribution_is_reasonable():
+    h = H3Hash(32, 10, seed=11)
+    buckets = [0] * 16
+    for i in range(4096):
+        buckets[h.bucket(i, 16)] += 1
+    expected = 4096 / 16
+    assert all(0.5 * expected < count < 1.5 * expected for count in buckets)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 104) - 1))
+def test_h3_output_within_range(key):
+    h = H3Hash(104, 21, seed=5)
+    assert 0 <= h.hash(key) < (1 << 21)
+
+
+# --------------------------------------------------------------------------- #
+# CRC
+# --------------------------------------------------------------------------- #
+
+
+def test_crc32_known_vector():
+    # IEEE CRC-32 of "123456789" is 0xCBF43926.
+    assert CRC32.hash(b"123456789") == 0xCBF43926
+
+
+def test_crc16_ccitt_known_vector():
+    # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+    assert CRC16_CCITT.hash(b"123456789") == 0x29B1
+
+
+def test_crc_accepts_integers():
+    assert CRC32.hash(0x31) == CRC32.hash(b"\x31")
+
+
+def test_crc_bucket_range_and_validation():
+    assert 0 <= CRC32.bucket(b"abc", 1000) < 1000
+    with pytest.raises(ValueError):
+        CRC32.bucket(b"abc", 0)
+    with pytest.raises(ValueError):
+        CRC32.hash(-1)
+    with pytest.raises(TypeError):
+        CRC32.hash(3.14)
+    with pytest.raises(ValueError):
+        CRCHash(polynomial=0x7, width=4)
+
+
+def test_fold_hash():
+    assert fold_hash(0xABCD1234, 16) == (0xABCD ^ 0x1234)
+    assert fold_hash(0, 8) == 0
+    with pytest.raises(ValueError):
+        fold_hash(1, 0)
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_crc_is_deterministic(data):
+    assert CRC32.hash(data) == CRC32.hash(data)
+    assert 0 <= CRC32.hash(data) <= 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------- #
+# Tabulation
+# --------------------------------------------------------------------------- #
+
+
+def test_tabulation_deterministic_and_pads_short_keys():
+    t = TabulationHash(13, 20, seed=4)
+    assert t.hash(b"\x01" * 13) == t.hash(b"\x01" * 13)
+    assert t.hash(b"\x05") == t.hash(b"\x00" * 12 + b"\x05")
+
+
+def test_tabulation_rejects_long_keys_and_bad_params():
+    t = TabulationHash(4, 16, seed=0)
+    with pytest.raises(ValueError):
+        t.hash(b"\x00" * 5)
+    with pytest.raises(ValueError):
+        TabulationHash(0, 8)
+    with pytest.raises(ValueError):
+        TabulationHash(4, 0)
+    with pytest.raises(ValueError):
+        t.bucket(b"\x01", 0)
+
+
+def test_tabulation_integer_keys():
+    t = TabulationHash(4, 16, seed=7)
+    assert t.hash(0x01020304) == t.hash(b"\x01\x02\x03\x04")
+
+
+@given(st.binary(min_size=13, max_size=13))
+def test_tabulation_range(data):
+    t = TabulationHash(13, 18, seed=8)
+    assert 0 <= t.hash(data) < (1 << 18)
+
+
+# --------------------------------------------------------------------------- #
+# MultiHash
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("kind", ["h3", "tabulation", "crc"])
+def test_multihash_functions_are_independent(kind):
+    mh = MultiHash(3, key_bits=104, output_bits=24, kind=kind, seed=10)
+    key = b"\xaa" * 13
+    values = mh.hashes(key)
+    assert len(values) == 3
+    assert len(set(values)) > 1  # overwhelmingly likely for independent functions
+
+
+def test_multihash_indices_in_range():
+    mh = MultiHash(4, key_bits=104, output_bits=32, seed=2)
+    for index in mh.indices(b"\x01" * 13, 1000):
+        assert 0 <= index < 1000
+
+
+def test_multihash_validation():
+    with pytest.raises(ValueError):
+        MultiHash(0, 104, 32)
+    with pytest.raises(ValueError):
+        MultiHash(2, 104, 32, kind="md5")
+    mh = MultiHash(2, 104, 32)
+    with pytest.raises(ValueError):
+        mh.indices(b"\x00" * 13, 0)
+
+
+def test_multihash_iteration_and_indexing():
+    mh = MultiHash(2, key_bits=32, output_bits=16, seed=1)
+    key = b"\x01\x02\x03\x04"
+    assert [fn(key) for fn in mh] == mh.hashes(key)
+    assert mh[0](key) == mh.hashes(key)[0]
+    assert len(mh) == 2
+
+
+def test_multihash_two_choice_spreads_collisions():
+    """Two-choice hashing should give a better (or equal) worst-bucket load
+    than a single hash function on the same key set (the motivation from [6]),
+    and its maximum load should be small in the one-key-per-bucket regime."""
+    import random
+
+    rng = random.Random(1234)
+    mh = MultiHash(2, key_bits=104, output_bits=32, seed=3)
+    buckets = 256
+    single_load = [0] * buckets
+    double_load = [0] * buckets
+    for _ in range(256):
+        key = bytes(rng.getrandbits(8) for _ in range(13))
+        first, second = mh.indices(key, buckets)
+        single_load[first] += 1
+        # place in the emptier of the two candidate buckets
+        target = first if double_load[first] <= double_load[second] else second
+        double_load[target] += 1
+    assert max(double_load) <= max(single_load)
+    assert max(double_load) <= 3

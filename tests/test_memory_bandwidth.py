@@ -1,0 +1,77 @@
+"""Tests for the Figure 3 DQ-utilisation model (analytic and simulated)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.bandwidth import (
+    burst_group_utilisation,
+    bursts_needed_for_utilisation,
+    utilisation_sweep,
+)
+from repro.memory.timing import DDR3_1066_187E, DDR3_1333, DDR3_1600
+from repro.reporting.experiments import simulate_burst_groups
+
+
+def test_paper_endpoints_single_burst_about_20_percent():
+    utilisation = burst_group_utilisation(DDR3_1066_187E, 1)
+    assert utilisation == pytest.approx(0.20, abs=0.03)
+
+
+def test_paper_endpoints_35_bursts_about_90_percent():
+    utilisation = burst_group_utilisation(DDR3_1066_187E, 35)
+    assert utilisation == pytest.approx(0.90, abs=0.03)
+
+
+def test_utilisation_monotonically_increases_with_group_size():
+    values = [burst_group_utilisation(DDR3_1066_187E, n) for n in range(1, 64)]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    assert values[-1] <= 1.0
+
+
+def test_open_row_variant_is_higher_than_closed_row():
+    for n in (1, 4, 16):
+        closed = burst_group_utilisation(DDR3_1066_187E, n, include_row_cycle=True)
+        open_row = burst_group_utilisation(DDR3_1066_187E, n, include_row_cycle=False)
+        assert open_row > closed
+
+
+def test_sweep_returns_pairs():
+    sweep = utilisation_sweep(DDR3_1066_187E, [1, 2, 3])
+    assert [n for n, _ in sweep] == [1, 2, 3]
+    assert all(0 < u <= 1 for _, u in sweep)
+
+
+def test_bursts_needed_for_utilisation():
+    needed = bursts_needed_for_utilisation(DDR3_1066_187E, 0.9)
+    assert 30 <= needed <= 40
+    assert bursts_needed_for_utilisation(DDR3_1066_187E, 0.05) == 1
+    with pytest.raises(ValueError):
+        bursts_needed_for_utilisation(DDR3_1066_187E, 0.0)
+
+
+def test_invalid_burst_count():
+    with pytest.raises(ValueError):
+        burst_group_utilisation(DDR3_1066_187E, 0)
+
+
+def test_faster_grades_have_lower_single_burst_utilisation():
+    """Absolute latencies barely change across grades, so at higher clock rates
+    a single burst occupies a smaller fraction of the row cycle."""
+    u1066 = burst_group_utilisation(DDR3_1066_187E, 1)
+    u1600 = burst_group_utilisation(DDR3_1600, 1)
+    assert u1600 < u1066
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=48))
+def test_simulated_device_matches_analytic_model(bursts):
+    analytic = burst_group_utilisation(DDR3_1066_187E, bursts)
+    simulated = simulate_burst_groups(DDR3_1066_187E, bursts, groups=24)
+    assert simulated == pytest.approx(analytic, rel=0.08, abs=0.02)
+
+
+def test_simulation_matches_for_other_speed_grades():
+    for timing in (DDR3_1333, DDR3_1600):
+        analytic = burst_group_utilisation(timing, 8)
+        simulated = simulate_burst_groups(timing, 8, groups=24)
+        assert simulated == pytest.approx(analytic, rel=0.1, abs=0.02)

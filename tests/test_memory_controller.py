@@ -1,0 +1,209 @@
+"""Tests for the address mapping and the DDR3 controller front-end."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.commands import MemoryOp, MemoryRequest
+from repro.memory.controller import AddressMapping, DDR3Controller, PagePolicy
+from repro.memory.timing import DDR3_1600, DDR3Geometry
+from repro.sim.engine import Simulator
+
+GEOMETRY = DDR3Geometry()
+
+
+# --------------------------------------------------------------------------- #
+# Address mapping
+# --------------------------------------------------------------------------- #
+
+
+def test_bank_interleaved_rotates_banks_across_consecutive_bursts():
+    mapping = AddressMapping(GEOMETRY, "bank_interleaved")
+    banks = [mapping.decompose(i * GEOMETRY.burst_bytes)[0] for i in range(16)]
+    assert banks == [i % GEOMETRY.banks for i in range(16)]
+
+
+def test_row_major_keeps_consecutive_bursts_in_one_bank():
+    mapping = AddressMapping(GEOMETRY, "row_major")
+    banks = {mapping.decompose(i * GEOMETRY.burst_bytes)[0] for i in range(64)}
+    assert banks == {0}
+
+
+def test_mapping_rejects_unknown_scheme_and_negative_address():
+    with pytest.raises(ValueError):
+        AddressMapping(GEOMETRY, "diagonal")
+    mapping = AddressMapping(GEOMETRY)
+    with pytest.raises(ValueError):
+        mapping.decompose(-1)
+
+
+@given(st.integers(min_value=0, max_value=GEOMETRY.capacity_bytes - 1))
+def test_mapping_compose_decompose_roundtrip(address):
+    aligned = (address // GEOMETRY.burst_bytes) * GEOMETRY.burst_bytes
+    for scheme in AddressMapping.SCHEMES:
+        mapping = AddressMapping(GEOMETRY, scheme)
+        bank, row, column = mapping.decompose(aligned)
+        assert 0 <= bank < GEOMETRY.banks
+        assert 0 <= row < GEOMETRY.rows
+        assert 0 <= column < GEOMETRY.columns
+        assert mapping.compose(bank, row, column) == aligned
+
+
+# --------------------------------------------------------------------------- #
+# Controller behaviour
+# --------------------------------------------------------------------------- #
+
+
+def make_controller(**kwargs):
+    sim = Simulator()
+    kwargs.setdefault("refresh_enabled", False)
+    controller = DDR3Controller(sim, DDR3_1600, GEOMETRY, **kwargs)
+    return sim, controller
+
+
+def test_read_completes_and_invokes_callback():
+    sim, controller = make_controller()
+    completions = []
+    request = MemoryRequest(
+        op=MemoryOp.READ,
+        address=0,
+        callback=lambda req, now: completions.append((req.request_id, now)),
+    )
+    assert controller.submit(request)
+    sim.run()
+    assert len(completions) == 1
+    assert request.complete_ps == completions[0][1]
+    assert request.latency_ps > 0
+    assert controller.stats.reads == 1
+
+
+def test_queue_depth_backpressure():
+    sim, controller = make_controller(queue_depth=2, max_outstanding=1)
+    accepted = 0
+    for i in range(10):
+        if controller.submit(MemoryRequest(op=MemoryOp.READ, address=i * 32)):
+            accepted += 1
+    # One issued immediately plus two queued.
+    assert accepted == 3
+    assert controller.stats.rejected == 7
+    sim.run()
+    assert controller.stats.reads == 3
+    assert not controller.busy
+
+
+def test_outstanding_limit_is_respected():
+    sim, controller = make_controller(max_outstanding=4, queue_depth=64)
+    for i in range(32):
+        controller.submit(MemoryRequest(op=MemoryOp.READ, address=i * 32))
+    assert controller.outstanding <= 4
+    sim.run()
+    assert controller.stats.reads == 32
+
+
+def test_row_hit_preference_reorders_within_window():
+    """FR-FCFS lite: a row hit queued behind a conflict is served first."""
+    sim, controller = make_controller(max_outstanding=1, queue_depth=16, reorder_window=4)
+    order = []
+    mapping = controller.mapping
+
+    def track(name):
+        return lambda req, now: order.append(name)
+
+    # Open row 0 of bank 0.
+    controller.submit(
+        MemoryRequest(op=MemoryOp.READ, address=mapping.compose(0, 0, 0), callback=track("warm"))
+    )
+    # A conflicting request (different row, same bank) then a row hit.
+    controller.submit(
+        MemoryRequest(op=MemoryOp.READ, address=mapping.compose(0, 5, 0), callback=track("conflict"))
+    )
+    controller.submit(
+        MemoryRequest(op=MemoryOp.READ, address=mapping.compose(0, 0, 8), callback=track("hit"))
+    )
+    sim.run()
+    assert order[0] == "warm"
+    assert order[1] == "hit"
+    assert order[2] == "conflict"
+    assert controller.stats.row_hits >= 1
+
+
+def test_strict_fcfs_when_window_is_one():
+    sim, controller = make_controller(max_outstanding=1, reorder_window=1)
+    order = []
+    mapping = controller.mapping
+    controller.submit(MemoryRequest(op=MemoryOp.READ, address=mapping.compose(0, 0, 0),
+                                    callback=lambda r, n: order.append("first")))
+    controller.submit(MemoryRequest(op=MemoryOp.READ, address=mapping.compose(0, 5, 0),
+                                    callback=lambda r, n: order.append("second")))
+    controller.submit(MemoryRequest(op=MemoryOp.READ, address=mapping.compose(0, 0, 8),
+                                    callback=lambda r, n: order.append("third")))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_closed_page_policy_never_produces_row_hits():
+    sim, controller = make_controller(page_policy=PagePolicy.CLOSED, max_outstanding=2)
+    for i in range(8):
+        controller.submit(MemoryRequest(op=MemoryOp.READ, address=i * 32))
+    sim.run()
+    assert controller.stats.row_hits == 0
+
+
+def test_open_page_policy_produces_row_hits_for_sequential_addresses():
+    sim, controller = make_controller(page_policy=PagePolicy.OPEN, max_outstanding=2)
+    mapping = controller.mapping
+    for column_burst in range(8):
+        controller.submit(
+            MemoryRequest(op=MemoryOp.READ, address=mapping.compose(0, 0, column_burst * 8))
+        )
+    sim.run()
+    assert controller.stats.row_hits >= 6
+
+
+def test_on_drain_callbacks_fire():
+    sim, controller = make_controller(max_outstanding=1)
+    drained = []
+    controller.on_drain(lambda: drained.append(sim.now))
+    controller.submit(MemoryRequest(op=MemoryOp.READ, address=0))
+    sim.run()
+    assert drained
+
+
+def test_writes_are_counted_and_complete():
+    sim, controller = make_controller()
+    controller.submit(MemoryRequest(op=MemoryOp.WRITE, address=64, bursts=2))
+    sim.run()
+    assert controller.stats.writes == 1
+    report = controller.report()
+    assert report["writes"] == 1
+    assert report["dq_utilisation"] > 0
+
+
+def test_invalid_controller_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        DDR3Controller(sim, DDR3_1600, GEOMETRY, queue_depth=0)
+    with pytest.raises(ValueError):
+        DDR3Controller(sim, DDR3_1600, GEOMETRY, max_outstanding=0)
+    with pytest.raises(ValueError):
+        DDR3Controller(sim, DDR3_1600, GEOMETRY, reorder_window=0)
+
+
+def test_invalid_request_parameters():
+    with pytest.raises(ValueError):
+        MemoryRequest(op=MemoryOp.READ, address=-1)
+    with pytest.raises(ValueError):
+        MemoryRequest(op=MemoryOp.READ, address=0, bursts=0)
+
+
+def test_latency_monotonicity_under_load():
+    """Mean latency grows when the controller is saturated with conflicts."""
+    sim_light, light = make_controller(max_outstanding=8)
+    mapping = light.mapping
+    light.submit(MemoryRequest(op=MemoryOp.READ, address=mapping.compose(0, 0, 0)))
+    sim_light.run()
+
+    sim_heavy, heavy = make_controller(max_outstanding=8, queue_depth=64)
+    for i in range(64):
+        heavy.submit(MemoryRequest(op=MemoryOp.READ, address=heavy.mapping.compose(0, i % GEOMETRY.rows, 0)))
+    sim_heavy.run()
+    assert heavy.latency_stats.mean > light.latency_stats.mean

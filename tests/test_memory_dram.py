@@ -1,0 +1,171 @@
+"""Tests for the DDR3 device model's timing behaviour."""
+
+import pytest
+
+from repro.memory.commands import CommandType, MemoryOp
+from repro.memory.dram import DDR3Device
+from repro.memory.timing import DDR3_1066_187E, DDR3_1600, DDR3Geometry
+
+GEOMETRY = DDR3Geometry()
+
+
+def make_device(timing=DDR3_1066_187E, **kwargs):
+    kwargs.setdefault("refresh_enabled", False)
+    return DDR3Device(timing, GEOMETRY, **kwargs)
+
+
+def test_first_access_opens_row_and_pays_trcd():
+    device = make_device()
+    timing = DDR3_1066_187E
+    result = device.access(MemoryOp.READ, bank_index=0, row=5, column=0, now_ps=0)
+    assert not result.row_hit
+    kinds = [command.kind for command in result.commands]
+    assert kinds[0] is CommandType.ACTIVATE
+    assert result.cas_ps >= timing.ps(timing.t_rcd)
+    assert result.data_start_ps == result.cas_ps + timing.ps(timing.read_latency)
+    assert result.data_end_ps == result.data_start_ps + timing.ps(timing.burst_cycles)
+
+
+def test_row_hit_skips_activation():
+    device = make_device()
+    first = device.access(MemoryOp.READ, 0, 5, 0, now_ps=0)
+    second = device.access(MemoryOp.READ, 0, 5, 8, now_ps=first.cas_ps)
+    assert second.row_hit
+    assert all(command.kind is not CommandType.ACTIVATE for command in second.commands)
+    # Row hit CAS spacing is just tCCD.
+    assert second.cas_ps - first.cas_ps == DDR3_1066_187E.ps(DDR3_1066_187E.t_ccd)
+
+
+def test_row_conflict_pays_precharge_and_row_cycle():
+    device = make_device()
+    timing = DDR3_1066_187E
+    first = device.access(MemoryOp.READ, 0, 1, 0, now_ps=0)
+    conflict = device.access(MemoryOp.READ, 0, 2, 0, now_ps=first.cas_ps)
+    assert not conflict.row_hit
+    kinds = [command.kind for command in conflict.commands]
+    assert CommandType.PRECHARGE in kinds and CommandType.ACTIVATE in kinds
+    act_time = next(c.issue_ps for c in conflict.commands if c.kind is CommandType.ACTIVATE)
+    first_act = next(c.issue_ps for c in first.commands if c.kind is CommandType.ACTIVATE)
+    assert act_time - first_act >= timing.ps(timing.t_rc)
+
+
+def test_different_bank_activates_overlap():
+    """An ACT to another bank does not wait a full row cycle (only tRRD)."""
+    device = make_device()
+    timing = DDR3_1066_187E
+    first = device.access(MemoryOp.READ, 0, 1, 0, now_ps=0)
+    other = device.access(MemoryOp.READ, 1, 1, 0, now_ps=0)
+    first_act = next(c.issue_ps for c in first.commands if c.kind is CommandType.ACTIVATE)
+    other_act = next(c.issue_ps for c in other.commands if c.kind is CommandType.ACTIVATE)
+    assert other_act - first_act >= timing.ps(timing.t_rrd)
+    assert other_act - first_act < timing.ps(timing.t_rc)
+
+
+def test_read_to_write_turnaround_enforced():
+    device = make_device()
+    timing = DDR3_1066_187E
+    read = device.access(MemoryOp.READ, 0, 1, 0, now_ps=0)
+    write = device.access(MemoryOp.WRITE, 0, 1, 8, now_ps=read.cas_ps)
+    assert write.cas_ps - read.cas_ps >= timing.ps(timing.read_to_write)
+
+
+def test_write_to_read_turnaround_enforced():
+    device = make_device()
+    timing = DDR3_1066_187E
+    write = device.access(MemoryOp.WRITE, 0, 1, 0, now_ps=0)
+    read = device.access(MemoryOp.READ, 0, 1, 8, now_ps=write.cas_ps)
+    assert read.cas_ps - write.cas_ps >= timing.ps(timing.write_to_read)
+
+
+def test_tfaw_limits_four_activates_in_window():
+    device = make_device()
+    timing = DDR3_1066_187E
+    act_times = []
+    now = 0
+    for bank in range(5):
+        result = device.access(MemoryOp.READ, bank, 1, 0, now_ps=now)
+        act_times.append(
+            next(c.issue_ps for c in result.commands if c.kind is CommandType.ACTIVATE)
+        )
+    assert act_times[4] - act_times[0] >= timing.ps(timing.t_faw)
+
+
+def test_multi_burst_request_is_contiguous():
+    device = make_device()
+    timing = DDR3_1066_187E
+    result = device.access(MemoryOp.READ, 0, 1, 0, now_ps=0, bursts=4)
+    read_commands = [c for c in result.commands if c.kind is CommandType.READ]
+    assert len(read_commands) == 4
+    spacings = [
+        b.issue_ps - a.issue_ps for a, b in zip(read_commands, read_commands[1:])
+    ]
+    assert all(s == timing.ps(timing.t_ccd) for s in spacings)
+    assert result.data_end_ps - result.data_start_ps == 4 * timing.ps(timing.burst_cycles)
+
+
+def test_auto_precharge_closes_row():
+    device = make_device(auto_precharge=True)
+    device.access(MemoryOp.READ, 0, 1, 0, now_ps=0)
+    assert device.open_row(0) is None
+
+
+def test_open_page_keeps_row_open():
+    device = make_device(auto_precharge=False)
+    device.access(MemoryOp.READ, 0, 7, 0, now_ps=0)
+    assert device.open_row(0) == 7
+
+
+def test_refresh_blocks_all_banks():
+    timing = DDR3_1066_187E
+    device = DDR3Device(timing, GEOMETRY, refresh_enabled=True)
+    device.access(MemoryOp.READ, 0, 1, 0, now_ps=0)
+    # Jump past several refresh intervals: the next access must be pushed
+    # behind the refresh recovery and every bank must have lost its open row.
+    late = timing.ps(timing.t_refi) + 10
+    result = device.access(MemoryOp.READ, 1, 1, 0, now_ps=late)
+    assert device.refreshes >= 1
+    assert result.cas_ps >= late + timing.ps(timing.t_rfc)
+
+
+def test_dq_utilisation_accounting():
+    device = make_device()
+    result1 = device.access(MemoryOp.READ, 0, 1, 0, now_ps=0)
+    result2 = device.access(MemoryOp.READ, 1, 1, 0, now_ps=0)
+    expected_busy = 2 * DDR3_1066_187E.ps(DDR3_1066_187E.burst_cycles)
+    assert device.data_bus_busy_ps == expected_busy
+    assert 0 < device.dq_utilisation() <= 1.0
+    assert device.observed_window_ps >= expected_busy
+
+
+def test_invalid_access_arguments():
+    device = make_device()
+    with pytest.raises(ValueError):
+        device.access(MemoryOp.READ, 99, 0, 0, now_ps=0)
+    with pytest.raises(ValueError):
+        device.access(MemoryOp.READ, 0, GEOMETRY.rows, 0, now_ps=0)
+    with pytest.raises(ValueError):
+        device.access(MemoryOp.READ, 0, 0, 0, now_ps=0, bursts=0)
+
+
+def test_stats_reports_counters():
+    device = make_device()
+    device.access(MemoryOp.READ, 0, 1, 0, now_ps=0)
+    device.access(MemoryOp.WRITE, 0, 1, 8, now_ps=0)
+    stats = device.stats()
+    assert stats["reads"] == 1
+    assert stats["writes"] == 1
+    assert stats["row_hits"] == 1
+    assert stats["row_empty"] == 1
+
+
+def test_data_never_before_command_across_grades():
+    for timing in (DDR3_1066_187E, DDR3_1600):
+        device = DDR3Device(timing, GEOMETRY, refresh_enabled=False)
+        now = 0
+        for i in range(20):
+            op = MemoryOp.READ if i % 3 else MemoryOp.WRITE
+            result = device.access(op, i % 8, (i * 37) % GEOMETRY.rows, 0, now_ps=now)
+            latency = timing.read_latency if op is MemoryOp.READ else timing.write_latency
+            assert result.data_start_ps == result.cas_ps + timing.ps(latency)
+            assert result.cas_ps >= now
+            now = result.cas_ps

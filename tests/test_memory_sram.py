@@ -1,0 +1,74 @@
+"""Tests for the QDR SRAM model."""
+
+import pytest
+
+from repro.memory.commands import MemoryOp, MemoryRequest
+from repro.memory.sram import QDRSRAM, QDRSRAMConfig
+from repro.sim.engine import Simulator
+
+
+def test_config_capacity_and_words():
+    config = QDRSRAMConfig()
+    assert config.capacity_mbits == 144
+    assert config.capacity_bits == 144 * (1 << 20)
+    assert config.words == config.capacity_bits // config.word_bits
+    assert config.period_ps == pytest.approx(1e12 / 550e6, rel=0.01)
+
+
+def test_read_latency_is_fixed():
+    sim = Simulator()
+    sram = QDRSRAM(sim)
+    done = []
+    request = MemoryRequest(op=MemoryOp.READ, address=0, callback=lambda r, n: done.append(n))
+    sram.submit(request)
+    sim.run()
+    expected = (sram.config.read_latency_cycles + 1) * sram.config.period_ps
+    assert done == [expected]
+
+
+def test_separate_read_and_write_ports_do_not_contend():
+    sim = Simulator()
+    sram = QDRSRAM(sim)
+    times = {}
+    sram.submit(MemoryRequest(op=MemoryOp.READ, address=0,
+                              callback=lambda r, n: times.setdefault("read", n)))
+    sram.submit(MemoryRequest(op=MemoryOp.WRITE, address=64,
+                              callback=lambda r, n: times.setdefault("write", n)))
+    sim.run()
+    # Both start at time zero on their own port.
+    assert times["read"] == (sram.config.read_latency_cycles + 1) * sram.config.period_ps
+    assert times["write"] == (sram.config.write_latency_cycles + 1) * sram.config.period_ps
+
+
+def test_same_port_requests_serialise():
+    sim = Simulator()
+    sram = QDRSRAM(sim)
+    completions = []
+    for i in range(4):
+        sram.submit(MemoryRequest(op=MemoryOp.READ, address=i,
+                                  callback=lambda r, n: completions.append(n)))
+    sim.run()
+    gaps = [b - a for a, b in zip(completions, completions[1:])]
+    assert all(gap == sram.config.period_ps for gap in gaps)
+
+
+def test_queue_depth_backpressure():
+    sim = Simulator()
+    sram = QDRSRAM(sim, queue_depth=2)
+    accepted = sum(sram.submit(MemoryRequest(op=MemoryOp.READ, address=i)) for i in range(5))
+    assert accepted == 2
+    assert sram.rejected == 3
+    sim.run()
+    assert sram.can_accept()
+
+
+def test_report_contains_counts():
+    sim = Simulator()
+    sram = QDRSRAM(sim)
+    sram.submit(MemoryRequest(op=MemoryOp.READ, address=0))
+    sram.submit(MemoryRequest(op=MemoryOp.WRITE, address=0))
+    sim.run()
+    report = sram.report()
+    assert report["reads"] == 1
+    assert report["writes"] == 1
+    assert report["capacity_mbits"] == 144

@@ -1,0 +1,79 @@
+"""Tests for DDR3 timing parameter sets and geometry."""
+
+import pytest
+
+from repro.memory.timing import (
+    DDR3_1066_187E,
+    DDR3_1333,
+    DDR3_1600,
+    DDR3Geometry,
+    PROTOTYPE_GEOMETRY,
+)
+
+
+def test_ddr3_1066_datasheet_values():
+    t = DDR3_1066_187E
+    assert t.t_ck_ps == 1875
+    assert t.cl == 7 and t.cwl == 6
+    assert t.t_rcd == 7 and t.t_rp == 7
+    assert t.t_rc == 27  # 50.625 ns
+    assert t.t_ras == 20  # 37.5 ns
+    assert t.bl == 8 and t.burst_cycles == 4
+
+
+def test_ddr3_1600_is_800mhz():
+    assert DDR3_1600.t_ck_ps == 1250
+    assert DDR3_1600.freq_mhz == pytest.approx(800.0)
+    assert DDR3_1600.data_rate_mtps == pytest.approx(1600.0)
+
+
+def test_speed_grades_have_consistent_absolute_timings():
+    # tRCD is ~13 ns across grades: cycle counts scale with clock frequency.
+    for timing in (DDR3_1066_187E, DDR3_1333, DDR3_1600):
+        assert 12_000 <= timing.ps(timing.t_rcd) <= 14_500
+        assert 47_000 <= timing.ps(timing.t_rc) <= 52_000
+
+
+def test_turnaround_formulas():
+    t = DDR3_1066_187E
+    assert t.read_to_write == t.cl + t.t_ccd + 2 - t.cwl == 7
+    assert t.write_to_read == t.cwl + 4 + t.t_wtr == 14
+    assert t.write_to_precharge == t.cwl + 4 + t.t_wr == 18
+
+
+def test_ps_conversion_roundtrip():
+    t = DDR3_1600
+    assert t.ps(10) == 12_500
+    assert t.cycles_from_ps(12_500) == 10
+    assert t.cycles_from_ps(12_501) == 11
+
+
+def test_with_overrides_returns_modified_copy():
+    modified = DDR3_1066_187E.with_overrides(t_ccd=8)
+    assert modified.t_ccd == 8
+    assert DDR3_1066_187E.t_ccd == 4
+    assert modified.name == DDR3_1066_187E.name
+
+
+def test_prototype_geometry_is_512mb_32bit():
+    g = PROTOTYPE_GEOMETRY
+    assert g.capacity_mbytes == pytest.approx(512.0)
+    assert g.data_width_bits == 32
+    assert g.banks == 8
+    assert g.burst_bytes == 32
+    assert g.bursts_per_row == g.columns // g.burst_length
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        DDR3Geometry(banks=0)
+    with pytest.raises(ValueError):
+        DDR3Geometry(banks=6)  # not a power of two
+    with pytest.raises(ValueError):
+        DDR3Geometry(columns=-4)
+
+
+def test_geometry_row_bytes():
+    g = DDR3Geometry(banks=8, rows=1024, columns=512, data_width_bits=32)
+    assert g.row_bytes == 512 * 4
+    assert g.capacity_bytes == 8 * 1024 * 512 * 4

@@ -1,0 +1,196 @@
+"""Tests for the packet substrate: flow keys, packets, descriptors, line rates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import (
+    DescriptorExtractor,
+    FlowKey,
+    LinkSpec,
+    Packet,
+    TupleField,
+    achievable_link_gbps,
+    required_packet_rate_mpps,
+)
+from repro.net.ethernet import ETHERNET_40G, STANDARD_IPG_BYTES, WORST_CASE_IPG_BYTES
+from repro.net.packet import MIN_L1_FRAME_BYTES, TCP_FLAGS
+
+
+# --------------------------------------------------------------------------- #
+# FlowKey
+# --------------------------------------------------------------------------- #
+
+
+def test_flow_key_accepts_dotted_addresses():
+    key = FlowKey("10.0.0.1", "192.168.1.2", 1234, 80, 6)
+    assert key.src_ip == 0x0A000001
+    assert key.dst_ip_str == "192.168.1.2"
+    assert "10.0.0.1:1234" in str(key)
+
+
+def test_flow_key_pack_unpack_roundtrip():
+    key = FlowKey("1.2.3.4", "5.6.7.8", 1000, 2000, 17)
+    packed = key.pack()
+    assert len(packed) == 13
+    assert FlowKey.unpack(packed) == key
+    assert key.as_int() == int.from_bytes(packed, "big")
+
+
+def test_flow_key_validation():
+    with pytest.raises(ValueError):
+        FlowKey(0, 0, 70000, 80, 6)
+    with pytest.raises(ValueError):
+        FlowKey(0, 0, 80, 80, 300)
+    with pytest.raises(ValueError):
+        FlowKey(-1, 0, 80, 80, 6)
+    with pytest.raises(ValueError):
+        FlowKey.unpack(b"\x00" * 12)
+
+
+def test_flow_key_reversed_and_bidirectional():
+    key = FlowKey("10.0.0.1", "10.0.0.2", 5000, 80, 6)
+    reverse = key.reversed()
+    assert reverse.src_ip == key.dst_ip and reverse.dst_port == key.src_port
+    assert key.bidirectional() == reverse.bidirectional()
+    assert key.reversed().reversed() == key
+
+
+@given(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=0xFF),
+)
+def test_flow_key_roundtrip_property(src, dst, sport, dport, proto):
+    key = FlowKey(src, dst, sport, dport, proto)
+    assert FlowKey.unpack(key.pack()) == key
+    assert key.bidirectional() == key.reversed().bidirectional()
+
+
+# --------------------------------------------------------------------------- #
+# Packet
+# --------------------------------------------------------------------------- #
+
+
+def test_packet_l1_length_and_flags():
+    key = FlowKey("1.1.1.1", "2.2.2.2", 1, 2, 6)
+    packet = Packet(key=key, length_bytes=64, tcp_flags=TCP_FLAGS["SYN"] | TCP_FLAGS["ACK"])
+    assert packet.l1_length_bytes == 72
+    assert packet.has_flag("SYN") and packet.has_flag("ACK")
+    assert not packet.has_flag("FIN")
+    assert not packet.terminates_flow
+    fin = Packet(key=key, tcp_flags=TCP_FLAGS["FIN"])
+    assert fin.terminates_flow
+
+
+def test_packet_validation():
+    key = FlowKey(0, 0, 0, 0, 6)
+    with pytest.raises(ValueError):
+        Packet(key=key, length_bytes=0)
+    with pytest.raises(ValueError):
+        Packet(key=key, tcp_flags=0x1FF)
+
+
+# --------------------------------------------------------------------------- #
+# Descriptor extraction
+# --------------------------------------------------------------------------- #
+
+
+def test_five_tuple_descriptor_width_is_104_bits():
+    extractor = DescriptorExtractor()
+    assert extractor.key_bits == 104
+    key = FlowKey("10.1.1.1", "10.2.2.2", 1111, 2222, 6)
+    descriptor = extractor.extract(Packet(key=key, length_bytes=100, timestamp_ps=5))
+    assert descriptor.key_bits == 104
+    assert descriptor.length_bytes == 100
+    assert descriptor.timestamp_ps == 5
+    assert descriptor.key == key
+
+
+def test_same_flow_same_descriptor_different_flow_different_descriptor():
+    extractor = DescriptorExtractor()
+    key = FlowKey("10.1.1.1", "10.2.2.2", 1111, 2222, 6)
+    other = FlowKey("10.1.1.1", "10.2.2.2", 1111, 2223, 6)
+    d1 = extractor.extract(Packet(key=key))
+    d2 = extractor.extract(Packet(key=key, length_bytes=500))
+    d3 = extractor.extract(Packet(key=other))
+    assert d1.key_bytes == d2.key_bytes
+    assert d1.key_bytes != d3.key_bytes
+
+
+def test_reduced_tuple_extraction():
+    extractor = DescriptorExtractor(fields=[TupleField.SRC_IP, TupleField.DST_IP])
+    assert extractor.key_bits == 64
+    key_a = FlowKey("10.0.0.1", "10.0.0.2", 1, 2, 6)
+    key_b = FlowKey("10.0.0.1", "10.0.0.2", 9, 9, 17)
+    # Ports and protocol are not part of the identity any more.
+    assert extractor.extract(Packet(key=key_a)).key_bytes == extractor.extract(Packet(key=key_b)).key_bytes
+
+
+def test_bidirectional_extraction_maps_both_directions_together():
+    extractor = DescriptorExtractor(bidirectional=True)
+    key = FlowKey("10.0.0.1", "10.0.0.2", 5000, 80, 6)
+    forward = extractor.extract(Packet(key=key))
+    backward = extractor.extract(Packet(key=key.reversed()))
+    assert forward.key_bytes == backward.key_bytes
+
+
+def test_extractor_validation():
+    with pytest.raises(ValueError):
+        DescriptorExtractor(fields=[])
+    with pytest.raises(ValueError):
+        DescriptorExtractor(fields=[TupleField.SRC_IP, TupleField.SRC_IP])
+
+
+def test_extract_many_preserves_order():
+    extractor = DescriptorExtractor()
+    keys = [FlowKey(i, i + 1, i, i, 6) for i in range(5)]
+    packets = [Packet(key=key) for key in keys]
+    descriptors = extractor.extract_many(packets)
+    assert [d.key for d in descriptors] == keys
+    assert extractor.packets_parsed == 5
+
+
+# --------------------------------------------------------------------------- #
+# Line-rate arithmetic (Section V-B)
+# --------------------------------------------------------------------------- #
+
+
+def test_paper_requirement_40g_standard_ipg():
+    rate = required_packet_rate_mpps(40, MIN_L1_FRAME_BYTES, STANDARD_IPG_BYTES)
+    assert rate == pytest.approx(59.52, abs=0.01)
+
+
+def test_paper_requirement_40g_one_byte_ipg():
+    rate = required_packet_rate_mpps(40, MIN_L1_FRAME_BYTES, WORST_CASE_IPG_BYTES)
+    assert rate == pytest.approx(68.49, abs=0.01)
+
+
+def test_94mdesc_supports_over_50gbps():
+    # The paper's warm-table claim: 94 Mdesc/s at minimum packet size > 50 Gbps.
+    assert achievable_link_gbps(94.36) > 50.0
+
+
+def test_link_spec_helpers():
+    assert ETHERNET_40G.packet_rate_mpps() == pytest.approx(59.52, abs=0.01)
+    assert LinkSpec(10).packet_rate_mpps() == pytest.approx(14.88, abs=0.01)
+    with pytest.raises(ValueError):
+        LinkSpec(0)
+
+
+def test_rate_arithmetic_validation():
+    with pytest.raises(ValueError):
+        required_packet_rate_mpps(0)
+    with pytest.raises(ValueError):
+        required_packet_rate_mpps(40, 0)
+    with pytest.raises(ValueError):
+        required_packet_rate_mpps(40, 72, -1)
+    with pytest.raises(ValueError):
+        achievable_link_gbps(-1)
+
+
+@given(st.floats(min_value=1, max_value=400), st.integers(min_value=64, max_value=1600))
+def test_rate_and_link_speed_are_inverse(link_gbps, frame):
+    rate = required_packet_rate_mpps(link_gbps, frame)
+    assert achievable_link_gbps(rate, frame) == pytest.approx(link_gbps, rel=1e-9)

@@ -1,0 +1,155 @@
+"""Tests for the experiment runners, resource model and table formatting."""
+
+import pytest
+
+from repro.core.config import PROTOTYPE_CONFIG, small_test_config
+from repro.core.resources import PAPER_TABLE1, estimate_resources
+from repro.reporting import (
+    PAPER_FIG6,
+    PAPER_TABLE2A,
+    PAPER_TABLE2B,
+    format_comparison,
+    format_table,
+    run_fig3_bandwidth,
+    run_fig6_flow_ratio,
+    run_linerate_feasibility,
+    run_table1_resources,
+    run_table2a_load_balance,
+    run_table2b_miss_rate,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Resource model (Table I analogue)
+# --------------------------------------------------------------------------- #
+
+
+def test_resource_estimate_scales_with_cam_and_queues():
+    small = estimate_resources(small_test_config())
+    big_cam = estimate_resources(small_test_config(cam_entries=1024))
+    deeper = estimate_resources(small_test_config(lu1_queue_depth=64))
+    assert big_cam.block_memory_bits > small.block_memory_bits
+    assert deeper.block_memory_bits > small.block_memory_bits
+
+
+def test_resource_report_excludes_internal_keys_and_has_breakdown():
+    report = estimate_resources(PROTOTYPE_CONFIG)
+    data = report.as_dict()
+    assert all(not key.startswith("_") for key in data["breakdown_bits"])
+    assert data["block_memory_bits"] == sum(data["breakdown_bits"].values())
+    assert data["paper_table1"]["block_memory_bits"] == 2_604_288
+    assert report.register_estimate() > 0
+
+
+def test_run_table1_reports_measured_and_paper_columns():
+    result = run_table1_resources(PROTOTYPE_CONFIG)
+    quantities = {row["quantity"] for row in result["rows"]}
+    assert {"block_memory_bits", "registers", "alms"} <= quantities
+    assert result["paper"] is PAPER_TABLE1
+    assert sum(result["breakdown"].values()) > 0
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3 runner
+# --------------------------------------------------------------------------- #
+
+
+def test_run_fig3_rows_cover_paper_endpoints():
+    result = run_fig3_bandwidth(burst_counts=(1, 35), simulate=True, groups=16)
+    rows = {row["bursts"]: row for row in result["rows"]}
+    assert rows[1]["utilisation_analytic"] == pytest.approx(0.20, abs=0.03)
+    assert rows[35]["utilisation_analytic"] == pytest.approx(0.90, abs=0.03)
+    assert rows[1]["utilisation_simulated"] == pytest.approx(rows[1]["utilisation_analytic"], abs=0.03)
+
+
+def test_run_fig3_without_simulation_is_fast_and_analytic_only():
+    result = run_fig3_bandwidth(burst_counts=(2, 4), simulate=False)
+    assert all("utilisation_simulated" not in row for row in result["rows"])
+
+
+# --------------------------------------------------------------------------- #
+# Table II runners (small workloads to stay fast)
+# --------------------------------------------------------------------------- #
+
+
+def test_run_table2b_shape_matches_paper_ordering():
+    result = run_table2b_miss_rate(table_entries=2000, query_count=600, miss_rates=(1.0, 0.0))
+    rows = {row["miss_rate"]: row for row in result["rows"]}
+    assert rows[0.0]["rate_mdesc_s"] > rows[1.0]["rate_mdesc_s"]
+    assert rows[1.0]["measured_miss_rate"] == pytest.approx(1.0, abs=0.02)
+    assert result["paper"] is PAPER_TABLE2B
+
+
+def test_run_table2a_includes_all_paper_rows():
+    result = run_table2a_load_balance(descriptor_count=600)
+    patterns = [(row["pattern"], row["path_a_load"]) for row in result["rows"]]
+    assert ("random",) == tuple({p for p, _ in patterns if p == "random"})
+    assert len(result["rows"]) == len(PAPER_TABLE2A)
+    balanced = next(r for r in result["rows"] if r["pattern"] == "bank_increment" and r["path_a_load"] == 0.5)
+    single = next(r for r in result["rows"] if r["path_a_load"] == 0.0)
+    assert balanced["rate_mdesc_s"] > single["rate_mdesc_s"]
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6 and line-rate runners
+# --------------------------------------------------------------------------- #
+
+
+def test_run_fig6_ratio_decreases_and_matches_paper_order_of_magnitude():
+    result = run_fig6_flow_ratio(checkpoints=(1_000, 10_000))
+    ratios = [row["new_flow_ratio"] for row in result["rows"]]
+    assert ratios[0] > ratios[1]
+    assert 0.4 <= ratios[0] <= 0.7
+    assert 0.2 <= ratios[1] <= 0.45
+    assert result["paper"] is PAPER_FIG6
+
+
+def test_run_linerate_feasibility_reproduces_section_vb_numbers():
+    table2b = {
+        "rows": [
+            {"miss_rate": 0.5, "rate_mdesc_s": 64.0},
+            {"miss_rate": 0.0, "rate_mdesc_s": 97.0},
+        ]
+    }
+    result = run_linerate_feasibility(table2b=table2b)
+    by_quantity = {row["quantity"]: row for row in result["rows"]}
+    ipg12 = by_quantity["required Mpps at 40 GbE (12 B IPG)"]
+    assert ipg12["measured"] == pytest.approx(59.52, abs=0.01)
+    ipg1 = by_quantity["required Mpps at 40 GbE (1 B IPG)"]
+    assert ipg1["measured"] == pytest.approx(68.49, abs=0.01)
+    warm = by_quantity["achievable Gbps at warm-table rate (72 B frames)"]
+    assert warm["measured"] > 50.0
+
+
+# --------------------------------------------------------------------------- #
+# Table formatting
+# --------------------------------------------------------------------------- #
+
+
+def test_format_table_alignment_and_title():
+    text = format_table(
+        [{"a": 1, "b": 2.3456}, {"a": 10, "b": 0.5}], columns=["a", "b"], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "2.35" in text
+    assert len(lines) == 5
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="empty")
+
+
+def test_format_comparison_computes_ratio():
+    measured = [{"miss_rate": 1.0, "rate": 42.0}]
+    paper = [{"miss_rate": 1.0, "rate": 46.9}]
+    text = format_comparison(measured, paper, key="miss_rate", value="rate")
+    assert "0.90" in text or "0.89" in text
+    assert "46.9" in text
+
+
+def test_format_comparison_handles_missing_reference():
+    measured = [{"k": "x", "v": 5.0}]
+    text = format_comparison(measured, [], key="k", value="v")
+    assert "-" in text

@@ -1,0 +1,62 @@
+"""Tests for clock-domain helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import Clock, PS_PER_SECOND, SYSTEM_CLOCK_200MHZ
+
+
+def test_200mhz_period_is_5ns():
+    assert SYSTEM_CLOCK_200MHZ.period_ps == 5000
+
+
+def test_ddr3_1600_io_clock_period():
+    clock = Clock(800e6)
+    assert clock.period_ps == 1250
+
+
+def test_cycles_to_ps_roundtrip():
+    clock = Clock(200e6)
+    assert clock.cycles_to_ps(3) == 15000
+    assert clock.ps_to_cycles(15000) == pytest.approx(3.0)
+
+
+def test_next_edge_on_and_between_edges():
+    clock = Clock(200e6)
+    assert clock.next_edge(0) == 0
+    assert clock.next_edge(5000) == 5000
+    assert clock.next_edge(5001) == 10000
+    assert clock.next_edge(9999) == 10000
+
+
+def test_edge_index():
+    clock = Clock(100e6)
+    assert clock.edge(0) == 0
+    assert clock.edge(7) == 7 * 10000
+    with pytest.raises(ValueError):
+        clock.edge(-1)
+
+
+def test_invalid_frequency_rejected():
+    with pytest.raises(ValueError):
+        Clock(0)
+    with pytest.raises(ValueError):
+        Clock(-5e6)
+
+
+def test_freq_mhz_property():
+    assert Clock(533e6).freq_mhz == pytest.approx(533.0)
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_next_edge_is_aligned_and_not_before(now_ps):
+    clock = Clock(200e6)
+    edge = clock.next_edge(now_ps)
+    assert edge >= now_ps
+    assert edge % clock.period_ps == 0
+    assert edge - now_ps < clock.period_ps
+
+
+@given(st.floats(min_value=1e6, max_value=2e9, allow_nan=False))
+def test_period_positive_for_any_frequency(freq):
+    assert Clock(freq).period_ps >= 1

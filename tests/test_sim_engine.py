@@ -1,0 +1,140 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(300, fired.append, "c")
+    sim.schedule(100, fired.append, "a")
+    sim.schedule(200, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_fifo_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(50, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_priority_orders_same_time_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "low", priority=5)
+    sim.schedule(10, fired.append, "high", priority=-5)
+    sim.run()
+    assert fired == ["high", "low"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    sim.schedule(1234, lambda: None)
+    sim.run()
+    assert sim.now == 1234
+    assert sim.now_ns == pytest.approx(1.234)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(500, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [500]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(100, fired.append, "cancelled")
+    sim.schedule(200, fired.append, "kept")
+    handle.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, "early")
+    sim.schedule(1000, fired.append, "late")
+    executed = sim.run(until_ps=500)
+    assert executed == 1
+    assert fired == ["early"]
+    assert sim.now == 500
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_time_when_queue_empty():
+    sim = Simulator()
+    sim.run(until_ps=777)
+    assert sim.now == 777
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i + 1, fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_executes_one_event_and_reports_idle():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "x")
+    assert sim.step() is True
+    assert fired == ["x"]
+    assert sim.step() is False
+
+
+def test_events_scheduled_during_execution_run_later():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(50, fired.append, "second")
+
+    sim.schedule(10, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 60
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    handle.cancel()
+    assert sim.peek_next_time() == 20
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i + 1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5

@@ -1,0 +1,100 @@
+"""Tests for the bounded FIFO model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.fifo import Fifo, FifoFullError
+
+
+def test_push_pop_preserves_order():
+    fifo = Fifo()
+    for value in range(5):
+        fifo.push(value)
+    assert [fifo.pop() for _ in range(5)] == list(range(5))
+
+
+def test_capacity_enforced():
+    fifo = Fifo(capacity=2)
+    fifo.push(1)
+    fifo.push(2)
+    assert fifo.is_full
+    with pytest.raises(FifoFullError):
+        fifo.push(3)
+    assert fifo.rejected == 1
+
+
+def test_try_push_returns_false_when_full():
+    fifo = Fifo(capacity=1)
+    assert fifo.try_push("a") is True
+    assert fifo.try_push("b") is False
+    assert len(fifo) == 1
+
+
+def test_pop_and_peek_empty_raise():
+    fifo = Fifo()
+    with pytest.raises(IndexError):
+        fifo.pop()
+    with pytest.raises(IndexError):
+        fifo.peek()
+
+
+def test_peek_does_not_remove():
+    fifo = Fifo()
+    fifo.push("x")
+    assert fifo.peek() == "x"
+    assert len(fifo) == 1
+
+
+def test_occupancy_statistics():
+    fifo = Fifo(capacity=8, name="q")
+    for value in range(5):
+        fifo.push(value)
+    fifo.pop()
+    stats = fifo.stats()
+    assert stats["max_occupancy"] == 5
+    assert stats["pushes"] == 5
+    assert stats["pops"] == 1
+    assert stats["occupancy"] == 4
+    assert stats["name"] == "q"
+
+
+def test_clear_preserves_statistics():
+    fifo = Fifo()
+    fifo.push(1)
+    fifo.push(2)
+    fifo.clear()
+    assert fifo.is_empty
+    assert fifo.pushes == 2
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        Fifo(capacity=0)
+
+
+def test_bool_and_iter():
+    fifo = Fifo()
+    assert not fifo
+    fifo.push(1)
+    fifo.push(2)
+    assert bool(fifo)
+    assert list(fifo) == [1, 2]
+
+
+@given(st.lists(st.integers(), max_size=50))
+def test_fifo_order_property(values):
+    fifo = Fifo()
+    for value in values:
+        fifo.push(value)
+    drained = [fifo.pop() for _ in range(len(values))]
+    assert drained == values
+    assert fifo.is_empty
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=40), st.integers(min_value=1, max_value=10))
+def test_bounded_fifo_never_exceeds_capacity(values, capacity):
+    fifo = Fifo(capacity=capacity)
+    for value in values:
+        fifo.try_push(value)
+        assert len(fifo) <= capacity
+    assert fifo.max_occupancy <= capacity

@@ -1,0 +1,101 @@
+"""Tests for counters, rate meters, histograms and running statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Counter, Histogram, RateMeter, RunningStats
+
+
+def test_counter_increments_and_rejects_negative():
+    counter = Counter("c")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.increment(-1)
+    counter.reset()
+    assert int(counter) == 0
+
+
+def test_rate_meter_mdesc_per_second():
+    meter = RateMeter()
+    # 10 events over 100 ns => 100 M events/s.
+    for i in range(11):
+        meter.record(i * 10_000)
+    assert meter.events == 11
+    assert meter.rate_mega_per_second() == pytest.approx(110.0, rel=0.01)
+
+
+def test_rate_meter_with_explicit_span():
+    meter = RateMeter()
+    meter.record(0, count=1000)
+    assert meter.rate_per_second(elapsed_ps=1_000_000) == pytest.approx(1e9)
+
+
+def test_rate_meter_zero_span_is_zero_rate():
+    meter = RateMeter()
+    meter.record(500)
+    assert meter.rate_per_second() == 0.0
+
+
+def test_running_stats_known_values():
+    stats = RunningStats()
+    for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        stats.record(value)
+    assert stats.mean == pytest.approx(5.0)
+    assert stats.stddev == pytest.approx(2.138, rel=0.01)
+    assert stats.minimum == 2.0
+    assert stats.maximum == 9.0
+    assert stats.summary()["count"] == 8
+
+
+def test_running_stats_empty():
+    stats = RunningStats()
+    assert stats.mean == 0.0
+    assert stats.variance == 0.0
+
+
+def test_histogram_percentiles():
+    hist = Histogram(bucket_width=10)
+    for value in range(100):
+        hist.record(value)
+    assert hist.total == 100
+    assert hist.percentile(0.5) == pytest.approx(50, abs=10)
+    assert hist.percentile(1.0) == pytest.approx(100, abs=10)
+    assert hist.percentile(0.0) <= 10
+
+
+def test_histogram_invalid_inputs():
+    hist = Histogram(bucket_width=0)
+    with pytest.raises(ValueError):
+        hist.record(1.0)
+    hist = Histogram(bucket_width=5)
+    with pytest.raises(ValueError):
+        hist.percentile(1.5)
+    assert hist.percentile(0.5) == 0.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=200))
+def test_running_stats_matches_reference(values):
+    stats = RunningStats()
+    for value in values:
+        stats.record(value)
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    assert stats.mean == pytest.approx(mean, rel=1e-6, abs=1e-6)
+    assert stats.variance == pytest.approx(variance, rel=1e-6, abs=1e-3)
+    assert stats.minimum == min(values)
+    assert stats.maximum == max(values)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False), min_size=1, max_size=200))
+def test_histogram_total_and_percentile_bounds(values):
+    hist = Histogram(bucket_width=7.5)
+    for value in values:
+        hist.record(value)
+    assert hist.total == len(values)
+    p99 = hist.percentile(0.99)
+    assert p99 >= 0
+    assert p99 >= max(values) - 7.5 or p99 <= max(values) + 7.5

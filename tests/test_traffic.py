@@ -1,0 +1,216 @@
+"""Tests for workload generation: patterns, match-rate workloads, synthetic traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import small_test_config
+from repro.net.parser import DescriptorExtractor
+from repro.traffic import (
+    SyntheticTraceConfig,
+    SyntheticTraceGenerator,
+    analyze_new_flow_ratio,
+    bank_increment_patterns,
+    descriptors_from_keys,
+    match_rate_workload,
+    random_flow_keys,
+    random_hash_patterns,
+    read_trace_csv,
+    write_trace_csv,
+)
+from repro.memory.controller import AddressMapping
+
+
+CONFIG = small_test_config()
+
+
+# --------------------------------------------------------------------------- #
+# Hash patterns (Table II-A)
+# --------------------------------------------------------------------------- #
+
+
+def test_random_hash_patterns_are_in_range_and_reproducible():
+    first = random_hash_patterns(100, CONFIG, seed=1)
+    second = random_hash_patterns(100, CONFIG, seed=1)
+    assert len(first) == 100
+    assert [p.bucket_indices for p in first] == [p.bucket_indices for p in second]
+    for pattern in first:
+        assert 0 <= pattern.bucket_indices[0] < CONFIG.buckets_per_memory
+        assert 0 <= pattern.bucket_indices[1] < CONFIG.buckets_per_memory
+        assert len(pattern.key_bytes) == (CONFIG.key_bits + 7) // 8
+
+
+def test_bank_increment_patterns_rotate_banks_by_one():
+    patterns = bank_increment_patterns(64, CONFIG, seed=2)
+    mapping = AddressMapping(CONFIG.geometry, CONFIG.mapping_scheme)
+    stride = CONFIG.bursts_per_bucket * CONFIG.geometry.burst_bytes
+    banks = [mapping.decompose(p.bucket_indices[0] * stride)[0] for p in patterns]
+    expected = [i % CONFIG.geometry.banks for i in range(64)]
+    assert banks == expected
+
+
+def test_bank_increment_patterns_use_unique_buckets():
+    patterns = bank_increment_patterns(500, CONFIG, seed=3)
+    first_choices = [p.bucket_indices[0] for p in patterns]
+    assert len(set(first_choices)) == len(first_choices)
+
+
+def test_pattern_count_validation():
+    with pytest.raises(ValueError):
+        random_hash_patterns(0, CONFIG)
+    with pytest.raises(ValueError):
+        bank_increment_patterns(0, CONFIG)
+
+
+# --------------------------------------------------------------------------- #
+# Flow-key workloads (Table II-B)
+# --------------------------------------------------------------------------- #
+
+
+def test_random_flow_keys_are_distinct():
+    keys = random_flow_keys(500, seed=4)
+    assert len(set(keys)) == 500
+
+
+def test_descriptors_from_keys_preserves_order_and_timestamps():
+    keys = random_flow_keys(10, seed=5)
+    descriptors = descriptors_from_keys(keys, length_bytes=100, inter_arrival_ps=10, start_ps=5)
+    assert [d.key for d in descriptors] == keys
+    assert descriptors[0].timestamp_ps == 5
+    assert descriptors[3].timestamp_ps == 35
+    assert all(d.length_bytes == 100 for d in descriptors)
+
+
+def test_match_rate_workload_fraction_is_exact():
+    table_keys = random_flow_keys(200, seed=6)
+    table_set = set(table_keys)
+    for fraction in (0.0, 0.25, 0.5, 1.0):
+        queries = match_rate_workload(table_keys, 400, match_fraction=fraction, seed=7)
+        matched = sum(1 for q in queries if q.key in table_set)
+        assert matched == int(round(400 * fraction))
+        assert len(queries) == 400
+
+
+def test_match_rate_workload_misses_are_distinct_new_keys():
+    table_keys = random_flow_keys(50, seed=8)
+    queries = match_rate_workload(table_keys, 100, match_fraction=0.0, seed=9)
+    keys = [q.key for q in queries]
+    assert len(set(keys)) == 100
+    assert not set(keys) & set(table_keys)
+
+
+def test_match_rate_workload_validation():
+    keys = random_flow_keys(10, seed=10)
+    with pytest.raises(ValueError):
+        match_rate_workload(keys, 10, match_fraction=1.5)
+    with pytest.raises(ValueError):
+        match_rate_workload(keys, 0, match_fraction=0.5)
+    with pytest.raises(ValueError):
+        match_rate_workload([], 10, match_fraction=0.5)
+    with pytest.raises(ValueError):
+        random_flow_keys(-1)
+
+
+def test_custom_extractor_is_used():
+    keys = random_flow_keys(5, seed=11)
+    extractor = DescriptorExtractor(bidirectional=True)
+    descriptors = descriptors_from_keys(keys, extractor=extractor)
+    assert extractor.packets_parsed == 5
+    assert all(d.key_bits == 104 for d in descriptors)
+
+
+# --------------------------------------------------------------------------- #
+# Synthetic trace (Figure 6)
+# --------------------------------------------------------------------------- #
+
+
+def test_trace_generator_is_reproducible_with_seed():
+    a = SyntheticTraceGenerator(seed=12).packet_list(500)
+    b = SyntheticTraceGenerator(seed=12).packet_list(500)
+    assert [p.key for p in a] == [p.key for p in b]
+    assert [p.length_bytes for p in a] == [p.length_bytes for p in b]
+
+
+def test_trace_packets_have_increasing_timestamps_and_valid_sizes():
+    config = SyntheticTraceConfig()
+    packets = SyntheticTraceGenerator(config, seed=13).packet_list(2000)
+    timestamps = [p.timestamp_ps for p in packets]
+    assert all(b >= a for a, b in zip(timestamps, timestamps[1:]))
+    assert all(config.min_packet_bytes <= p.length_bytes <= config.max_packet_bytes for p in packets)
+
+
+def test_trace_same_rank_reuses_flow_key():
+    generator = SyntheticTraceGenerator(seed=14)
+    packets = generator.packet_list(5000)
+    keys = {p.key for p in packets}
+    # Heavy-tailed popularity: far fewer flows than packets.
+    assert len(keys) < len(packets)
+    assert generator.distinct_flows == len(keys)
+
+
+def test_new_flow_ratio_decreases_with_packet_count():
+    generator = SyntheticTraceGenerator(seed=15)
+    rows = analyze_new_flow_ratio(generator.packets(30_000), [1_000, 10_000, 30_000])
+    ratios = [ratio for _, _, ratio in rows]
+    assert ratios[0] > ratios[1] > ratios[2]
+
+
+def test_new_flow_ratio_near_paper_anchors():
+    """Figure 6 anchors: ~57% at 1 K packets and ~34% at 10 K packets."""
+    generator = SyntheticTraceGenerator(seed=16)
+    rows = dict(
+        (packets, ratio) for packets, _, ratio in analyze_new_flow_ratio(generator.packets(10_000), [1_000, 10_000])
+    )
+    assert rows[1_000] == pytest.approx(0.57, abs=0.12)
+    assert rows[10_000] == pytest.approx(0.34, abs=0.08)
+
+
+def test_analyze_new_flow_ratio_validation_and_truncation():
+    generator = SyntheticTraceGenerator(seed=17)
+    with pytest.raises(ValueError):
+        analyze_new_flow_ratio(generator.packets(10), [0])
+    rows = analyze_new_flow_ratio(generator.packets(50), [30, 100])
+    assert rows[0][0] == 30
+    assert rows[-1][0] == 50  # stream ended before the 100-packet checkpoint
+
+
+def test_trace_config_validation():
+    with pytest.raises(ValueError):
+        SyntheticTraceConfig(zipf_exponent=1.0)
+    with pytest.raises(ValueError):
+        SyntheticTraceConfig(mice_fraction=1.0)
+    with pytest.raises(ValueError):
+        SyntheticTraceConfig(min_packet_bytes=100, mean_packet_bytes=50)
+    with pytest.raises(ValueError):
+        SyntheticTraceConfig(tcp_fraction=1.5)
+
+
+def test_mice_fraction_raises_new_flow_ratio():
+    lean = SyntheticTraceGenerator(SyntheticTraceConfig(mice_fraction=0.0), seed=18)
+    heavy = SyntheticTraceGenerator(SyntheticTraceConfig(mice_fraction=0.3), seed=18)
+    lean_ratio = analyze_new_flow_ratio(lean.packets(5_000), [5_000])[0][2]
+    heavy_ratio = analyze_new_flow_ratio(heavy.packets(5_000), [5_000])[0][2]
+    assert heavy_ratio > lean_ratio
+
+
+# --------------------------------------------------------------------------- #
+# Trace file I/O
+# --------------------------------------------------------------------------- #
+
+
+def test_trace_csv_roundtrip(tmp_path):
+    packets = SyntheticTraceGenerator(seed=19).packet_list(200)
+    path = tmp_path / "trace.csv"
+    written = write_trace_csv(path, packets)
+    assert written == 200
+    restored = list(read_trace_csv(path))
+    assert len(restored) == 200
+    assert [p.key for p in restored] == [p.key for p in packets]
+    assert [p.length_bytes for p in restored] == [p.length_bytes for p in packets]
+    assert [p.timestamp_ps for p in restored] == [p.timestamp_ps for p in packets]
+
+
+def test_trace_csv_missing_columns_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b,c\n1,2,3\n")
+    with pytest.raises(ValueError):
+        list(read_trace_csv(path))
