@@ -1,0 +1,53 @@
+"""Telemetry scenario sweep — measurement-plane rate and sketch accuracy.
+
+This benchmark has no paper reference table: it exercises the extension
+workload suite (``repro.traffic.scenarios``) through the telemetry pipeline
+and checks the properties the subsystem promises — sketches never
+underestimate, heavy-hitter recall is high on skewed traffic, and each
+adversarial scenario raises exactly the anomaly flag it was built to raise.
+
+Set ``TELEMETRY_BENCH_PACKETS`` to shrink or grow the per-scenario packet
+count (CI smoke runs use a small value).
+"""
+
+import os
+
+from repro.reporting import format_table, run_telemetry_scenarios
+from repro.traffic import list_scenarios
+
+PACKETS = int(os.environ.get("TELEMETRY_BENCH_PACKETS", "8000"))
+
+
+def test_telemetry_scenario_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_telemetry_scenarios(packet_count=PACKETS, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result["rows"]
+    print()
+    print(format_table(rows, title=f"telemetry scenarios ({PACKETS} packets each)"))
+
+    by_name = {row["scenario"]: row for row in rows}
+    assert set(by_name) == set(list_scenarios())
+    assert len(by_name) >= 5
+
+    for row in rows:
+        # The measurement plane must keep up and stay within its error model.
+        assert row["kpps"] > 0.5
+        assert row["cm_rel_err"] >= 0.0  # Count-Min never underestimates
+
+    # Skewed traffic: the Space-Saving summary finds the real elephants.
+    assert by_name["zipf_mix"]["hh_recall@10"] >= 0.8
+    assert by_name["churn"]["hh_recall@10"] >= 0.7
+
+    # Each adversarial scenario raises exactly its own flag.
+    assert by_name["syn_flood"]["syn_flood"] and not by_name["syn_flood"]["port_scan"]
+    assert by_name["port_scan"]["port_scan"] and not by_name["port_scan"]["syn_flood"]
+    for benign in ("zipf_mix", "flash_crowd", "churn", "uniform_random"):
+        assert not by_name[benign]["syn_flood"], benign
+        assert not by_name[benign]["port_scan"], benign
+
+    # Sketch memory is fixed; exact state grows with the flow count.
+    assert len({row["sketch_kB"] for row in rows}) == 1
+    benchmark.extra_info["rows"] = rows

@@ -11,6 +11,8 @@ The package is organised as the paper's system is:
 * :mod:`repro.baselines` — single-hash, d-left, cuckoo, Bloom-filter and
   SRAM Hash-CAM comparison points.
 * :mod:`repro.analyzer` — the Figure 7 traffic-analyzer integration.
+* :mod:`repro.telemetry` — sketch-based streaming measurement (heavy
+  hitters, superspreaders, flow sizes) riding on the analyzer's events.
 * :mod:`repro.reporting` — experiment tables and paper reference values.
 
 Quick start::
@@ -34,6 +36,7 @@ from repro.net.fivetuple import FlowKey
 from repro.net.packet import Packet
 from repro.net.parser import DescriptorExtractor, PacketDescriptor
 from repro.sim.engine import Simulator
+from repro.telemetry import TelemetryConfig, TelemetryPipeline
 
 __version__ = "0.1.0"
 
@@ -53,6 +56,8 @@ __all__ = [
     "Packet",
     "PacketDescriptor",
     "Simulator",
+    "TelemetryConfig",
+    "TelemetryPipeline",
     "run_lookup_experiment",
     "small_test_config",
     "__version__",

@@ -9,7 +9,7 @@ terminating with FIN/RST.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.flow_state import FlowRecord
@@ -24,12 +24,19 @@ class FlowEventType(enum.Enum):
 
 @dataclass(frozen=True)
 class FlowEvent:
-    """One event raised by the event engine."""
+    """One event raised by the event engine.
+
+    ``record`` carries the flow's state snapshot when the raiser has it at
+    hand (updates, expiries, terminations), so subscribers such as the
+    telemetry pipeline can read final packet/byte counts without re-querying
+    the flow-state table; it does not participate in equality.
+    """
 
     kind: FlowEventType
     flow_id: int
     timestamp_ps: int
     detail: str = ""
+    record: Optional[FlowRecord] = field(default=None, compare=False)
 
 
 class EventEngine:
@@ -74,11 +81,16 @@ class EventEngine:
                     record.flow_id,
                     timestamp_ps,
                     detail=f"{record.bytes} bytes",
+                    record=record,
                 )
             )
 
-    def observe_termination(self, flow_id: int, timestamp_ps: int) -> None:
-        self._raise(FlowEvent(FlowEventType.FLOW_TERMINATED, flow_id, timestamp_ps))
+    def observe_termination(
+        self, flow_id: int, timestamp_ps: int, record: Optional[FlowRecord] = None
+    ) -> None:
+        self._raise(
+            FlowEvent(FlowEventType.FLOW_TERMINATED, flow_id, timestamp_ps, record=record)
+        )
 
     def observe_expiry(self, record: FlowRecord, timestamp_ps: int) -> None:
         self._raise(
@@ -87,6 +99,7 @@ class EventEngine:
                 record.flow_id,
                 timestamp_ps,
                 detail=f"{record.packets} pkts / {record.bytes} bytes",
+                record=record,
             )
         )
         self._reported_elephants.discard(record.flow_id)

@@ -55,6 +55,15 @@ class FlowProcessor:
         self.packets_rejected = 0
         self.flows_expired = 0
         self.outcomes: List[LookupOutcome] = []
+        self.observers: List[Callable[[LookupOutcome], None]] = []
+
+    def add_observer(self, observer: Callable[[LookupOutcome], None]) -> None:
+        """Register a per-lookup tap (e.g. a telemetry pipeline).
+
+        Observers are invoked for every completed lookup outcome, after flow
+        state and events have been updated, in registration order.
+        """
+        self.observers.append(observer)
 
     # ------------------------------------------------------------------ #
     # Packet path
@@ -88,18 +97,18 @@ class FlowProcessor:
 
     def _on_result(self, outcome: LookupOutcome) -> None:
         self.outcomes.append(outcome)
-        if self.event_engine is None:
-            return
         timestamp = getattr(outcome.descriptor, "timestamp_ps", outcome.complete_ps)
-        if outcome.new_flow and outcome.flow_id is not None:
-            self.event_engine.observe_new_flow(outcome.flow_id, timestamp)
-        if outcome.flow_id is not None:
+        if self.event_engine is not None and outcome.flow_id is not None:
+            if outcome.new_flow:
+                self.event_engine.observe_new_flow(outcome.flow_id, timestamp)
             record = self.flow_state.get(outcome.flow_id)
             if record is not None:
                 self.event_engine.observe_update(record, timestamp)
-        flags = getattr(outcome.descriptor, "tcp_flags", 0)
-        if flags & 0x05 and outcome.flow_id is not None:  # FIN or RST
-            self.event_engine.observe_termination(outcome.flow_id, timestamp)
+            flags = getattr(outcome.descriptor, "tcp_flags", 0)
+            if flags & 0x05:  # FIN or RST
+                self.event_engine.observe_termination(outcome.flow_id, timestamp, record=record)
+        for observer in self.observers:
+            observer(outcome)
 
     # ------------------------------------------------------------------ #
     # Housekeeping

@@ -14,6 +14,7 @@ from repro.reporting.experiments import (
     run_table1_resources,
     run_table2a_load_balance,
     run_table2b_miss_rate,
+    run_telemetry_scenarios,
 )
 from repro.reporting.paper import PAPER_FIG3, PAPER_FIG6, PAPER_TABLE2A, PAPER_TABLE2B
 from repro.reporting.tables import format_comparison, format_table
@@ -31,4 +32,5 @@ __all__ = [
     "run_table1_resources",
     "run_table2a_load_balance",
     "run_table2b_miss_rate",
+    "run_telemetry_scenarios",
 ]

@@ -8,6 +8,7 @@ side-by-side comparison; EXPERIMENTS.md records a captured run.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Sequence
 
 from repro.core.config import FlowLUTConfig, PROTOTYPE_CONFIG, small_test_config
@@ -28,9 +29,11 @@ from repro.reporting.paper import (
     PAPER_TABLE2B,
 )
 from repro.core.resources import PAPER_TABLE1
+from repro.telemetry import TelemetryConfig, TelemetryPipeline
 from repro.traffic.flows import SyntheticTraceGenerator, analyze_new_flow_ratio
 from repro.traffic.generators import descriptors_from_keys, match_rate_workload, random_flow_keys
 from repro.traffic.patterns import bank_increment_patterns, random_hash_patterns
+from repro.traffic.scenarios import generate_scenario, list_scenarios
 
 
 # --------------------------------------------------------------------------- #
@@ -271,3 +274,62 @@ def run_linerate_feasibility(
             }
         )
     return {"rows": rows, "paper": PAPER_DISCUSSION}
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry — scenario sweep (extension beyond the paper's tables)
+# --------------------------------------------------------------------------- #
+
+
+def run_telemetry_scenarios(
+    scenario_names: Optional[Sequence[str]] = None,
+    packet_count: int = 10_000,
+    seed: int = 11,
+    telemetry_config: Optional[TelemetryConfig] = None,
+    top_k: int = 10,
+) -> dict:
+    """Drive the telemetry pipeline across the named workload scenarios.
+
+    For each scenario the pipeline runs in standalone (sketch-only) mode over
+    ``packet_count`` packets while an exact per-flow tally is kept alongside,
+    yielding one row per scenario: sustained packets/sec of the measurement
+    plane, sketch accuracy against the exact counts (Count-Min mean relative
+    error, heavy-hitter recall at ``top_k``), memory footprints and the
+    anomaly flags the scenario is designed to exercise.  There is no paper
+    reference for this table — it is the extension workload suite.
+    """
+    if packet_count <= 0:
+        raise ValueError("packet_count must be positive")
+    names = list(scenario_names) if scenario_names is not None else list_scenarios()
+    rows = []
+    for name in names:
+        packets = generate_scenario(name, packet_count, seed=seed)
+        pipeline = TelemetryPipeline(telemetry_config, seed=seed)
+        started = time.perf_counter()
+        pipeline.observe_packets(packets)
+        elapsed = time.perf_counter() - started
+
+        exact: dict = {}
+        for packet in packets:
+            packets_so_far, bytes_so_far = exact.get(packet.key, (0, 0))
+            exact[packet.key] = (packets_so_far + 1, bytes_so_far + packet.length_bytes)
+        comparison = pipeline.compare_with_exact(
+            ((key, packets_, bytes_) for key, (packets_, bytes_) in exact.items()),
+            top_k=top_k,
+        )
+
+        rows.append(
+            {
+                "scenario": name,
+                "packets": packet_count,
+                "kpps": round(packet_count / elapsed / 1e3, 1),
+                "flows": comparison["flows"],
+                "cm_rel_err": round(comparison["cm_mean_relative_error"], 4),
+                f"hh_recall@{top_k}": round(comparison["heavy_hitter_recall"], 2),
+                "sketch_kB": round(comparison["sketch_memory_bytes"] / 1024, 1),
+                "exact_kB": round(comparison["exact_memory_bytes"] / 1024, 1),
+                "syn_flood": pipeline.syn_flood_detected,
+                "port_scan": pipeline.port_scan_detected,
+            }
+        )
+    return {"rows": rows, "packet_count": packet_count, "seed": seed}

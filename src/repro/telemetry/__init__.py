@@ -1,0 +1,36 @@
+"""Streaming telemetry: sketch-based measurement over the analyzer's stream.
+
+The Flow LUT gives the analyzer an *exact* per-flow path; this package adds
+the *approximate* measurement plane that real deployments run next to it —
+fixed-memory summaries answering the operator questions (heavy hitters,
+superspreaders, flow-size distribution, anomaly flags) at line rate:
+
+* :mod:`repro.telemetry.sketches` — Count-Min counting and linear-counting
+  cardinality estimation on the :mod:`repro.hashing` families.
+* :mod:`repro.telemetry.heavy_hitters` — the Space-Saving top-k summary.
+* :mod:`repro.telemetry.superspreader` — distinct-destination fan-out
+  tracking (port scans, worm/DDoS spread patterns).
+* :mod:`repro.telemetry.flow_size` — log2-bucketed flow-size histograms.
+* :mod:`repro.telemetry.pipeline` — :class:`TelemetryPipeline`, which
+  subscribes to :class:`~repro.analyzer.flow_processor.FlowProcessor`
+  lookups/events and scores the sketches head-to-head against the exact
+  flow table (:meth:`TelemetryPipeline.compare_with_exact`).
+"""
+
+from repro.telemetry.flow_size import FlowSizeDistribution
+from repro.telemetry.heavy_hitters import HeavyHitter, SpaceSavingTracker
+from repro.telemetry.pipeline import TelemetryConfig, TelemetryPipeline
+from repro.telemetry.sketches import CountMinSketch, DistinctCounter
+from repro.telemetry.superspreader import SpreaderReport, SuperSpreaderDetector
+
+__all__ = [
+    "CountMinSketch",
+    "DistinctCounter",
+    "FlowSizeDistribution",
+    "HeavyHitter",
+    "SpaceSavingTracker",
+    "SpreaderReport",
+    "SuperSpreaderDetector",
+    "TelemetryConfig",
+    "TelemetryPipeline",
+]

@@ -1,0 +1,88 @@
+"""Flow-size distribution collection.
+
+The flow-size distribution (how many flows carried 1 packet, 2-3 packets,
+4-7, ...) is the standard aggregate behind capacity planning, sampling-rate
+selection and anomaly baselines.  Sizes span many orders of magnitude, so the
+collector uses power-of-two buckets: bucket ``i`` holds flows whose size
+``s`` satisfies ``2**i <= s < 2**(i+1)`` (bucket 0 is the single-packet mice
+bucket).  Flows are added once, at the end of their life (expiry / FIN) or at
+a measurement-window close.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class FlowSizeDistribution:
+    """Log2-bucketed histogram of completed flow sizes."""
+
+    def __init__(self, max_bucket: int = 32) -> None:
+        if max_bucket <= 0:
+            raise ValueError("max_bucket must be positive")
+        self.max_bucket = max_bucket
+        self._packet_buckets: Dict[int, int] = {}
+        self.flows = 0
+        self.total_packets = 0
+        self.total_bytes = 0
+
+    @staticmethod
+    def bucket_of(size: int) -> int:
+        """The log2 bucket index of a flow of ``size`` packets."""
+        if size <= 0:
+            raise ValueError("flow size must be positive")
+        return size.bit_length() - 1
+
+    def observe_flow(self, packets: int, bytes_: int = 0) -> None:
+        """Account one completed flow of ``packets`` packets."""
+        bucket = min(self.bucket_of(packets), self.max_bucket)
+        self._packet_buckets[bucket] = self._packet_buckets.get(bucket, 0) + 1
+        self.flows += 1
+        self.total_packets += packets
+        self.total_bytes += bytes_
+
+    def histogram(self) -> List[dict]:
+        """Rows of ``{bucket, min_packets, max_packets, flows, fraction}``."""
+        rows = []
+        for bucket in sorted(self._packet_buckets):
+            count = self._packet_buckets[bucket]
+            rows.append(
+                {
+                    "bucket": bucket,
+                    "min_packets": 1 << bucket,
+                    "max_packets": (1 << (bucket + 1)) - 1,
+                    "flows": count,
+                    "fraction": count / self.flows if self.flows else 0.0,
+                }
+            )
+        return rows
+
+    def fraction_below(self, packets: int) -> float:
+        """Fraction of flows strictly smaller than the bucket of ``packets``.
+
+        Bucketing makes this exact only at power-of-two boundaries; it is the
+        resolution the histogram stores.
+        """
+        limit = self.bucket_of(packets)
+        below = sum(count for bucket, count in self._packet_buckets.items() if bucket < limit)
+        return below / self.flows if self.flows else 0.0
+
+    def mice_fraction(self, mice_max_packets: int = 1) -> float:
+        """Fraction of flows with at most ``mice_max_packets`` packets' bucket."""
+        limit = self.bucket_of(mice_max_packets)
+        small = sum(count for bucket, count in self._packet_buckets.items() if bucket <= limit)
+        return small / self.flows if self.flows else 0.0
+
+    @property
+    def mean_flow_packets(self) -> float:
+        return self.total_packets / self.flows if self.flows else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "flows": self.flows,
+            "total_packets": self.total_packets,
+            "total_bytes": self.total_bytes,
+            "mean_flow_packets": self.mean_flow_packets,
+            "mice_fraction": self.mice_fraction(),
+            "buckets": len(self._packet_buckets),
+        }

@@ -1,0 +1,107 @@
+"""Space-Saving heavy-hitter tracking.
+
+The operator question behind Table-style flow accounting is usually just
+"which flows are the biggest right now?".  The Space-Saving algorithm
+(Metwally, Agrawal & El Abbadi) answers it with exactly ``capacity`` counters
+regardless of how many flows the stream contains: a monitored key is
+incremented in place, an unmonitored key evicts the current minimum and
+inherits its count as its *error bound*.  Two guarantees make the summary
+usable: counts never underestimate (``count - error <= true <= count``), and
+any key whose true count exceeds ``total / capacity`` is guaranteed to be
+monitored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """One monitored entry of the Space-Saving summary."""
+
+    key: Hashable
+    count: int
+    error: int
+
+    @property
+    def guaranteed(self) -> int:
+        """A lower bound on the key's true count."""
+        return self.count - self.error
+
+
+class SpaceSavingTracker:
+    """Top-k tracking in O(capacity) memory.
+
+    Parameters
+    ----------
+    capacity: number of monitored counters; the summary guarantees every key
+        with frequency above ``total / capacity`` is present.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._counts: Dict[Hashable, int] = {}
+        self._errors: Dict[Hashable, int] = {}
+        self.total = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counts
+
+    def update(self, key: Hashable, count: int = 1) -> None:
+        """Account ``count`` units (packets, bytes, ...) to ``key``."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.total += count
+        if key in self._counts:
+            self._counts[key] += count
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = count
+            self._errors[key] = 0
+            return
+        # Evict the minimum: the newcomer inherits its count as error bound.
+        victim = min(self._counts, key=self._counts.__getitem__)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = floor + count
+        self._errors[key] = floor
+        self.evictions += 1
+
+    def estimate(self, key: Hashable) -> int:
+        """Overestimate of ``key``'s count (0 if unmonitored)."""
+        return self._counts.get(key, 0)
+
+    def top(self, count: int = 10) -> List[HeavyHitter]:
+        """The ``count`` largest monitored entries, descending by estimate."""
+        ordered = sorted(self._counts.items(), key=lambda item: item[1], reverse=True)
+        return [
+            HeavyHitter(key=key, count=value, error=self._errors[key])
+            for key, value in ordered[:count]
+        ]
+
+    def entries(self) -> List[HeavyHitter]:
+        """Every monitored entry (unordered guarantees, sorted for stability)."""
+        return self.top(len(self._counts))
+
+    def threshold_hitters(self, fraction: float) -> List[HeavyHitter]:
+        """Entries whose *guaranteed* count exceeds ``fraction`` of the stream."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        floor = fraction * self.total
+        return [entry for entry in self.entries() if entry.guaranteed >= floor]
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "monitored": len(self._counts),
+            "total": self.total,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,329 @@
+"""The telemetry pipeline: sketches subscribed to the flow processor.
+
+:class:`TelemetryPipeline` is the measurement plane of the Figure 7 analyzer:
+it consumes the same per-packet stream the exact Flow LUT path processes and
+summarises it with the bounded-memory structures of this package (Count-Min
+packet/byte counts, Space-Saving heavy hitters, superspreader fan-out,
+flow-size distribution) plus simple anomaly flags (SYN flood, port scan).
+
+It can be driven two ways:
+
+* **attached** — :meth:`attach` registers the pipeline as an observer on a
+  :class:`~repro.analyzer.flow_processor.FlowProcessor` (or a whole
+  :class:`~repro.analyzer.traffic_analyzer.TrafficAnalyzer`), so every lookup
+  outcome and flow event feeds the sketches while the exact path runs.  This
+  is the head-to-head configuration: :meth:`compare_with_exact` then scores
+  the sketch estimates against the exact flow-state records.
+* **standalone** — :meth:`observe_packet` feeds raw packets directly, for
+  sketch-only measurement at rates where the timed LUT model is not needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analyzer.event_engine import FlowEvent, FlowEventType
+from repro.net.fivetuple import FlowKey, PROTO_TCP
+from repro.net.packet import Packet, TCP_FLAGS
+from repro.sim.rng import SeedLike, make_rng
+from repro.telemetry.flow_size import FlowSizeDistribution
+from repro.telemetry.heavy_hitters import HeavyHitter, SpaceSavingTracker
+from repro.telemetry.sketches import CountMinSketch
+from repro.telemetry.superspreader import SpreaderReport, SuperSpreaderDetector
+
+EXACT_BYTES_PER_FLOW = 64
+"""DDR3 bucket-entry budget per exact flow (key + counters + timestamps),
+used when comparing sketch memory against the exact Flow LUT path."""
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Sizing and detection thresholds of the measurement plane.
+
+    Attributes
+    ----------
+    cm_width / cm_depth: Count-Min geometry for the packet and byte sketches.
+    heavy_hitter_capacity: Space-Saving counters for top-talker tracking.
+    spreader_sources / spreader_bitmap_bits: superspreader table geometry.
+    spreader_threshold: distinct destination IPs flagging a superspreader.
+    scan_threshold: distinct (IP, port) contacts flagging a port scanner.
+    syn_flood_fraction: share of bare-SYN packets that raises the flood flag.
+    syn_flood_min_packets: packets required before the flood flag can fire.
+    """
+
+    cm_width: int = 2048
+    cm_depth: int = 4
+    heavy_hitter_capacity: int = 128
+    spreader_sources: int = 256
+    spreader_bitmap_bits: int = 512
+    spreader_threshold: float = 64.0
+    scan_threshold: float = 96.0
+    syn_flood_fraction: float = 0.5
+    syn_flood_min_packets: int = 1000
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.syn_flood_fraction <= 1.0:
+            raise ValueError("syn_flood_fraction must be in (0, 1]")
+        if self.syn_flood_min_packets <= 0:
+            raise ValueError("syn_flood_min_packets must be positive")
+
+
+class TelemetryPipeline:
+    """Streaming measurement over the analyzer's packet/event stream."""
+
+    def __init__(self, config: Optional[TelemetryConfig] = None, seed: SeedLike = None) -> None:
+        self.config = config or TelemetryConfig()
+        rng = make_rng(seed)
+        cfg = self.config
+        self.packet_counts = CountMinSketch(
+            cfg.cm_width, cfg.cm_depth, key_bits=104, seed=rng.getrandbits(64)
+        )
+        self.byte_counts = CountMinSketch(
+            cfg.cm_width, cfg.cm_depth, key_bits=104, seed=rng.getrandbits(64)
+        )
+        self.heavy_hitters = SpaceSavingTracker(cfg.heavy_hitter_capacity)
+        self.spreaders = SuperSpreaderDetector(
+            cfg.spreader_sources,
+            cfg.spreader_bitmap_bits,
+            threshold=cfg.spreader_threshold,
+            seed=rng.getrandbits(64),
+        )
+        self.port_scanners = SuperSpreaderDetector(
+            cfg.spreader_sources,
+            cfg.spreader_bitmap_bits,
+            threshold=cfg.scan_threshold,
+            seed=rng.getrandbits(64),
+        )
+        self.flow_sizes = FlowSizeDistribution()
+        self.packets = 0
+        self.bytes = 0
+        self.syn_packets = 0
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def _observe(self, key: FlowKey, length_bytes: int, tcp_flags: int) -> None:
+        key_bytes = key.pack()
+        self.packets += 1
+        self.bytes += length_bytes
+        self.packet_counts.update(key_bytes)
+        if length_bytes > 0:  # descriptors, unlike packets, may carry no length
+            self.byte_counts.update(key_bytes, length_bytes)
+            self.heavy_hitters.update(key_bytes, length_bytes)
+        self.spreaders.update(key.src_ip, key.dst_ip)
+        self.port_scanners.update(key.src_ip, (key.dst_ip << 16) | key.dst_port)
+        if key.protocol == PROTO_TCP and tcp_flags & TCP_FLAGS["SYN"] and not tcp_flags & TCP_FLAGS["ACK"]:
+            self.syn_packets += 1
+
+    def observe_packet(self, packet: Packet) -> None:
+        """Standalone mode: account one raw packet."""
+        self._observe(packet.key, packet.length_bytes, packet.tcp_flags)
+
+    def observe_packets(self, packets: Iterable[Packet]) -> int:
+        """Standalone mode: account a packet stream; returns the count."""
+        count = 0
+        for packet in packets:
+            self.observe_packet(packet)
+            count += 1
+        return count
+
+    def observe_outcome(self, outcome) -> None:
+        """Attached mode: account one Flow LUT lookup outcome."""
+        descriptor = outcome.descriptor
+        key = getattr(descriptor, "key", None)
+        if not isinstance(key, FlowKey):
+            return  # pattern descriptors carry no 5-tuple to measure
+        self._observe(
+            key,
+            getattr(descriptor, "length_bytes", 0),
+            getattr(descriptor, "tcp_flags", 0),
+        )
+
+    def observe_event(self, event: FlowEvent) -> None:
+        """Attached mode: account one flow event (flow-size accounting).
+
+        A flow's size is recorded only once its record is final: expiry
+        removes the record from the flow-state table, and :meth:`finalize`
+        sweeps the records still active at window close.  FIN/RST
+        termination events are *not* sized — the record stays in the table
+        and may keep accumulating retransmitted or trailing packets.
+        """
+        self.events_seen += 1
+        if event.kind is FlowEventType.FLOW_EXPIRED and event.record is not None:
+            self.flow_sizes.observe_flow(event.record.packets, event.record.bytes)
+
+    def attach(self, target) -> "TelemetryPipeline":
+        """Subscribe to a flow processor (or traffic analyzer); returns self.
+
+        Lookup outcomes feed the sketches and flow events feed the flow-size
+        collector; an already-registered ``on_event`` callback is chained,
+        not replaced.  Attaching the same pipeline to the same processor
+        again is a no-op (it would otherwise double-count every packet).
+        """
+        processor = getattr(target, "flow_processor", target)
+        if self.observe_outcome in processor.observers:
+            return self
+        processor.add_observer(self.observe_outcome)
+        engine = processor.event_engine
+        if engine is not None:
+            previous = engine.on_event
+
+            def chained(event: FlowEvent) -> None:
+                if previous is not None:
+                    previous(event)
+                self.observe_event(event)
+
+            engine.on_event = chained
+        return self
+
+    def finalize(self, flow_state) -> int:
+        """Close the measurement window: size flows still active in ``flow_state``.
+
+        Complements the expiry-driven accounting of :meth:`observe_event`
+        (active and expired records are disjoint, so together they size each
+        flow exactly once).  Call once per measurement window.  Returns how
+        many records were added to the flow-size distribution.
+        """
+        added = 0
+        for record in flow_state:
+            self.flow_sizes.observe_flow(record.packets, record.bytes)
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def estimate_packets(self, key: FlowKey) -> int:
+        """Count-Min packet-count estimate for one flow (never underestimates)."""
+        return self.packet_counts.estimate(key.pack())
+
+    def estimate_bytes(self, key: FlowKey) -> int:
+        return self.byte_counts.estimate(key.pack())
+
+    def top_talkers(self, count: int = 10) -> List[HeavyHitter]:
+        """Space-Saving top flows by bytes (keys are packed 5-tuples)."""
+        return self.heavy_hitters.top(count)
+
+    def superspreaders(self) -> List[SpreaderReport]:
+        return self.spreaders.superspreaders()
+
+    def port_scan_suspects(self) -> List[SpreaderReport]:
+        return self.port_scanners.superspreaders()
+
+    @property
+    def syn_fraction(self) -> float:
+        return self.syn_packets / self.packets if self.packets else 0.0
+
+    @property
+    def syn_flood_detected(self) -> bool:
+        return (
+            self.packets >= self.config.syn_flood_min_packets
+            and self.syn_fraction >= self.config.syn_flood_fraction
+        )
+
+    @property
+    def port_scan_detected(self) -> bool:
+        return bool(self.port_scanners.superspreaders())
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total provisioned sketch memory of the measurement plane."""
+        bits = (
+            self.packet_counts.memory_bits
+            + self.byte_counts.memory_bits
+            + self.spreaders.memory_bits
+            + self.port_scanners.memory_bits
+        )
+        # A Space-Saving entry stores a packed key plus count and error.
+        hh_bytes = self.heavy_hitters.capacity * (13 + 8 + 8)
+        return (bits + 7) // 8 + hh_bytes
+
+    # ------------------------------------------------------------------ #
+    # Head-to-head against the exact path
+    # ------------------------------------------------------------------ #
+
+    def compare_with_exact(self, records: Iterable, top_k: int = 10) -> dict:
+        """Score sketch estimates against exact per-flow records.
+
+        ``records`` is an iterable of flow-state records (anything with
+        ``key`` / ``packets`` / ``bytes`` attributes, e.g.
+        :class:`~repro.core.flow_state.FlowRecord`, live or exported) or of
+        plain ``(key, packets, bytes)`` tuples.  Returns accuracy and
+        memory-footprint figures for the comparison the subsystem exists to
+        make: bounded-memory sketches versus the exact DDR3-resident flow
+        table.
+        """
+        exact: Dict[bytes, Tuple[int, int]] = {}
+        for record in records:
+            if isinstance(record, tuple):
+                key, record_packets, record_bytes = record
+            else:
+                key, record_packets, record_bytes = record.key, record.packets, record.bytes
+            packed = key.pack()
+            # The same 5-tuple can appear in several records (flow-ID churn);
+            # the stream-level truth is their sum.
+            packets, bytes_ = exact.get(packed, (0, 0))
+            exact[packed] = (packets + record_packets, bytes_ + record_bytes)
+        if not exact:
+            return {
+                "flows": 0,
+                "cm_mean_relative_error": 0.0,
+                "cm_max_relative_error": 0.0,
+                "cm_underestimates": 0,
+                "top_k": top_k,
+                "heavy_hitter_recall": 0.0,
+                "sketch_memory_bytes": self.memory_bytes,
+                "exact_memory_bytes": 0,
+            }
+
+        underestimates = 0
+        relative_errors: List[float] = []
+        for packed, (packets, _) in exact.items():
+            estimate = self.packet_counts.estimate(packed)
+            if estimate < packets:
+                underestimates += 1
+            relative_errors.append((estimate - packets) / packets if packets else 0.0)
+
+        exact_top = sorted(exact.items(), key=lambda item: item[1][1], reverse=True)
+        true_top = {packed for packed, _ in exact_top[:top_k]}
+        sketch_top = {hitter.key for hitter in self.heavy_hitters.top(top_k)}
+        recall = len(true_top & sketch_top) / len(true_top) if true_top else 0.0
+
+        return {
+            "flows": len(exact),
+            "cm_mean_relative_error": sum(relative_errors) / len(relative_errors),
+            "cm_max_relative_error": max(relative_errors),
+            "cm_underestimates": underestimates,
+            "top_k": top_k,
+            "heavy_hitter_recall": recall,
+            "sketch_memory_bytes": self.memory_bytes,
+            "exact_memory_bytes": len(exact) * EXACT_BYTES_PER_FLOW,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def report(self) -> dict:
+        """Operator-facing summary: traffic totals, detections, sketch health."""
+        return {
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "syn_fraction": self.syn_fraction,
+            "events_seen": self.events_seen,
+            "detections": {
+                "syn_flood": self.syn_flood_detected,
+                "port_scan": self.port_scan_detected,
+                "superspreaders": len(self.superspreaders()),
+            },
+            "heavy_hitters": self.heavy_hitters.stats(),
+            "spreaders": self.spreaders.stats(),
+            "port_scanners": self.port_scanners.stats(),
+            "flow_sizes": self.flow_sizes.stats(),
+            "packet_sketch": self.packet_counts.stats(),
+            "memory_bytes": self.memory_bytes,
+        }

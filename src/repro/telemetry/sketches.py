@@ -1,0 +1,191 @@
+"""Sketch data structures for line-rate stream measurement.
+
+The exact Flow LUT stores every live flow in DDR3; a telemetry plane cannot
+afford that for every question it asks, so it summarises the stream in small,
+fixed-size *sketches* whose error is bounded and tunable.  Two primitives are
+provided, both built on the repository's hardware-style hash families
+(:mod:`repro.hashing`):
+
+* :class:`CountMinSketch` — a ``depth x width`` counter array indexed by
+  ``depth`` independent H3 hashes (Cormode & Muthukrishnan).  Point queries
+  never underestimate, and overestimate by at most ``e/width * total`` with
+  probability ``1 - e^-depth``.
+* :class:`DistinctCounter` — a linear (probabilistic) counting bitmap (Whang
+  et al.): each item sets one hashed bit, and the zero fraction yields a
+  cardinality estimate.  It is the per-source building block of the
+  superspreader detector.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Union
+
+from repro.hashing.h3 import KeyLike
+from repro.hashing.multi_hash import MultiHash
+from repro.hashing.tabulation import TabulationHash
+from repro.sim.rng import SeedLike, make_rng
+
+COUNTER_BITS = 32
+"""Width of one sketch counter cell as a hardware design would provision it."""
+
+
+def _key_bits_of(key: KeyLike, limit_bits: int) -> KeyLike:
+    """Clamp integer keys into ``limit_bits`` (bytes keys pass through)."""
+    if isinstance(key, int):
+        return key & ((1 << limit_bits) - 1)
+    return key
+
+
+class CountMinSketch:
+    """A Count-Min sketch over flow keys (bytes or non-negative integers).
+
+    Parameters
+    ----------
+    width: counters per row; the L1 overestimate bound is ``e/width * total``.
+    depth: number of rows (independent hash functions).
+    key_bits: input key width in bits; defaults to the 104-bit 5-tuple.
+    seed: selects the hash-function family members.
+    """
+
+    def __init__(
+        self,
+        width: int = 1024,
+        depth: int = 4,
+        key_bits: int = 104,
+        seed: SeedLike = None,
+    ) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.key_bits = key_bits
+        self._hashes = MultiHash(depth, key_bits=key_bits, output_bits=32, seed=seed)
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    @classmethod
+    def from_error_bounds(
+        cls,
+        epsilon: float,
+        delta: float,
+        key_bits: int = 104,
+        seed: SeedLike = None,
+    ) -> "CountMinSketch":
+        """Size a sketch so overestimates exceed ``epsilon * total`` with
+        probability at most ``delta``."""
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=max(1, depth), key_bits=key_bits, seed=seed)
+
+    def update(self, key: KeyLike, count: int = 1) -> None:
+        """Account ``count`` occurrences of ``key``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        key = _key_bits_of(key, self.key_bits)
+        for row, index in zip(self._rows, self._hashes.indices(key, self.width)):
+            row[index] += count
+        self.total += count
+
+    def estimate(self, key: KeyLike) -> int:
+        """Point query: an overestimate of ``key``'s true count (never under)."""
+        key = _key_bits_of(key, self.key_bits)
+        return min(
+            row[index]
+            for row, index in zip(self._rows, self._hashes.indices(key, self.width))
+        )
+
+    @property
+    def epsilon(self) -> float:
+        """The additive error factor: estimates exceed truth by at most
+        ``epsilon * total`` with probability ``1 - delta``."""
+        return math.e / self.width
+
+    @property
+    def delta(self) -> float:
+        return math.exp(-self.depth)
+
+    @property
+    def memory_bits(self) -> int:
+        """Storage a hardware instance would provision for the counter array."""
+        return self.width * self.depth * COUNTER_BITS
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.memory_bits + 7) // 8
+
+    def stats(self) -> dict:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "total": self.total,
+            "epsilon": self.epsilon,
+            "memory_bytes": self.memory_bytes,
+        }
+
+
+class DistinctCounter:
+    """Linear-counting cardinality estimator over a fixed bitmap.
+
+    Each added item sets the bit selected by one tabulation hash; the
+    estimate is ``-m * ln(zeros / m)`` for an ``m``-bit map.  Accurate while
+    the load factor stays moderate (cardinalities up to a few multiples of
+    ``m``).  Tabulation hashing (3-independent) is used rather than H3: H3
+    is XOR-linear, so structured key sets (sequential addresses, port
+    sweeps) would land in a low-dimensional subspace of the bitmap and bias
+    the estimate low.
+    """
+
+    def __init__(self, bitmap_bits: int = 1024, key_bits: int = 64, seed: SeedLike = None) -> None:
+        if bitmap_bits <= 0:
+            raise ValueError("bitmap_bits must be positive")
+        self.bitmap_bits = bitmap_bits
+        self.key_bits = key_bits
+        self._hash_seed = make_rng(seed).getrandbits(64)
+        self._hash = TabulationHash((key_bits + 7) // 8, 32, seed=self._hash_seed)
+        self._bitmap = 0
+        self._bits_set = 0
+        self.items_added = 0
+
+    def add(self, item: KeyLike) -> None:
+        item = _key_bits_of(item, self.key_bits)
+        bit = 1 << (self._hash(item) % self.bitmap_bits)
+        if not self._bitmap & bit:
+            self._bitmap |= bit
+            self._bits_set += 1
+        self.items_added += 1
+
+    @property
+    def bits_set(self) -> int:
+        return self._bits_set
+
+    def estimate(self) -> float:
+        """Estimated number of distinct items added."""
+        zeros = self.bitmap_bits - self.bits_set
+        if zeros == 0:
+            # Saturated bitmap: the linear estimate diverges; report its cap.
+            return self.bitmap_bits * math.log(self.bitmap_bits)
+        return -self.bitmap_bits * math.log(zeros / self.bitmap_bits)
+
+    def merge(self, other: "DistinctCounter") -> None:
+        """Union with ``other`` (must share geometry and hash seed)."""
+        if other.bitmap_bits != self.bitmap_bits:
+            raise ValueError("cannot merge counters with different bitmap sizes")
+        if other._hash_seed != self._hash_seed:
+            raise ValueError("cannot merge counters built from different hash seeds")
+        self._bitmap |= other._bitmap
+        self._bits_set = bin(self._bitmap).count("1")
+        self.items_added += other.items_added
+
+    @property
+    def memory_bits(self) -> int:
+        return self.bitmap_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DistinctCounter(bits={self.bitmap_bits}, estimate={self.estimate():.1f})"

@@ -10,6 +10,10 @@ The paper evaluates the Flow LUT with three kinds of input:
 * **a real 2012 switch-fabric trace** analysed for its new-flow/packet ratio
   (Figure 6) — substituted here by a calibrated heavy-tailed synthetic trace,
   :mod:`repro.traffic.flows`, with file I/O in :mod:`repro.traffic.trace`.
+
+Beyond the paper's inputs, :mod:`repro.traffic.scenarios` catalogues named
+workload scenarios (Zipf mixes, SYN floods, port scans, flash crowds, flow
+churn) that drive the telemetry subsystem and its benchmarks.
 """
 
 from repro.traffic.flows import (
@@ -18,6 +22,7 @@ from repro.traffic.flows import (
     analyze_new_flow_ratio,
 )
 from repro.traffic.generators import (
+    default_extractor,
     descriptors_from_keys,
     match_rate_workload,
     random_flow_keys,
@@ -27,18 +32,33 @@ from repro.traffic.patterns import (
     bank_increment_patterns,
     random_hash_patterns,
 )
+from repro.traffic.scenarios import (
+    ScenarioSpec,
+    generate_scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_specs,
+)
 from repro.traffic.trace import read_trace_csv, write_trace_csv
 
 __all__ = [
     "PatternDescriptor",
+    "ScenarioSpec",
     "SyntheticTraceConfig",
     "SyntheticTraceGenerator",
     "analyze_new_flow_ratio",
     "bank_increment_patterns",
+    "default_extractor",
     "descriptors_from_keys",
+    "generate_scenario",
+    "get_scenario",
+    "list_scenarios",
     "match_rate_workload",
     "random_flow_keys",
     "random_hash_patterns",
     "read_trace_csv",
+    "register_scenario",
+    "scenario_specs",
     "write_trace_csv",
 ]

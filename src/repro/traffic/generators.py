@@ -9,18 +9,47 @@ pre-population key set and the query workload.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import AbstractSet, List, Optional, Sequence
 
 from repro.net.fivetuple import FlowKey, PROTO_TCP, PROTO_UDP
 from repro.net.packet import Packet
 from repro.net.parser import DescriptorExtractor, PacketDescriptor
 from repro.sim.rng import SeedLike, make_rng
 
+RANDOM_KEYSPACE = (1 << 32) * (1 << 32) * 65535 * 65535 * 2
+"""Distinct 5-tuples :func:`random_flow_keys` can draw (two protocols,
+ports exclude 0)."""
 
-def random_flow_keys(count: int, seed: SeedLike = None) -> List[FlowKey]:
-    """``count`` distinct random 5-tuples."""
+_SHARED_EXTRACTOR: Optional[DescriptorExtractor] = None
+
+
+def default_extractor() -> DescriptorExtractor:
+    """The shared 5-tuple :class:`DescriptorExtractor`.
+
+    Workload helpers are called repeatedly from benchmarks and tests;
+    reusing one extractor avoids rebuilding it per call and keeps one
+    ``packets_parsed`` tally across a workload's construction.
+    """
+    global _SHARED_EXTRACTOR
+    if _SHARED_EXTRACTOR is None:
+        _SHARED_EXTRACTOR = DescriptorExtractor()
+    return _SHARED_EXTRACTOR
+
+
+def random_flow_keys(
+    count: int,
+    seed: SeedLike = None,
+    exclude: Optional[AbstractSet[FlowKey]] = None,
+) -> List[FlowKey]:
+    """``count`` distinct random 5-tuples, none of them in ``exclude``."""
     if count < 0:
         raise ValueError("count must be non-negative")
+    excluded = len(exclude) if exclude is not None else 0
+    if count > RANDOM_KEYSPACE - excluded:
+        raise ValueError(
+            f"cannot draw {count} distinct keys: only {RANDOM_KEYSPACE - excluded} "
+            f"remain in the 5-tuple keyspace after excluding {excluded}"
+        )
     rng = make_rng(seed)
     keys = set()
     result: List[FlowKey] = []
@@ -32,7 +61,7 @@ def random_flow_keys(count: int, seed: SeedLike = None) -> List[FlowKey]:
             dst_port=rng.randrange(1, 65536),
             protocol=PROTO_TCP if rng.random() < 0.7 else PROTO_UDP,
         )
-        if key in keys:
+        if key in keys or (exclude is not None and key in exclude):
             continue
         keys.add(key)
         result.append(key)
@@ -47,7 +76,7 @@ def descriptors_from_keys(
     start_ps: int = 0,
 ) -> List[PacketDescriptor]:
     """Turn flow keys into packet descriptors (one packet per key, in order)."""
-    extractor = extractor or DescriptorExtractor()
+    extractor = extractor or default_extractor()
     descriptors = []
     timestamp = start_ps
     for key in keys:
@@ -86,19 +115,9 @@ def match_rate_workload(
     for _ in range(match_count):
         queries.append(table_keys[rng.randrange(len(table_keys))])
 
-    existing = set(table_keys)
-    fresh = random_flow_keys(miss_count * 2 + 16, seed=rng.getrandbits(32))
-    added = 0
-    for key in fresh:
-        if added >= miss_count:
-            break
-        if key in existing:
-            continue
-        queries.append(key)
-        existing.add(key)
-        added += 1
-    if added < miss_count:
-        raise RuntimeError("failed to generate enough distinct miss keys")
+    queries.extend(
+        random_flow_keys(miss_count, seed=rng.getrandbits(32), exclude=set(table_keys))
+    )
 
     rng.shuffle(queries)
     return descriptors_from_keys(queries, extractor=extractor)

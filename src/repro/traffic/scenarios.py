@@ -1,0 +1,290 @@
+"""A registry of named workload scenarios.
+
+The paper evaluates the Flow LUT with controlled hash patterns and match
+rates; a traffic analyzer in deployment faces much messier inputs.  This
+module catalogues those inputs as *named scenarios* — realistic mixes and
+adversarial patterns alike — so examples, benchmarks and tests can request
+"a SYN flood" or "a flash crowd" by name and always get the same
+deterministic packet stream for a given seed:
+
+* ``zipf_mix`` — heavy-tailed elephant/mice traffic (the realistic baseline);
+* ``syn_flood`` — spoofed-source DDoS towards one victim service;
+* ``port_scan`` — one scanner sweeping hosts and ports (a superspreader);
+* ``flash_crowd`` — many legitimate clients converging on one service;
+* ``churn`` — few long-lived elephants over rapidly churning short flows;
+* ``uniform_random`` — every packet a new flow (worst case for any cache).
+
+Each scenario is a builder ``(count, rng, start_ps) -> packets`` registered
+with :func:`register_scenario`; :func:`generate_scenario` seeds the RNG so
+the same name and seed always reproduce the same stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.net.fivetuple import FlowKey, PROTO_TCP, PROTO_UDP
+from repro.net.packet import Packet, TCP_FLAGS
+from repro.sim.rng import SeedLike, make_rng
+from repro.traffic.flows import SyntheticTraceConfig, SyntheticTraceGenerator
+
+ScenarioBuilder = Callable[[int, random.Random, int], List[Packet]]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named workload: metadata plus its deterministic builder."""
+
+    name: str
+    description: str
+    builder: ScenarioBuilder
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(name: str, description: str):
+    """Decorator registering a builder under ``name`` (must be unique)."""
+
+    def decorator(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = ScenarioSpec(name=name, description=description, builder=builder)
+        return builder
+
+    return decorator
+
+
+def list_scenarios() -> List[str]:
+    """All registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def scenario_specs() -> List[ScenarioSpec]:
+    return list(_REGISTRY.values())
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}")
+    return spec
+
+
+def generate_scenario(
+    name: str, count: int, seed: SeedLike = None, start_ps: int = 0
+) -> List[Packet]:
+    """``count`` packets of the named scenario; deterministic per seed."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    spec = get_scenario(name)
+    return spec.builder(count, make_rng(seed), start_ps)
+
+
+# --------------------------------------------------------------------------- #
+# Builders
+# --------------------------------------------------------------------------- #
+
+_MEAN_GAP_PS = 70_000  # ~70 ns between packets, roughly 40 GbE at mixed sizes
+
+
+def _advance(rng: random.Random, timestamp: float) -> float:
+    return timestamp + rng.expovariate(1.0) * _MEAN_GAP_PS
+
+
+@register_scenario(
+    "zipf_mix",
+    "Heavy-tailed elephant/mice mix: a few flows carry most bytes over a long "
+    "tail of small flows (the realistic baseline).",
+)
+def _zipf_mix(count: int, rng: random.Random, start_ps: int) -> List[Packet]:
+    config = SyntheticTraceConfig(zipf_exponent=1.2, mice_fraction=0.05)
+    return SyntheticTraceGenerator(config, seed=rng).packet_list(count, start_ps=start_ps)
+
+
+@register_scenario(
+    "syn_flood",
+    "DDoS: a majority of bare-SYN packets from spoofed random sources towards "
+    "one victim service, over light legitimate background traffic.",
+)
+def _syn_flood(count: int, rng: random.Random, start_ps: int) -> List[Packet]:
+    victim_ip = 0xC0A80050  # 192.168.0.80
+    background = SyntheticTraceGenerator(
+        SyntheticTraceConfig(zipf_exponent=1.2), seed=rng
+    ).packets(count, start_ps=start_ps)
+    packets: List[Packet] = []
+    timestamp = float(start_ps)
+    for legitimate in background:
+        if len(packets) >= count:
+            break
+        if rng.random() < 0.7:
+            key = FlowKey(
+                src_ip=rng.getrandbits(32),
+                dst_ip=victim_ip,
+                src_port=rng.randrange(1024, 65536),
+                dst_port=80,
+                protocol=PROTO_TCP,
+            )
+            packets.append(
+                Packet(key=key, length_bytes=64, timestamp_ps=int(timestamp),
+                       tcp_flags=TCP_FLAGS["SYN"])
+            )
+        else:
+            packets.append(
+                Packet(key=legitimate.key, length_bytes=legitimate.length_bytes,
+                       timestamp_ps=int(timestamp), tcp_flags=legitimate.tcp_flags)
+            )
+        timestamp = _advance(rng, timestamp)
+    return packets
+
+
+@register_scenario(
+    "port_scan",
+    "Horizontal reconnaissance: one scanner probes sequential ports across a "
+    "/24 of victims with bare SYNs, interleaved with normal traffic.",
+)
+def _port_scan(count: int, rng: random.Random, start_ps: int) -> List[Packet]:
+    scanner_ip = 0x0A0A0A0A  # 10.10.10.10
+    subnet = 0xC0A80100  # 192.168.1.0/24
+    background = SyntheticTraceGenerator(
+        SyntheticTraceConfig(zipf_exponent=1.2), seed=rng
+    ).packets(count, start_ps=start_ps)
+    packets: List[Packet] = []
+    timestamp = float(start_ps)
+    probe = 0
+    for legitimate in background:
+        if len(packets) >= count:
+            break
+        if rng.random() < 0.25:
+            key = FlowKey(
+                src_ip=scanner_ip,
+                dst_ip=subnet | (probe % 256),
+                src_port=54321,
+                dst_port=1 + (probe // 256) % 1024,
+                protocol=PROTO_TCP,
+            )
+            probe += 1
+            packets.append(
+                Packet(key=key, length_bytes=64, timestamp_ps=int(timestamp),
+                       tcp_flags=TCP_FLAGS["SYN"])
+            )
+        else:
+            packets.append(
+                Packet(key=legitimate.key, length_bytes=legitimate.length_bytes,
+                       timestamp_ps=int(timestamp), tcp_flags=legitimate.tcp_flags)
+            )
+        timestamp = _advance(rng, timestamp)
+    return packets
+
+
+@register_scenario(
+    "flash_crowd",
+    "Many distinct legitimate clients converge on one HTTPS service at once "
+    "(a news event, not an attack): complete small TCP flows, one hot dst.",
+)
+def _flash_crowd(count: int, rng: random.Random, start_ps: int) -> List[Packet]:
+    service = (0xC0A80002, 443)  # 192.168.0.2:443
+    client_pool = max(16, count // 6)
+    packets: List[Packet] = []
+    timestamp = float(start_ps)
+    seen_clients: Dict[int, int] = {}  # client index -> packets so far
+    for _ in range(count):
+        client = rng.randrange(client_pool)
+        sent = seen_clients.get(client, 0)
+        seen_clients[client] = sent + 1
+        key = FlowKey(
+            src_ip=0x0B000000 | client,
+            dst_ip=service[0],
+            src_port=20000 + client % 40000,
+            dst_port=service[1],
+            protocol=PROTO_TCP,
+        )
+        if sent == 0:
+            flags, length = TCP_FLAGS["SYN"], 64
+        elif rng.random() < 0.12:
+            flags, length = TCP_FLAGS["FIN"] | TCP_FLAGS["ACK"], 64
+            seen_clients[client] = 0  # next packet of this client starts afresh
+        else:
+            flags, length = TCP_FLAGS["ACK"], rng.choice((256, 512, 1024, 1460))
+        packets.append(
+            Packet(key=key, length_bytes=length, timestamp_ps=int(timestamp), tcp_flags=flags)
+        )
+        timestamp = _advance(rng, timestamp)
+    return packets
+
+
+@register_scenario(
+    "churn",
+    "Few long-lived elephant flows carrying half the packets over a stream "
+    "of short-lived flows that open, send 1-3 packets and FIN out.",
+)
+def _churn(count: int, rng: random.Random, start_ps: int) -> List[Packet]:
+    elephants = [
+        FlowKey(
+            src_ip=0x0C000000 | index,
+            dst_ip=0xC0A80003,
+            src_port=30000 + index,
+            dst_port=443,
+            protocol=PROTO_TCP,
+        )
+        for index in range(8)
+    ]
+    packets: List[Packet] = []
+    timestamp = float(start_ps)
+    short_serial = 0
+    short_remaining = 0
+    short_key: FlowKey = FlowKey(0, 0, 1, 1, PROTO_UDP)
+    for _ in range(count):
+        if rng.random() < 0.5:
+            key = elephants[rng.randrange(len(elephants))]
+            flags, length = TCP_FLAGS["ACK"], rng.choice((512, 1024, 1460))
+        else:
+            if short_remaining == 0:
+                short_serial += 1
+                short_remaining = rng.randrange(1, 4)
+                short_key = FlowKey(
+                    src_ip=0x0D000000 | (short_serial & 0x00FFFFFF),
+                    dst_ip=rng.getrandbits(32),
+                    src_port=rng.randrange(1024, 65536),
+                    dst_port=rng.choice((53, 80, 123, 443)),
+                    protocol=PROTO_TCP if rng.random() < 0.6 else PROTO_UDP,
+                )
+            key = short_key
+            short_remaining -= 1
+            if key.protocol == PROTO_TCP:
+                flags = TCP_FLAGS["FIN"] | TCP_FLAGS["ACK"] if short_remaining == 0 else TCP_FLAGS["ACK"]
+            else:
+                flags = 0
+            length = rng.choice((64, 128, 256))
+        packets.append(
+            Packet(key=key, length_bytes=length, timestamp_ps=int(timestamp), tcp_flags=flags)
+        )
+        timestamp = _advance(rng, timestamp)
+    return packets
+
+
+@register_scenario(
+    "uniform_random",
+    "Every packet belongs to a brand-new random flow: zero locality, the "
+    "worst case for flow tables and sketches alike.",
+)
+def _uniform_random(count: int, rng: random.Random, start_ps: int) -> List[Packet]:
+    packets: List[Packet] = []
+    timestamp = float(start_ps)
+    for _ in range(count):
+        key = FlowKey(
+            src_ip=rng.getrandbits(32),
+            dst_ip=rng.getrandbits(32),
+            src_port=rng.randrange(1, 65536),
+            dst_port=rng.randrange(1, 65536),
+            protocol=PROTO_TCP if rng.random() < 0.5 else PROTO_UDP,
+        )
+        packets.append(
+            Packet(key=key, length_bytes=rng.choice((64, 350, 1518)),
+                   timestamp_ps=int(timestamp), tcp_flags=0)
+        )
+        timestamp = _advance(rng, timestamp)
+    return packets

@@ -49,6 +49,15 @@ def test_traffic_analyzer_demo_example(capsys):
     assert "flow events:" in output
 
 
+def test_telemetry_demo_example(capsys):
+    output = run_example("telemetry_demo", capsys)
+    assert "Count-Min mean relative error" in output
+    assert "heavy-hitter recall@5" in output
+    assert "workload scenario library" in output
+    assert "telemetry scenario sweep" in output
+    assert "syn_flood, port_scan" in output  # the adversarial scenarios flag
+
+
 def test_ddr3_bandwidth_explorer_example(capsys):
     output = run_example("ddr3_bandwidth_explorer", capsys)
     assert "DDR3-1066" in output
@@ -70,4 +79,5 @@ def test_examples_directory_contains_expected_scripts():
         "ddr3_bandwidth_explorer",
         "packet_classifier",
         "paper_tables",
+        "telemetry_demo",
     } <= names

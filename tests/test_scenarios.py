@@ -1,0 +1,162 @@
+"""Workload-scenario library: registry, determinism and traffic structure."""
+
+import pytest
+
+from repro.net.packet import TCP_FLAGS
+from repro.traffic import (
+    default_extractor,
+    descriptors_from_keys,
+    generate_scenario,
+    get_scenario,
+    list_scenarios,
+    match_rate_workload,
+    random_flow_keys,
+    scenario_specs,
+)
+from repro.traffic.generators import RANDOM_KEYSPACE
+from repro.traffic.scenarios import register_scenario
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+
+
+def test_registry_has_the_documented_scenarios():
+    names = list_scenarios()
+    assert len(names) >= 5
+    assert {"zipf_mix", "syn_flood", "port_scan", "flash_crowd", "churn"} <= set(names)
+    for spec in scenario_specs():
+        assert spec.description.strip()
+
+
+def test_unknown_scenario_raises_with_known_names():
+    with pytest.raises(KeyError, match="zipf_mix"):
+        get_scenario("no_such_scenario")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_scenario("zipf_mix", "duplicate")(lambda count, rng, start: [])
+
+
+# --------------------------------------------------------------------------- #
+# Determinism and basic stream properties
+# --------------------------------------------------------------------------- #
+
+
+def _fingerprint(packets):
+    return [(p.key, p.length_bytes, p.timestamp_ps, p.tcp_flags) for p in packets]
+
+
+@pytest.mark.parametrize("name", list_scenarios())
+def test_scenarios_are_deterministic_per_seed(name):
+    first = generate_scenario(name, 600, seed=21)
+    second = generate_scenario(name, 600, seed=21)
+    other_seed = generate_scenario(name, 600, seed=22)
+    assert len(first) == 600
+    assert _fingerprint(first) == _fingerprint(second)
+    assert _fingerprint(first) != _fingerprint(other_seed)
+
+
+@pytest.mark.parametrize("name", list_scenarios())
+def test_scenario_timestamps_are_monotone(name):
+    packets = generate_scenario(name, 400, seed=1, start_ps=1000)
+    stamps = [packet.timestamp_ps for packet in packets]
+    assert stamps[0] >= 1000
+    assert all(a <= b for a, b in zip(stamps, stamps[1:]))
+
+
+def test_generate_scenario_rejects_negative_count():
+    with pytest.raises(ValueError):
+        generate_scenario("zipf_mix", -1, seed=1)
+
+
+# --------------------------------------------------------------------------- #
+# Scenario structure — each stream shows the pattern it is named after
+# --------------------------------------------------------------------------- #
+
+
+def _bare_syn(packet) -> bool:
+    return bool(packet.tcp_flags & TCP_FLAGS["SYN"]) and not packet.tcp_flags & TCP_FLAGS["ACK"]
+
+
+def test_syn_flood_structure():
+    packets = generate_scenario("syn_flood", 3000, seed=3)
+    syns = [packet for packet in packets if _bare_syn(packet)]
+    assert len(syns) / len(packets) > 0.5
+    victims = {packet.key.dst_ip for packet in syns}
+    sources = {packet.key.src_ip for packet in syns}
+    assert len(victims) == 1  # one victim service
+    assert len(sources) > 1000  # spoofed sources
+
+
+def test_port_scan_structure():
+    packets = generate_scenario("port_scan", 3000, seed=3)
+    scanner = 0x0A0A0A0A
+    probes = {
+        (packet.key.dst_ip, packet.key.dst_port)
+        for packet in packets
+        if packet.key.src_ip == scanner
+    }
+    assert len(probes) > 300  # one source touching many (host, port) pairs
+    others = {packet.key.src_ip for packet in packets} - {scanner}
+    assert others  # background traffic is present
+
+
+def test_flash_crowd_structure():
+    packets = generate_scenario("flash_crowd", 3000, seed=3)
+    destinations = {packet.key.dst_ip for packet in packets}
+    sources = {packet.key.src_ip for packet in packets}
+    assert len(destinations) == 1  # everyone hits the same service
+    assert len(sources) > 100  # many distinct legitimate clients
+    assert any(packet.tcp_flags & TCP_FLAGS["FIN"] for packet in packets)
+
+
+def test_churn_structure():
+    packets = generate_scenario("churn", 4000, seed=3)
+    per_flow = {}
+    for packet in packets:
+        per_flow[packet.key] = per_flow.get(packet.key, 0) + 1
+    top8 = sum(sorted(per_flow.values(), reverse=True)[:8])
+    assert 0.35 <= top8 / len(packets) <= 0.65  # elephants carry about half
+    assert len(per_flow) > 500  # over a large churn of short flows
+
+
+def test_uniform_random_structure():
+    packets = generate_scenario("uniform_random", 2000, seed=3)
+    assert len({packet.key for packet in packets}) == len(packets)
+
+
+# --------------------------------------------------------------------------- #
+# Generator satellites: shared extractor and keyspace guard
+# --------------------------------------------------------------------------- #
+
+
+def test_default_extractor_is_shared():
+    assert default_extractor() is default_extractor()
+    keys = random_flow_keys(5, seed=1)
+    before = default_extractor().packets_parsed
+    descriptors_from_keys(keys)
+    assert default_extractor().packets_parsed == before + 5
+
+
+def test_random_flow_keys_infeasible_count_raises():
+    with pytest.raises(ValueError, match="keyspace"):
+        random_flow_keys(RANDOM_KEYSPACE + 1, seed=1)
+
+
+def test_random_flow_keys_respects_exclusions():
+    table = random_flow_keys(50, seed=2)
+    fresh = random_flow_keys(50, seed=2, exclude=set(table))
+    assert not set(fresh) & set(table)
+    assert len(set(fresh)) == 50
+
+
+def test_match_rate_workload_miss_keys_all_miss():
+    table = random_flow_keys(100, seed=4)
+    workload = match_rate_workload(table, query_count=200, match_fraction=0.5, seed=5)
+    table_set = set(table)
+    matches = sum(1 for descriptor in workload if descriptor.key in table_set)
+    assert matches == 100
+    assert len(workload) == 200

@@ -1,0 +1,331 @@
+"""Telemetry subsystem: sketch guarantees and the pipeline end to end."""
+
+import math
+
+import pytest
+
+from repro.analyzer import TrafficAnalyzer, TrafficAnalyzerConfig
+from repro.analyzer.event_engine import FlowEventType
+from repro.core.config import small_test_config
+from repro.telemetry import (
+    CountMinSketch,
+    DistinctCounter,
+    FlowSizeDistribution,
+    SpaceSavingTracker,
+    SuperSpreaderDetector,
+    TelemetryConfig,
+    TelemetryPipeline,
+)
+from repro.traffic import generate_scenario
+
+
+# --------------------------------------------------------------------------- #
+# Count-Min sketch
+# --------------------------------------------------------------------------- #
+
+
+def test_count_min_never_underestimates():
+    sketch = CountMinSketch(width=256, depth=4, key_bits=32, seed=1)
+    truth = {item: (item % 17) + 1 for item in range(500)}
+    for item, count in truth.items():
+        sketch.update(item, count)
+    assert sketch.total == sum(truth.values())
+    for item, count in truth.items():
+        assert sketch.estimate(item) >= count
+
+
+def test_count_min_error_within_bound():
+    sketch = CountMinSketch(width=1024, depth=5, key_bits=32, seed=2)
+    truth = {item: 1 + (item % 5) for item in range(2000)}
+    for item, count in truth.items():
+        sketch.update(item, count)
+    bound = sketch.epsilon * sketch.total
+    overshoots = [sketch.estimate(item) - count for item, count in truth.items()]
+    # The bound holds per query with probability 1 - delta; demand it for the
+    # overwhelming majority rather than every single key.
+    within = sum(1 for overshoot in overshoots if overshoot <= bound)
+    assert within / len(overshoots) > 0.99
+    assert min(overshoots) >= 0
+
+
+def test_count_min_from_error_bounds_geometry():
+    sketch = CountMinSketch.from_error_bounds(epsilon=0.01, delta=0.05)
+    assert sketch.width >= math.e / 0.01 - 1
+    assert sketch.depth >= math.log(1 / 0.05) - 1
+    assert sketch.epsilon <= 0.011
+    assert sketch.memory_bytes == sketch.width * sketch.depth * 4
+
+
+def test_count_min_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        CountMinSketch(width=0)
+    with pytest.raises(ValueError):
+        CountMinSketch.from_error_bounds(epsilon=2.0, delta=0.1)
+    sketch = CountMinSketch(width=8, depth=2, key_bits=32, seed=0)
+    with pytest.raises(ValueError):
+        sketch.update(1, count=-1)
+
+
+# --------------------------------------------------------------------------- #
+# Distinct counting
+# --------------------------------------------------------------------------- #
+
+
+def test_distinct_counter_accuracy():
+    counter = DistinctCounter(bitmap_bits=4096, key_bits=32, seed=3)
+    for item in range(1000):
+        counter.add(item)
+        counter.add(item)  # duplicates must not inflate the estimate
+    assert counter.items_added == 2000
+    assert counter.estimate() == pytest.approx(1000, rel=0.12)
+
+
+def test_distinct_counter_merge_is_union():
+    left = DistinctCounter(bitmap_bits=2048, key_bits=32, seed=9)
+    right = DistinctCounter(bitmap_bits=2048, key_bits=32, seed=9)
+    for item in range(400):
+        left.add(item)
+    for item in range(200, 600):
+        right.add(item)
+    left.merge(right)
+    assert left.estimate() == pytest.approx(600, rel=0.15)
+    with pytest.raises(ValueError):
+        left.merge(DistinctCounter(bitmap_bits=1024, seed=9))
+    with pytest.raises(ValueError, match="hash seeds"):
+        left.merge(DistinctCounter(bitmap_bits=2048, key_bits=32, seed=10))
+
+
+# --------------------------------------------------------------------------- #
+# Space-Saving heavy hitters
+# --------------------------------------------------------------------------- #
+
+
+def test_space_saving_exact_below_capacity():
+    tracker = SpaceSavingTracker(capacity=16)
+    for key, count in (("a", 10), ("b", 5), ("c", 1)):
+        tracker.update(key, count)
+    assert tracker.estimate("a") == 10
+    assert tracker.estimate("missing") == 0
+    top = tracker.top(2)
+    assert [entry.key for entry in top] == ["a", "b"]
+    assert all(entry.error == 0 for entry in top)
+
+
+def test_space_saving_bounds_and_guarantee():
+    truth = {}
+    tracker = SpaceSavingTracker(capacity=8)
+    # 4 elephants over a churn of mice that forces constant eviction.
+    stream = []
+    for index in range(40):
+        stream.extend([f"elephant{index % 4}"] * 5)
+        stream.append(f"mouse{index}")
+    for key in stream:
+        truth[key] = truth.get(key, 0) + 1
+        tracker.update(key)
+    assert tracker.evictions > 0
+    for entry in tracker.entries():
+        true_count = truth.get(entry.key, 0)
+        assert entry.count >= true_count  # never underestimates
+        assert entry.guaranteed <= true_count  # count - error is a lower bound
+    # Every key above total/capacity is guaranteed monitored.
+    floor = tracker.total / tracker.capacity
+    for key, count in truth.items():
+        if count > floor:
+            assert key in tracker
+
+
+def test_space_saving_topk_recall_on_zipf_traffic():
+    packets = generate_scenario("zipf_mix", 6000, seed=5)
+    truth = {}
+    tracker = SpaceSavingTracker(capacity=64)
+    for packet in packets:
+        truth[packet.key] = truth.get(packet.key, 0) + packet.length_bytes
+        tracker.update(packet.key, packet.length_bytes)
+    true_top = {key for key, _ in sorted(truth.items(), key=lambda kv: kv[1], reverse=True)[:10]}
+    sketch_top = {entry.key for entry in tracker.top(10)}
+    assert len(true_top & sketch_top) / 10 >= 0.9
+
+
+def test_space_saving_threshold_hitters():
+    tracker = SpaceSavingTracker(capacity=8)
+    for _ in range(90):
+        tracker.update("dominant")
+    for index in range(10):
+        tracker.update(f"noise{index}")
+    hitters = tracker.threshold_hitters(0.5)
+    assert [entry.key for entry in hitters] == ["dominant"]
+
+
+# --------------------------------------------------------------------------- #
+# Superspreader detection
+# --------------------------------------------------------------------------- #
+
+
+def test_superspreader_flags_scanner_not_normal_sources():
+    detector = SuperSpreaderDetector(max_sources=32, bitmap_bits=1024, threshold=100, seed=4)
+    for destination in range(500):
+        detector.update("scanner", destination)
+    for source in range(20):
+        for destination in range(5):
+            detector.update(f"normal{source}", destination)
+    reports = detector.superspreaders()
+    assert [report.source for report in reports] == ["scanner"]
+    assert reports[0].fanout == pytest.approx(500, rel=0.2)
+    assert detector.fanout("unknown") == 0.0
+
+
+def test_superspreader_eviction_keeps_heavy_sources():
+    detector = SuperSpreaderDetector(max_sources=4, bitmap_bits=512, threshold=50, seed=6)
+    for destination in range(200):
+        detector.update("spreader", destination)
+    for source in range(50):  # churn of one-destination sources forces eviction
+        detector.update(f"little{source}", 1)
+    assert detector.evictions > 0
+    assert len(detector) <= 4
+    assert detector.superspreaders()[0].source == "spreader"
+
+
+# --------------------------------------------------------------------------- #
+# Flow-size distribution
+# --------------------------------------------------------------------------- #
+
+
+def test_flow_size_distribution_buckets():
+    distribution = FlowSizeDistribution()
+    for packets in (1, 1, 1, 2, 3, 4, 7, 8, 100):
+        distribution.observe_flow(packets, bytes_=packets * 100)
+    assert distribution.flows == 9
+    assert distribution.total_packets == 127
+    histogram = {row["bucket"]: row["flows"] for row in distribution.histogram()}
+    assert histogram[0] == 3  # size 1
+    assert histogram[1] == 2  # sizes 2-3
+    assert histogram[2] == 2  # sizes 4-7
+    assert sum(histogram.values()) == 9
+    assert distribution.mice_fraction(1) == pytest.approx(3 / 9)
+    assert distribution.fraction_below(8) == pytest.approx(7 / 9)
+    with pytest.raises(ValueError):
+        distribution.observe_flow(0)
+
+
+# --------------------------------------------------------------------------- #
+# Pipeline — standalone detection flags
+# --------------------------------------------------------------------------- #
+
+
+def test_pipeline_flags_syn_flood_only_on_flood():
+    flood = TelemetryPipeline(seed=2)
+    flood.observe_packets(generate_scenario("syn_flood", 3000, seed=2))
+    assert flood.syn_flood_detected
+    assert not flood.port_scan_detected
+
+    benign = TelemetryPipeline(seed=2)
+    benign.observe_packets(generate_scenario("zipf_mix", 3000, seed=2))
+    assert not benign.syn_flood_detected
+    assert not benign.port_scan_detected
+
+
+def test_pipeline_flags_port_scan():
+    pipeline = TelemetryPipeline(seed=8)
+    pipeline.observe_packets(generate_scenario("port_scan", 3000, seed=8))
+    assert pipeline.port_scan_detected
+    assert not pipeline.syn_flood_detected
+    suspects = pipeline.port_scan_suspects()
+    assert suspects[0].source == 0x0A0A0A0A  # the scenario's scanner address
+
+
+# --------------------------------------------------------------------------- #
+# Pipeline — attached to the analyzer, versus the exact Flow LUT path
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def attached_run():
+    analyzer = TrafficAnalyzer(
+        TrafficAnalyzerConfig(flow_lut=small_test_config(), packet_buffer_packets=8192)
+    )
+    pipeline = TelemetryPipeline(TelemetryConfig(heavy_hitter_capacity=64), seed=13)
+    pipeline.attach(analyzer)
+    packets = generate_scenario("zipf_mix", 2500, seed=13)
+    processed = analyzer.analyze(packets)
+    pipeline.finalize(analyzer.flow_processor.flow_state)
+    records = list(analyzer.flow_processor.flow_state)
+    records.extend(analyzer.flow_processor.flow_state.exported)
+    return analyzer, pipeline, processed, records
+
+
+def test_pipeline_sees_every_processed_packet(attached_run):
+    _, pipeline, processed, _ = attached_run
+    assert processed == 2500
+    assert pipeline.packets == processed
+
+
+def test_pipeline_estimates_dominate_exact_counts(attached_run):
+    _, pipeline, _, records = attached_run
+    assert records
+    for record in records:
+        assert pipeline.estimate_packets(record.key) >= record.packets
+        assert pipeline.estimate_bytes(record.key) >= record.bytes
+
+
+def test_pipeline_head_to_head_accuracy(attached_run):
+    _, pipeline, _, records = attached_run
+    comparison = pipeline.compare_with_exact(records, top_k=5)
+    assert comparison["cm_underestimates"] == 0
+    assert comparison["cm_mean_relative_error"] < 0.25
+    assert comparison["heavy_hitter_recall"] >= 0.8
+    assert comparison["sketch_memory_bytes"] > 0
+    assert comparison["exact_memory_bytes"] > 0
+
+
+def test_pipeline_flow_sizes_cover_all_flows(attached_run):
+    analyzer, pipeline, _, records = attached_run
+    # Every record the exact path produced (expired or still active at the
+    # finalize sweep) was sized exactly once, with its final counters.
+    assert pipeline.flow_sizes.flows == len(records)
+    assert pipeline.flow_sizes.total_packets == sum(record.packets for record in records)
+
+
+def test_expiry_events_carry_records(attached_run):
+    analyzer, _, _, _ = attached_run
+    events = analyzer.event_engine.events
+    expiries = [event for event in events if event.kind is FlowEventType.FLOW_EXPIRED]
+    for event in expiries:
+        assert event.record is not None
+        assert event.record.flow_id == event.flow_id
+
+
+def test_observe_outcome_tolerates_zero_length_descriptors():
+    from repro.net.fivetuple import FlowKey
+    from repro.traffic.patterns import PatternDescriptor
+
+    pipeline = TelemetryPipeline(seed=1)
+
+    class Outcome:
+        descriptor = PatternDescriptor(
+            key_bytes=b"\x00" * 13,
+            bucket_indices=(0, 1),
+            key=FlowKey(1, 2, 3, 4, 6),
+            length_bytes=0,
+        )
+
+    pipeline.observe_outcome(Outcome())
+    assert pipeline.packets == 1
+    assert pipeline.heavy_hitters.total == 0  # zero-weight packets skip byte HH
+
+
+def test_attach_is_idempotent():
+    analyzer = TrafficAnalyzer(TrafficAnalyzerConfig(flow_lut=small_test_config()))
+    pipeline = TelemetryPipeline(seed=1)
+    pipeline.attach(analyzer)
+    pipeline.attach(analyzer)  # must not double-count
+    processed = analyzer.analyze(generate_scenario("zipf_mix", 200, seed=1))
+    assert pipeline.packets == processed == 200
+
+
+def test_pipeline_report_shape(attached_run):
+    _, pipeline, _, _ = attached_run
+    report = pipeline.report()
+    assert report["packets"] == 2500
+    assert set(report["detections"]) == {"syn_flood", "port_scan", "superspreaders"}
+    assert report["flow_sizes"]["flows"] == pipeline.flow_sizes.flows
+    assert report["memory_bytes"] == pipeline.memory_bytes
