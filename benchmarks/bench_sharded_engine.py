@@ -1,0 +1,70 @@
+"""Sharded engine — aggregate throughput scaling versus shard count.
+
+No paper reference: this is the scale-out extension of the prototype.  Two
+properties are checked.  First, aggregate (simulated) throughput scales with
+the shard count on the realistic ``zipf_mix`` workload — at least 2x with 4
+shards versus 1.  Second, sharding is *transparent*: for every named
+scenario, the sharded engine's hit / miss / new-flow totals equal the
+single-LUT per-packet path's, because flows are pinned to shards by key hash.
+
+Set ``SHARDED_BENCH_PACKETS`` to shrink or grow the workload (CI smoke runs
+use a small value).
+"""
+
+import os
+
+from repro.engine import sharded_vs_single
+from repro.reporting import format_table, run_sharded_scaling
+from repro.traffic import list_scenarios
+
+PACKETS = int(os.environ.get("SHARDED_BENCH_PACKETS", "4000"))
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def test_sharded_throughput_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sharded_scaling(
+            scenario="zipf_mix", packet_count=PACKETS, shard_counts=SHARD_COUNTS, seed=17
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result["rows"]
+    print()
+    print(format_table(rows, title=f"sharded scaling — zipf_mix ({PACKETS} packets)"))
+
+    by_shards = {row["shards"]: row for row in rows}
+    assert set(by_shards) == set(SHARD_COUNTS)
+
+    # Outcome totals are invariant under sharding.
+    for row in rows:
+        assert row["matches_single_path"], row
+
+    # Aggregate throughput rises monotonically with the shard count and
+    # reaches at least 2x at 4 shards versus 1.
+    rates = [by_shards[shards]["throughput_mdesc_s"] for shards in SHARD_COUNTS]
+    assert rates == sorted(rates)
+    assert by_shards[4]["throughput_mdesc_s"] >= 2.0 * by_shards[1]["throughput_mdesc_s"]
+    benchmark.extra_info["rows"] = rows
+
+
+def test_sharded_matches_single_path_on_every_scenario():
+    packets = max(600, PACKETS // 4)
+    rows = []
+    for name in list_scenarios():
+        comparison = sharded_vs_single(name, packets, shards=4, seed=23)
+        sharded, single = comparison["sharded"], comparison["single"]
+        rows.append(
+            {
+                "scenario": name,
+                "hits": sharded.hits,
+                "misses": sharded.misses,
+                "new_flows": sharded.new_flows,
+                "sharded_mdesc_s": round(sharded.throughput_mdesc_s, 2),
+                "single_mdesc_s": round(single.throughput_mdesc_s, 2),
+                "equivalent": comparison["equivalent"],
+            }
+        )
+        assert comparison["equivalent"], (name, sharded.totals(), single.totals())
+    print()
+    print(format_table(rows, title=f"sharded vs single-LUT totals ({packets} packets each)"))

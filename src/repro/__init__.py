@@ -11,6 +11,8 @@ The package is organised as the paper's system is:
 * :mod:`repro.baselines` — single-hash, d-left, cuckoo, Bloom-filter and
   SRAM Hash-CAM comparison points.
 * :mod:`repro.analyzer` — the Figure 7 traffic-analyzer integration.
+* :mod:`repro.engine` — sharded batch fast-path execution
+  (:class:`~repro.engine.ShardedFlowLUT` and the scenario runner).
 * :mod:`repro.telemetry` — sketch-based streaming measurement (heavy
   hitters, superspreaders, flow sizes) riding on the analyzer's events.
 * :mod:`repro.reporting` — experiment tables and paper reference values.
@@ -32,6 +34,7 @@ from repro.core.flow_lut import FlowLUT, LookupOutcome
 from repro.core.flow_state import FlowRecord, FlowStateTable
 from repro.core.harness import DescriptorSource, ExperimentResult, run_lookup_experiment
 from repro.core.hash_cam import HashCamTable, LookupStage
+from repro.engine import ShardedFlowLUT
 from repro.net.fivetuple import FlowKey
 from repro.net.packet import Packet
 from repro.net.parser import DescriptorExtractor, PacketDescriptor
@@ -55,6 +58,7 @@ __all__ = [
     "PROTOTYPE_CONFIG",
     "Packet",
     "PacketDescriptor",
+    "ShardedFlowLUT",
     "Simulator",
     "TelemetryConfig",
     "TelemetryPipeline",

@@ -56,6 +56,7 @@ class FlowProcessor:
         self.flows_expired = 0
         self.outcomes: List[LookupOutcome] = []
         self.observers: List[Callable[[LookupOutcome], None]] = []
+        self.batch_observers: List[Callable[[List[LookupOutcome]], None]] = []
 
     def add_observer(self, observer: Callable[[LookupOutcome], None]) -> None:
         """Register a per-lookup tap (e.g. a telemetry pipeline).
@@ -65,35 +66,76 @@ class FlowProcessor:
         """
         self.observers.append(observer)
 
+    def add_batch_observer(self, observer: Callable[[List[LookupOutcome]], None]) -> None:
+        """Register a per-batch tap: one call per :meth:`process_batch` with
+        every outcome the batch produced, instead of a per-packet callback."""
+        self.batch_observers.append(observer)
+
     # ------------------------------------------------------------------ #
     # Packet path
     # ------------------------------------------------------------------ #
 
     def process(self, packet: Packet) -> bool:
         """Submit one packet's descriptor; returns ``False`` on backpressure."""
-        descriptor = self.extractor.extract(packet)
+        return self._offer(self.extractor.extract(packet), packet.timestamp_ps)
+
+    def _offer(self, descriptor, timestamp_ps: int) -> bool:
         if not self.flow_lut.submit(descriptor):
             self.packets_rejected += 1
             return False
         self.packets_processed += 1
-        self._maybe_housekeep(packet.timestamp_ps)
+        self._maybe_housekeep(timestamp_ps)
         return True
+
+    def process_blocking(self, packet: Packet) -> None:
+        """Process one packet, riding out input-FIFO backpressure.
+
+        The descriptor is extracted exactly once — retrying :meth:`process`
+        from the outside would re-extract on every rejection and inflate the
+        extractor's ``packets_parsed`` tally.
+        """
+        descriptor = self.extractor.extract(packet)
+        while not self._offer(descriptor, packet.timestamp_ps):
+            # Let in-flight lookups retire, then retry the same descriptor.
+            self.flow_lut.sim.run(
+                until_ps=self.flow_lut.sim.now + self.config.system_clock_period_ps * 8
+            )
+
+    def flush_batch_observers(self, start: int) -> List[LookupOutcome]:
+        """Deliver ``outcomes[start:]`` to the batch observers; returns the slice."""
+        batch = self.outcomes[start:]
+        if batch:
+            for observer in self.batch_observers:
+                observer(batch)
+        return batch
 
     def process_all(self, packets) -> int:
         """Process a packet sequence, draining the LUT whenever it pushes back.
 
-        Returns the number of packets processed.
+        Batch observers see the whole sequence as one batch.  Returns the
+        number of packets processed.
         """
+        start = len(self.outcomes)
         count = 0
         for packet in packets:
-            while not self.process(packet):
-                # Let in-flight lookups retire, then retry the same packet.
-                self.flow_lut.sim.run(
-                    until_ps=self.flow_lut.sim.now + self.config.system_clock_period_ps * 8
-                )
+            self.process_blocking(packet)
             count += 1
         self.flow_lut.drain()
+        self.flush_batch_observers(start)
         return count
+
+    def process_batch(self, packets) -> List[LookupOutcome]:
+        """Process one packet batch and return its lookup outcomes.
+
+        This is the batch entry point of the fast-path engine: the whole
+        batch is submitted (draining under backpressure), the LUT is drained
+        once at the end, and every registered batch observer receives the
+        batch's outcomes in a single call.  Per-outcome observers still fire
+        individually as each lookup completes.
+        """
+        start = len(self.outcomes)
+        self.process_all(packets)
+        return self.outcomes[start:]
 
     def _on_result(self, outcome: LookupOutcome) -> None:
         self.outcomes.append(outcome)

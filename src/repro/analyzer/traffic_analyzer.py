@@ -69,21 +69,49 @@ class TrafficAnalyzer:
         overflow during :meth:`ingest`) are already accounted in the packet
         buffer statistics.
         """
+        start = len(self.flow_processor.outcomes)
         processed = 0
         while not self.packet_buffer.is_empty:
             packet = self.packet_buffer.pop()
             self.stats_engine.observe(packet)
-            while not self.flow_processor.process(packet):
-                sim = self.flow_processor.flow_lut.sim
-                sim.run(until_ps=sim.now + self.config.flow_lut.system_clock_period_ps * 8)
+            self.flow_processor.process_blocking(packet)
             processed += 1
         self.flow_processor.flow_lut.drain()
+        # Batch observers see the whole run as one batch, so a telemetry
+        # pipeline attached in batch mode is fed on this path too.
+        self.flow_processor.flush_batch_observers(start)
+        return processed
+
+    def run_batched(self, batch_size: int = 512) -> int:
+        """Process the buffered packets in batches through the flow processor.
+
+        Functionally equivalent to :meth:`run`, but packets are handed to
+        :meth:`~repro.analyzer.flow_processor.FlowProcessor.process_batch`
+        ``batch_size`` at a time, so batch observers (telemetry pipelines in
+        batch mode) see one call per batch instead of one per packet.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        processed = 0
+        while not self.packet_buffer.is_empty:
+            batch = []
+            while len(batch) < batch_size and not self.packet_buffer.is_empty:
+                packet = self.packet_buffer.pop()
+                self.stats_engine.observe(packet)
+                batch.append(packet)
+            self.flow_processor.process_batch(batch)
+            processed += len(batch)
         return processed
 
     def analyze(self, packets: Iterable[Packet]) -> int:
         """Convenience: ingest then run."""
         self.ingest(packets)
         return self.run()
+
+    def analyze_batched(self, packets: Iterable[Packet], batch_size: int = 512) -> int:
+        """Convenience: ingest then run the batched path."""
+        self.ingest(packets)
+        return self.run_batched(batch_size)
 
     # ------------------------------------------------------------------ #
     # Results

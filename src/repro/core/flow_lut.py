@@ -210,6 +210,19 @@ class FlowLUT:
         self._schedule_dispatch()
         return True
 
+    def submit_blocking(self, descriptor, retry_cycles: int = 8) -> None:
+        """Submit one descriptor, riding out input-FIFO backpressure.
+
+        Whenever the FIFO is full the simulator runs for ``retry_cycles``
+        system-clock cycles to let in-flight lookups retire, then the offer
+        is retried.  The engine's batch drivers share this policy; the
+        packet-level paths (:class:`~repro.analyzer.flow_processor.FlowProcessor`)
+        apply the same 8-cycle quantum around their own per-packet accounting.
+        """
+        retry_ps = self.config.system_clock_period_ps * retry_cycles
+        while not self.submit(descriptor):
+            self.sim.run(until_ps=self.sim.now + retry_ps)
+
     def preload(self, keys) -> int:
         """Populate the table functionally (no simulated time).
 

@@ -1,0 +1,31 @@
+"""Sharded batch fast-path execution layer.
+
+One timed :class:`~repro.core.flow_lut.FlowLUT` models one device; this
+package scales the reproduction out the way deployments do:
+
+* :mod:`repro.engine.sharded` — :class:`ShardedFlowLUT`, hash-partitioning
+  flow keys across ``N`` independent Flow LUT instances behind a batched
+  ``process_batch`` API that merges outcome streams and per-shard stats.
+* :mod:`repro.engine.runner` — replay any named workload scenario
+  (:mod:`repro.traffic.scenarios`) through the sharded engine or the
+  single-LUT baseline, with scenario-scoped descriptor extraction and an
+  optional telemetry pipeline riding the outcome batches.
+"""
+
+from repro.engine.runner import (
+    ScenarioRunResult,
+    run_all_scenarios_sharded,
+    run_scenario_sharded,
+    run_scenario_single,
+    sharded_vs_single,
+)
+from repro.engine.sharded import ShardedFlowLUT
+
+__all__ = [
+    "ScenarioRunResult",
+    "ShardedFlowLUT",
+    "run_all_scenarios_sharded",
+    "run_scenario_sharded",
+    "run_scenario_single",
+    "sharded_vs_single",
+]

@@ -1,0 +1,178 @@
+"""Batched scenario execution: named workloads through the sharded engine.
+
+Every scenario in :mod:`repro.traffic.scenarios` can be replayed through a
+:class:`~repro.engine.sharded.ShardedFlowLUT` (or a single
+:class:`~repro.core.flow_lut.FlowLUT` for the baseline) with one call.  The
+runner owns a scenario-scoped :class:`~repro.net.parser.DescriptorExtractor`,
+so two back-to-back runs of the same scenario and seed report identical
+stats — nothing bleeds across runs through shared parser state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import FlowLUTConfig, small_test_config
+from repro.core.flow_lut import FlowLUT
+from repro.engine.sharded import ShardedFlowLUT
+from repro.net.parser import DescriptorExtractor
+from repro.traffic.scenarios import list_scenarios, scenario_descriptors
+
+DEFAULT_BATCH_SIZE = 512
+
+
+@dataclass(frozen=True)
+class ScenarioRunResult:
+    """Aggregate accounting of one scenario replayed through the fast path."""
+
+    scenario: str
+    shards: int
+    packets: int
+    packets_parsed: int
+    completed: int
+    hits: int
+    misses: int
+    new_flows: int
+    insert_failures: int
+    elapsed_ps: int
+    throughput_mdesc_s: float
+    shard_completed: Tuple[int, ...]
+    load_imbalance: float
+
+    def totals(self) -> dict:
+        """The outcome totals two execution paths must agree on."""
+        return {
+            "completed": self.completed,
+            "hits": self.hits,
+            "misses": self.misses,
+            "new_flows": self.new_flows,
+        }
+
+    def as_row(self) -> dict:
+        """A flat dict convenient for table printing."""
+        return {
+            "scenario": self.scenario,
+            "shards": self.shards,
+            "completed": self.completed,
+            "hits": self.hits,
+            "misses": self.misses,
+            "new_flows": self.new_flows,
+            "throughput_mdesc_s": round(self.throughput_mdesc_s, 2),
+            "load_imbalance": round(self.load_imbalance, 3),
+        }
+
+
+def run_scenario_sharded(
+    name: str,
+    packet_count: int,
+    shards: int = 4,
+    seed: int = 0,
+    config: Optional[FlowLUTConfig] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    telemetry=None,
+) -> ScenarioRunResult:
+    """Replay a named scenario through a sharded engine in descriptor batches.
+
+    ``telemetry`` may be a :class:`~repro.telemetry.TelemetryPipeline`; it
+    then rides the merged outcome batches (one ``observe_outcomes`` call per
+    batch) rather than a per-packet callback.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    config = config or small_test_config()
+    extractor = DescriptorExtractor()
+    descriptors = scenario_descriptors(name, packet_count, seed=seed, extractor=extractor)
+    on_batch = telemetry.observe_outcomes if telemetry is not None else None
+    engine = ShardedFlowLUT(shards=shards, config=config, on_batch=on_batch)
+    for offset in range(0, len(descriptors), batch_size):
+        engine.process_batch(descriptors[offset : offset + batch_size])
+    return ScenarioRunResult(
+        scenario=name,
+        shards=shards,
+        packets=len(descriptors),
+        packets_parsed=extractor.packets_parsed,
+        completed=engine.completed,
+        hits=engine.hits,
+        misses=engine.misses,
+        new_flows=engine.new_flows,
+        insert_failures=engine.insert_failures,
+        elapsed_ps=engine.elapsed_ps,
+        throughput_mdesc_s=engine.throughput_mdesc_s,
+        shard_completed=tuple(engine.shard_completed),
+        load_imbalance=engine.load_imbalance,
+    )
+
+
+def run_scenario_single(
+    name: str,
+    packet_count: int,
+    seed: int = 0,
+    config: Optional[FlowLUTConfig] = None,
+) -> ScenarioRunResult:
+    """The baseline: the same scenario through one per-packet Flow LUT."""
+    config = config or small_test_config()
+    extractor = DescriptorExtractor()
+    descriptors = scenario_descriptors(name, packet_count, seed=seed, extractor=extractor)
+    lut = FlowLUT(config)
+    for descriptor in descriptors:
+        lut.submit_blocking(descriptor)
+    lut.drain()
+    return ScenarioRunResult(
+        scenario=name,
+        shards=1,
+        packets=len(descriptors),
+        packets_parsed=extractor.packets_parsed,
+        completed=lut.completed,
+        hits=lut.hits,
+        misses=lut.misses,
+        new_flows=lut.new_flows,
+        insert_failures=lut.insert_failures,
+        elapsed_ps=lut.elapsed_ps,
+        throughput_mdesc_s=lut.throughput_mdesc_s,
+        shard_completed=(lut.completed,),
+        load_imbalance=1.0 if lut.completed else 0.0,
+    )
+
+
+def sharded_vs_single(
+    name: str,
+    packet_count: int,
+    shards: int = 4,
+    seed: int = 0,
+    config: Optional[FlowLUTConfig] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> dict:
+    """Run both execution paths on the same workload and compare totals.
+
+    Sharding by flow key keeps every flow on one shard, so as long as neither
+    path hits an insertion failure, the aggregate hit / miss / new-flow totals
+    must match exactly.
+    """
+    sharded = run_scenario_sharded(
+        name, packet_count, shards=shards, seed=seed, config=config, batch_size=batch_size
+    )
+    single = run_scenario_single(name, packet_count, seed=seed, config=config)
+    return {
+        "scenario": name,
+        "sharded": sharded,
+        "single": single,
+        "equivalent": sharded.totals() == single.totals(),
+    }
+
+
+def run_all_scenarios_sharded(
+    packet_count: int,
+    shards: int = 4,
+    seed: int = 0,
+    config: Optional[FlowLUTConfig] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    names: Optional[Sequence[str]] = None,
+) -> List[ScenarioRunResult]:
+    """Every named scenario through the sharded engine, one result each."""
+    return [
+        run_scenario_sharded(
+            name, packet_count, shards=shards, seed=seed, config=config, batch_size=batch_size
+        )
+        for name in (names if names is not None else list_scenarios())
+    ]

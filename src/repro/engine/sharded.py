@@ -1,0 +1,206 @@
+"""Sharded fast-path execution over independent Flow LUT instances.
+
+The paper's Flow LUT is a line-rate design, but one timed instance can only
+model one device.  Scaling the reproduction towards production traffic means
+doing what deployments do: partition the flow space by hash across ``N``
+independent Flow LUTs — each with its own sequencer, DLU pair, update blocks
+and DDR3 memory sets — and drive them with *batches* of descriptors instead
+of one packet at a time.
+
+:class:`ShardedFlowLUT` implements that layer.  Shard selection hashes the
+descriptor key (CRC-32, independent of the per-shard H3 bucket hashing), so
+every packet of a flow lands on the same shard and the aggregate hit / miss /
+new-flow accounting is identical to a single LUT serving the whole stream.
+Because the shards are independent devices running in parallel, the
+aggregate wall-clock of a workload is the *slowest shard's* simulated time,
+which is what :attr:`ShardedFlowLUT.throughput_mdesc_s` reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.config import FlowLUTConfig
+from repro.core.flow_lut import FlowLUT, LookupOutcome
+from repro.net.parser import PacketDescriptor
+
+
+class ShardedFlowLUT:
+    """``N`` independent Flow LUTs behind one batched lookup API.
+
+    Parameters
+    ----------
+    shards: number of Flow LUT instances (each a full dual-path device with
+        its own memory sets and simulator).
+    config: per-shard architecture configuration; defaults to the paper's
+        prototype, like :class:`~repro.core.flow_lut.FlowLUT` itself.
+    on_batch: optional callback invoked with every merged batch of
+        :class:`LookupOutcome` objects (the telemetry plane rides this).
+    input_queue_depth: per-shard descriptor FIFO depth.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        config: Optional[FlowLUTConfig] = None,
+        on_batch: Optional[Callable[[List[LookupOutcome]], None]] = None,
+        input_queue_depth: int = 32,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        self.config = config or FlowLUTConfig()
+        self.num_shards = shards
+        self.on_batch = on_batch
+        self.shards: List[FlowLUT] = [
+            FlowLUT(self.config, input_queue_depth=input_queue_depth)
+            for _ in range(shards)
+        ]
+        self.batches = 0
+
+    # ------------------------------------------------------------------ #
+    # Partitioning
+    # ------------------------------------------------------------------ #
+
+    def shard_of(self, key_bytes: bytes) -> int:
+        """The shard a flow key is pinned to (CRC-32 of the packed key).
+
+        CRC-32 is deliberately a different hash family from the per-shard H3
+        bucket hashing, so shard placement does not correlate with bucket
+        placement inside a shard.
+        """
+        return zlib.crc32(key_bytes) % self.num_shards
+
+    def partition(self, descriptors: Sequence) -> List[List]:
+        """Split a descriptor batch into per-shard sub-batches (order kept)."""
+        groups: List[List] = [[] for _ in range(self.num_shards)]
+        for descriptor in descriptors:
+            groups[self.shard_of(descriptor.key_bytes)].append(descriptor)
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    def preload(self, keys) -> int:
+        """Functionally pre-populate the shards (no simulated time)."""
+        groups: List[List[bytes]] = [[] for _ in range(self.num_shards)]
+        for key in keys:
+            key_bytes = key.key_bytes if isinstance(key, PacketDescriptor) else key
+            groups[self.shard_of(key_bytes)].append(key_bytes)
+        return sum(shard.preload(group) for shard, group in zip(self.shards, groups))
+
+    def process_batch(self, descriptors: Sequence) -> List[LookupOutcome]:
+        """Run one descriptor batch through all shards and merge the outcomes.
+
+        The batch is partitioned once, each shard is driven through its whole
+        sub-batch (submitting under backpressure, then draining in-flight
+        lookups and batched updates), and the per-shard outcome streams are
+        merged in completion-time order.  Dispatch cost is paid per batch,
+        not per packet.
+        """
+        if not descriptors:
+            return []
+        starts = [len(shard.results) for shard in self.shards]
+        for shard, group in zip(self.shards, self.partition(descriptors)):
+            for descriptor in group:
+                shard.submit_blocking(descriptor)
+            shard.drain()
+        merged = list(
+            heapq.merge(
+                *(
+                    shard.results[start:]
+                    for shard, start in zip(self.shards, starts)
+                ),
+                key=lambda outcome: outcome.complete_ps,
+            )
+        )
+        self.batches += 1
+        if self.on_batch is not None:
+            self.on_batch(merged)
+        return merged
+
+    def drain(self) -> None:
+        """Drain every shard (in-flight lookups and pending burst writes)."""
+        for shard in self.shards:
+            shard.drain()
+
+    # ------------------------------------------------------------------ #
+    # Aggregate accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def submitted(self) -> int:
+        return sum(shard.submitted for shard in self.shards)
+
+    @property
+    def completed(self) -> int:
+        return sum(shard.completed for shard in self.shards)
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self.shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self.shards)
+
+    @property
+    def new_flows(self) -> int:
+        return sum(shard.new_flows for shard in self.shards)
+
+    @property
+    def insert_failures(self) -> int:
+        return sum(shard.insert_failures for shard in self.shards)
+
+    @property
+    def miss_rate(self) -> float:
+        completed = self.completed
+        return self.misses / completed if completed else 0.0
+
+    @property
+    def shard_completed(self) -> List[int]:
+        """Descriptors completed per shard (the load-balance picture)."""
+        return [shard.completed for shard in self.shards]
+
+    @property
+    def load_imbalance(self) -> float:
+        """Busiest shard's load over the mean (1.0 means perfectly even)."""
+        loads = self.shard_completed
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 0.0
+
+    @property
+    def elapsed_ps(self) -> int:
+        """Wall-clock of the parallel array: the slowest shard's elapsed time."""
+        return max((shard.elapsed_ps for shard in self.shards), default=0)
+
+    @property
+    def throughput_mdesc_s(self) -> float:
+        """Aggregate processing rate in million descriptors per second.
+
+        All shards run concurrently in hardware, so the array completes the
+        whole stream in the slowest shard's time.
+        """
+        elapsed = self.elapsed_ps
+        if elapsed <= 0:
+            return 0.0
+        return self.completed * 1e6 / elapsed
+
+    def report(self) -> dict:
+        return {
+            "shards": self.num_shards,
+            "batches": self.batches,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "hits": self.hits,
+            "misses": self.misses,
+            "new_flows": self.new_flows,
+            "insert_failures": self.insert_failures,
+            "miss_rate": self.miss_rate,
+            "throughput_mdesc_s": self.throughput_mdesc_s,
+            "shard_completed": self.shard_completed,
+            "load_imbalance": self.load_imbalance,
+            "per_shard": [shard.report() for shard in self.shards],
+        }

@@ -11,6 +11,7 @@ from repro.reporting.experiments import (
     run_fig3_bandwidth,
     run_fig6_flow_ratio,
     run_linerate_feasibility,
+    run_sharded_scaling,
     run_table1_resources,
     run_table2a_load_balance,
     run_table2b_miss_rate,
@@ -29,6 +30,7 @@ __all__ = [
     "run_fig3_bandwidth",
     "run_fig6_flow_ratio",
     "run_linerate_feasibility",
+    "run_sharded_scaling",
     "run_table1_resources",
     "run_table2a_load_balance",
     "run_table2b_miss_rate",

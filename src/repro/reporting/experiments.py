@@ -29,6 +29,7 @@ from repro.reporting.paper import (
     PAPER_TABLE2B,
 )
 from repro.core.resources import PAPER_TABLE1
+from repro.engine import run_scenario_sharded, run_scenario_single
 from repro.telemetry import TelemetryConfig, TelemetryPipeline
 from repro.traffic.flows import SyntheticTraceGenerator, analyze_new_flow_ratio
 from repro.traffic.generators import descriptors_from_keys, match_rate_workload, random_flow_keys
@@ -333,3 +334,62 @@ def run_telemetry_scenarios(
             }
         )
     return {"rows": rows, "packet_count": packet_count, "seed": seed}
+
+
+# --------------------------------------------------------------------------- #
+# Sharded engine — throughput scaling versus shard count (extension)
+# --------------------------------------------------------------------------- #
+
+
+def run_sharded_scaling(
+    scenario: str = "zipf_mix",
+    packet_count: int = 4000,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 17,
+    config: Optional[FlowLUTConfig] = None,
+    batch_size: int = 512,
+) -> dict:
+    """Replay one scenario through the sharded engine at several shard counts.
+
+    The single-LUT per-packet path is measured first as the baseline; each
+    row then reports the sharded engine's aggregate (simulated) throughput,
+    its speedup over that baseline, the shard load balance, and the outcome
+    totals — which must be identical across every shard count, since flows
+    are pinned to shards by key hash.  There is no paper reference: this is
+    the scale-out extension of the prototype.
+    """
+    baseline = run_scenario_single(scenario, packet_count, seed=seed, config=config)
+    rows = []
+    for shards in shard_counts:
+        result = run_scenario_sharded(
+            scenario,
+            packet_count,
+            shards=shards,
+            seed=seed,
+            config=config,
+            batch_size=batch_size,
+        )
+        rows.append(
+            {
+                "shards": shards,
+                "completed": result.completed,
+                "hits": result.hits,
+                "misses": result.misses,
+                "new_flows": result.new_flows,
+                "throughput_mdesc_s": round(result.throughput_mdesc_s, 2),
+                "speedup_vs_single": round(
+                    result.throughput_mdesc_s / baseline.throughput_mdesc_s, 2
+                )
+                if baseline.throughput_mdesc_s
+                else 0.0,
+                "load_imbalance": round(result.load_imbalance, 3),
+                "matches_single_path": result.totals() == baseline.totals(),
+            }
+        )
+    return {
+        "scenario": scenario,
+        "packet_count": packet_count,
+        "seed": seed,
+        "single_path_mdesc_s": round(baseline.throughput_mdesc_s, 2),
+        "rows": rows,
+    }

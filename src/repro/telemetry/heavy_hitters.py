@@ -9,12 +9,23 @@ inherits its count as its *error bound*.  Two guarantees make the summary
 usable: counts never underestimate (``count - error <= true <= count``), and
 any key whose true count exceeds ``total / capacity`` is guaranteed to be
 monitored.
+
+The minimum is tracked with a *lazy min-heap* rather than a scan: every
+counter change pushes a ``(count, seq, key)`` entry, eviction pops entries
+until the top reflects a live counter, and the heap is compacted back to
+``capacity`` entries once stale entries dominate.  An eviction therefore
+costs amortised ``O(log capacity)`` instead of the ``O(capacity)`` linear
+``min()`` scan a dict-only implementation needs — the difference between a
+flat and a quadratic-feeling hot path under churn or port-scan workloads
+where nearly every arrival is unmonitored.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Hashable, List
+from fractions import Fraction
+from typing import Dict, Hashable, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -46,6 +57,13 @@ class SpaceSavingTracker:
         self.capacity = capacity
         self._counts: Dict[Hashable, int] = {}
         self._errors: Dict[Hashable, int] = {}
+        # Lazy min-heap of (count, seq, key).  An entry is *live* when its
+        # count still equals the key's current counter; increments leave the
+        # old entry behind as a stale tombstone instead of re-heapifying.
+        # The seq tie-breaker keeps heap ordering total for non-comparable
+        # keys and evicts the longest-monitored key among count ties.
+        self._heap: List[Tuple[int, int, Hashable]] = []
+        self._seq = 0
         self.total = 0
         self.evictions = 0
 
@@ -55,25 +73,54 @@ class SpaceSavingTracker:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._counts
 
+    def _push(self, key: Hashable, count: int) -> None:
+        heapq.heappush(self._heap, (count, self._seq, key))
+        self._seq += 1
+
+    def _compact(self) -> None:
+        """Rebuild the heap from the live counters, dropping tombstones.
+
+        Triggered once stale entries outnumber live ones 3:1, so its
+        O(capacity) cost amortises over at least ``3 * capacity`` pushes.
+        """
+        self._seq = 0
+        self._heap = []
+        for key, count in self._counts.items():
+            self._heap.append((count, self._seq, key))
+            self._seq += 1
+        heapq.heapify(self._heap)
+
+    def _pop_min(self) -> Tuple[Hashable, int]:
+        """Remove and return the (key, count) of the current minimum counter."""
+        while True:
+            count, _, key = heapq.heappop(self._heap)
+            if self._counts.get(key) == count:
+                return key, count
+
     def update(self, key: Hashable, count: int = 1) -> None:
         """Account ``count`` units (packets, bytes, ...) to ``key``."""
         if count <= 0:
             raise ValueError("count must be positive")
         self.total += count
         if key in self._counts:
-            self._counts[key] += count
-            return
-        if len(self._counts) < self.capacity:
+            new_count = self._counts[key] + count
+            self._counts[key] = new_count
+            self._push(key, new_count)
+        elif len(self._counts) < self.capacity:
             self._counts[key] = count
             self._errors[key] = 0
-            return
-        # Evict the minimum: the newcomer inherits its count as error bound.
-        victim = min(self._counts, key=self._counts.__getitem__)
-        floor = self._counts.pop(victim)
-        self._errors.pop(victim)
-        self._counts[key] = floor + count
-        self._errors[key] = floor
-        self.evictions += 1
+            self._push(key, count)
+        else:
+            # Evict the minimum: the newcomer inherits its count as error bound.
+            victim, floor = self._pop_min()
+            del self._counts[victim]
+            del self._errors[victim]
+            self._counts[key] = floor + count
+            self._errors[key] = floor
+            self._push(key, floor + count)
+            self.evictions += 1
+        if len(self._heap) > 4 * len(self._counts):
+            self._compact()
 
     def estimate(self, key: Hashable) -> int:
         """Overestimate of ``key``'s count (0 if unmonitored)."""
@@ -92,11 +139,24 @@ class SpaceSavingTracker:
         return self.top(len(self._counts))
 
     def threshold_hitters(self, fraction: float) -> List[HeavyHitter]:
-        """Entries whose *guaranteed* count exceeds ``fraction`` of the stream."""
+        """Entries whose *guaranteed* count strictly exceeds ``fraction * total``.
+
+        A key sitting exactly on the threshold is excluded: the Space-Saving
+        guarantee only promises presence for keys *above* ``total / capacity``,
+        and this query mirrors that strict inequality.
+        """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
-        floor = fraction * self.total
-        return [entry for entry in self.entries() if entry.guaranteed >= floor]
+        # Exact-rational threshold: float multiplication would round e.g.
+        # 0.29 * 100 down to 28.999…, letting a key sitting exactly on the
+        # boundary slip through the strict comparison.  The threshold is
+        # snapped to the simple rational the caller meant (29/100) only when
+        # that snap round-trips to the same float, so tiny fractions are
+        # never collapsed towards zero.
+        exact = Fraction(fraction)
+        snapped = exact.limit_denominator(10**9)
+        floor = (snapped if float(snapped) == fraction else exact) * self.total
+        return [entry for entry in self.entries() if entry.guaranteed > floor]
 
     def stats(self) -> dict:
         return {

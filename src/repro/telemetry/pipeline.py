@@ -142,6 +142,19 @@ class TelemetryPipeline:
             getattr(descriptor, "tcp_flags", 0),
         )
 
+    def observe_outcomes(self, outcomes: Iterable) -> int:
+        """Batch mode: account a whole batch of lookup outcomes at once.
+
+        This is the callback the sharded engine and the batched analyzer
+        invoke — one call per batch rather than one per packet.  Returns the
+        number of outcomes observed.
+        """
+        count = 0
+        for outcome in outcomes:
+            self.observe_outcome(outcome)
+            count += 1
+        return count
+
     def observe_event(self, event: FlowEvent) -> None:
         """Attached mode: account one flow event (flow-size accounting).
 
@@ -155,18 +168,28 @@ class TelemetryPipeline:
         if event.kind is FlowEventType.FLOW_EXPIRED and event.record is not None:
             self.flow_sizes.observe_flow(event.record.packets, event.record.bytes)
 
-    def attach(self, target) -> "TelemetryPipeline":
+    def attach(self, target, batch: bool = False) -> "TelemetryPipeline":
         """Subscribe to a flow processor (or traffic analyzer); returns self.
 
         Lookup outcomes feed the sketches and flow events feed the flow-size
         collector; an already-registered ``on_event`` callback is chained,
-        not replaced.  Attaching the same pipeline to the same processor
-        again is a no-op (it would otherwise double-count every packet).
+        not replaced.  With ``batch=True`` the pipeline registers as a
+        *batch* observer (:meth:`observe_outcomes`) instead of a per-outcome
+        callback: one call per batch on the batched analyzer path, one call
+        per run on the per-packet path.  Attaching the same pipeline to the
+        same processor again, in either mode, is a no-op (it would otherwise
+        double-count every packet).
         """
         processor = getattr(target, "flow_processor", target)
-        if self.observe_outcome in processor.observers:
+        if (
+            self.observe_outcome in processor.observers
+            or self.observe_outcomes in processor.batch_observers
+        ):
             return self
-        processor.add_observer(self.observe_outcome)
+        if batch:
+            processor.add_batch_observer(self.observe_outcomes)
+        else:
+            processor.add_observer(self.observe_outcome)
         engine = processor.event_engine
         if engine is not None:
             previous = engine.on_event

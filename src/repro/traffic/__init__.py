@@ -38,6 +38,7 @@ from repro.traffic.scenarios import (
     get_scenario,
     list_scenarios,
     register_scenario,
+    scenario_descriptors,
     scenario_specs,
 )
 from repro.traffic.trace import read_trace_csv, write_trace_csv
@@ -59,6 +60,7 @@ __all__ = [
     "random_hash_patterns",
     "read_trace_csv",
     "register_scenario",
+    "scenario_descriptors",
     "scenario_specs",
     "write_trace_csv",
 ]

@@ -20,20 +20,17 @@ RANDOM_KEYSPACE = (1 << 32) * (1 << 32) * 65535 * 65535 * 2
 """Distinct 5-tuples :func:`random_flow_keys` can draw (two protocols,
 ports exclude 0)."""
 
-_SHARED_EXTRACTOR: Optional[DescriptorExtractor] = None
-
-
 def default_extractor() -> DescriptorExtractor:
-    """The shared 5-tuple :class:`DescriptorExtractor`.
+    """A fresh standard 5-tuple :class:`DescriptorExtractor`.
 
-    Workload helpers are called repeatedly from benchmarks and tests;
-    reusing one extractor avoids rebuilding it per call and keeps one
-    ``packets_parsed`` tally across a workload's construction.
+    This used to hand out one process-global extractor, which made its
+    ``packets_parsed`` tally bleed across every test, benchmark and scenario
+    run in the process — two identical runs reported different parser stats
+    depending on what ran before them.  Each call now returns a new,
+    independently-counting extractor; callers that want one tally across
+    several helper calls pass their own instance explicitly.
     """
-    global _SHARED_EXTRACTOR
-    if _SHARED_EXTRACTOR is None:
-        _SHARED_EXTRACTOR = DescriptorExtractor()
-    return _SHARED_EXTRACTOR
+    return DescriptorExtractor()
 
 
 def random_flow_keys(

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.net.fivetuple import FlowKey, PROTO_TCP, PROTO_UDP
 from repro.net.packet import Packet, TCP_FLAGS
+from repro.net.parser import DescriptorExtractor, PacketDescriptor
 from repro.sim.rng import SeedLike, make_rng
 from repro.traffic.flows import SyntheticTraceConfig, SyntheticTraceGenerator
 
@@ -82,6 +83,25 @@ def generate_scenario(
         raise ValueError("count must be non-negative")
     spec = get_scenario(name)
     return spec.builder(count, make_rng(seed), start_ps)
+
+
+def scenario_descriptors(
+    name: str,
+    count: int,
+    seed: SeedLike = None,
+    start_ps: int = 0,
+    extractor: Optional[DescriptorExtractor] = None,
+) -> List[PacketDescriptor]:
+    """The named scenario as ready-to-submit packet descriptors.
+
+    This is the entry point of the batch execution path: the sharded engine
+    and the batched analyzer consume descriptor lists, not raw packets.  A
+    fresh scenario-scoped :class:`DescriptorExtractor` is created when none
+    is supplied, so back-to-back runs report identical parser stats instead
+    of inheriting a process-wide ``packets_parsed`` tally.
+    """
+    extractor = extractor or DescriptorExtractor()
+    return extractor.extract_many(generate_scenario(name, count, seed=seed, start_ps=start_ps))
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,271 @@
+"""Sharded batch fast-path engine: partitioning, equivalence, batch taps."""
+
+import pytest
+
+from repro.analyzer import TrafficAnalyzer, TrafficAnalyzerConfig
+from repro.core.config import small_test_config
+from repro.core.flow_lut import FlowLUT
+from repro.engine import (
+    ShardedFlowLUT,
+    run_all_scenarios_sharded,
+    run_scenario_sharded,
+    run_scenario_single,
+    sharded_vs_single,
+)
+from repro.reporting import run_sharded_scaling
+from repro.telemetry import TelemetryPipeline
+from repro.traffic import list_scenarios, scenario_descriptors
+
+
+CONFIG = small_test_config()
+
+
+# --------------------------------------------------------------------------- #
+# Partitioning
+# --------------------------------------------------------------------------- #
+
+
+def test_shard_selection_is_deterministic_and_total():
+    engine = ShardedFlowLUT(shards=4, config=CONFIG)
+    descriptors = scenario_descriptors("zipf_mix", 300, seed=3)
+    groups = engine.partition(descriptors)
+    assert sum(len(group) for group in groups) == len(descriptors)
+    for descriptor in descriptors:
+        shard = engine.shard_of(descriptor.key_bytes)
+        assert shard == engine.shard_of(descriptor.key_bytes)
+        assert descriptor in groups[shard]
+
+
+def test_rejects_non_positive_shard_count():
+    with pytest.raises(ValueError):
+        ShardedFlowLUT(shards=0)
+
+
+# --------------------------------------------------------------------------- #
+# Batch processing
+# --------------------------------------------------------------------------- #
+
+
+def test_process_batch_returns_every_outcome_in_completion_order():
+    engine = ShardedFlowLUT(shards=2, config=CONFIG)
+    descriptors = scenario_descriptors("zipf_mix", 400, seed=5)
+    outcomes = engine.process_batch(descriptors)
+    assert len(outcomes) == 400
+    assert engine.completed == 400
+    assert engine.batches == 1
+    stamps = [outcome.complete_ps for outcome in outcomes]
+    assert stamps == sorted(stamps)
+    assert engine.process_batch([]) == []
+    assert engine.batches == 1  # empty batches are not counted
+
+
+def test_on_batch_callback_rides_every_batch():
+    batches = []
+    engine = ShardedFlowLUT(shards=2, config=CONFIG, on_batch=batches.append)
+    descriptors = scenario_descriptors("churn", 300, seed=6)
+    for offset in range(0, len(descriptors), 100):
+        engine.process_batch(descriptors[offset : offset + 100])
+    assert len(batches) == 3
+    assert sum(len(batch) for batch in batches) == 300
+
+
+def test_telemetry_pipeline_rides_engine_batches():
+    pipeline = TelemetryPipeline(seed=7)
+    engine = ShardedFlowLUT(shards=4, config=CONFIG, on_batch=pipeline.observe_outcomes)
+    engine.process_batch(scenario_descriptors("zipf_mix", 500, seed=7))
+    assert pipeline.packets == engine.completed == 500
+
+
+def test_preloaded_keys_hit_on_lookup():
+    engine = ShardedFlowLUT(shards=2, config=CONFIG)
+    descriptors = scenario_descriptors("uniform_random", 200, seed=8)
+    assert engine.preload([d.key_bytes for d in descriptors]) == 200
+    outcomes = engine.process_batch(descriptors)
+    assert all(outcome.hit for outcome in outcomes)
+    assert engine.misses == 0
+
+
+# --------------------------------------------------------------------------- #
+# Equivalence with the single-LUT path
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", list_scenarios())
+def test_every_scenario_matches_single_path_totals(name):
+    comparison = sharded_vs_single(name, 400, shards=4, seed=11, batch_size=128)
+    assert comparison["equivalent"], (
+        comparison["sharded"].totals(),
+        comparison["single"].totals(),
+    )
+    assert comparison["sharded"].insert_failures == 0
+    assert comparison["single"].insert_failures == 0
+
+
+def test_per_flow_outcomes_and_flow_ids_are_consistent():
+    """Each flow sees the same hit/new-flow history on both paths, and flow
+    IDs stay one-to-one with flows within each path."""
+    descriptors = scenario_descriptors("churn", 500, seed=12)
+
+    def replay(process):
+        history = {}
+        flow_ids = {}
+        for outcome in process(descriptors):
+            key = outcome.descriptor.key
+            history.setdefault(key, []).append((outcome.hit, outcome.new_flow))
+            if outcome.flow_id is not None:
+                flow_ids.setdefault(key, set()).add(outcome.flow_id)
+        return history, flow_ids
+
+    def sharded(batch):
+        engine = ShardedFlowLUT(shards=4, config=CONFIG)
+        return engine.process_batch(batch)
+
+    def single(batch):
+        lut = FlowLUT(CONFIG)
+        for descriptor in batch:
+            lut.submit_blocking(descriptor)
+        lut.drain()
+        return lut.results
+
+    sharded_history, sharded_ids = replay(sharded)
+    single_history, single_ids = replay(single)
+    assert sharded_history == single_history
+    # Flow IDs are location-derived, so their numeric values differ between
+    # paths — but each flow must map to exactly one ID, distinct flows to
+    # distinct IDs, and both paths must allocate the same number of them.
+    for ids in (sharded_ids, single_ids):
+        assert all(len(assigned) == 1 for assigned in ids.values())
+    assert len(sharded_ids) == len(single_ids)
+    # Within the single LUT, distinct flows get distinct IDs (per-shard IDs
+    # may collide numerically across shards, so only count them per path).
+    assert len(set().union(*single_ids.values())) == len(single_ids)
+
+
+def test_load_spreads_across_shards():
+    result = run_scenario_sharded("uniform_random", 600, shards=4, seed=13)
+    assert all(completed > 0 for completed in result.shard_completed)
+    assert result.load_imbalance < 1.5
+
+
+# --------------------------------------------------------------------------- #
+# Scenario runner
+# --------------------------------------------------------------------------- #
+
+
+def test_back_to_back_runs_report_identical_stats():
+    # Regression: a process-global descriptor extractor used to leak
+    # ``packets_parsed`` across runs, so the second run reported different
+    # stats than the first.
+    first = run_scenario_sharded("zipf_mix", 300, shards=2, seed=9)
+    second = run_scenario_sharded("zipf_mix", 300, shards=2, seed=9)
+    assert first == second
+    assert first.packets_parsed == 300
+
+
+def test_runner_covers_every_named_scenario():
+    results = run_all_scenarios_sharded(150, shards=2, seed=10)
+    assert [result.scenario for result in results] == list_scenarios()
+    assert all(result.completed == 150 for result in results)
+
+
+def test_runner_rejects_bad_batch_size():
+    with pytest.raises(ValueError):
+        run_scenario_sharded("zipf_mix", 10, batch_size=0)
+
+
+def test_single_runner_matches_flow_lut_accounting():
+    result = run_scenario_single("flash_crowd", 300, seed=14)
+    assert result.shards == 1
+    assert result.completed == 300
+    assert result.hits + result.misses == result.completed
+
+
+# --------------------------------------------------------------------------- #
+# Reporting experiment
+# --------------------------------------------------------------------------- #
+
+
+def test_run_sharded_scaling_shape_and_invariants():
+    result = run_sharded_scaling(
+        scenario="zipf_mix", packet_count=400, shard_counts=(1, 2), seed=15
+    )
+    assert [row["shards"] for row in result["rows"]] == [1, 2]
+    totals = {
+        (row["completed"], row["hits"], row["misses"], row["new_flows"])
+        for row in result["rows"]
+    }
+    assert len(totals) == 1  # totals invariant under shard count
+    assert all(row["matches_single_path"] for row in result["rows"])
+    assert result["single_path_mdesc_s"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Batched analyzer path
+# --------------------------------------------------------------------------- #
+
+
+def _analyzer():
+    return TrafficAnalyzer(
+        TrafficAnalyzerConfig(flow_lut=CONFIG, packet_buffer_packets=8192)
+    )
+
+
+def test_analyzer_batched_path_matches_per_packet_path():
+    from repro.traffic import generate_scenario
+
+    packets = generate_scenario("zipf_mix", 600, seed=16)
+    per_packet = _analyzer()
+    batched = _analyzer()
+    assert per_packet.analyze(packets) == 600
+    assert batched.analyze_batched(packets, batch_size=128) == 600
+    for attribute in ("hits", "misses", "new_flows"):
+        assert getattr(batched.flow_processor.flow_lut, attribute) == getattr(
+            per_packet.flow_processor.flow_lut, attribute
+        )
+
+
+def test_pipeline_batch_attach_counts_once():
+    from repro.traffic import generate_scenario
+
+    analyzer = _analyzer()
+    pipeline = TelemetryPipeline(seed=18)
+    pipeline.attach(analyzer, batch=True)
+    pipeline.attach(analyzer, batch=True)  # idempotent
+    pipeline.attach(analyzer)  # already attached in batch mode: no-op
+    processed = analyzer.analyze_batched(generate_scenario("zipf_mix", 300, seed=18))
+    assert processed == 300
+    assert pipeline.packets == 300
+
+
+def test_pipeline_batch_attach_is_fed_by_the_per_packet_path_too():
+    from repro.traffic import generate_scenario
+
+    analyzer = _analyzer()
+    pipeline = TelemetryPipeline(seed=20)
+    pipeline.attach(analyzer, batch=True)
+    processed = analyzer.analyze(generate_scenario("zipf_mix", 200, seed=20))
+    assert processed == 200
+    assert pipeline.packets == 200  # the whole run arrives as one batch
+
+
+def test_parser_tally_is_exact_under_backpressure():
+    from repro.traffic import generate_scenario
+
+    # Regression: retrying a rejected packet used to re-extract it, inflating
+    # ``packets_parsed`` past the number of packets actually processed.
+    analyzer = _analyzer()
+    packets = generate_scenario("uniform_random", 600, seed=21)
+    assert analyzer.analyze_batched(packets, batch_size=128) == 600
+    assert analyzer.flow_processor.packets_rejected > 0  # backpressure occurred
+    assert analyzer.flow_processor.extractor.packets_parsed == 600
+
+
+def test_flow_processor_batch_observer_sees_whole_batches():
+    from repro.traffic import generate_scenario
+
+    analyzer = _analyzer()
+    seen = []
+    analyzer.flow_processor.add_batch_observer(seen.append)
+    analyzer.analyze_batched(generate_scenario("churn", 250, seed=19), batch_size=100)
+    assert len(seen) == 3  # 100 + 100 + 50
+    assert sum(len(batch) for batch in seen) == 250

@@ -58,6 +58,14 @@ def test_telemetry_demo_example(capsys):
     assert "syn_flood, port_scan" in output  # the adversarial scenarios flag
 
 
+def test_sharded_engine_demo_example(capsys):
+    output = run_example("sharded_engine_demo", capsys)
+    assert "4-shard engine over zipf_mix" in output
+    assert "aggregate throughput:" in output
+    assert "throughput scaling — zipf_mix" in output
+    assert "MISMATCH" not in output  # sharded totals equal the single path
+
+
 def test_ddr3_bandwidth_explorer_example(capsys):
     output = run_example("ddr3_bandwidth_explorer", capsys)
     assert "DDR3-1066" in output
@@ -79,5 +87,6 @@ def test_examples_directory_contains_expected_scripts():
         "ddr3_bandwidth_explorer",
         "packet_classifier",
         "paper_tables",
+        "sharded_engine_demo",
         "telemetry_demo",
     } <= names

@@ -11,6 +11,7 @@ from repro.traffic import (
     list_scenarios,
     match_rate_workload,
     random_flow_keys,
+    scenario_descriptors,
     scenario_specs,
 )
 from repro.traffic.generators import RANDOM_KEYSPACE
@@ -133,12 +134,31 @@ def test_uniform_random_structure():
 # --------------------------------------------------------------------------- #
 
 
-def test_default_extractor_is_shared():
-    assert default_extractor() is default_extractor()
+def test_default_extractor_is_scoped_per_call():
+    # Regression: a process-global extractor used to accumulate
+    # ``packets_parsed`` across every helper call in the process, so runs
+    # reported different parser stats depending on what ran before them.
+    assert default_extractor() is not default_extractor()
+    mine = default_extractor()
     keys = random_flow_keys(5, seed=1)
-    before = default_extractor().packets_parsed
-    descriptors_from_keys(keys)
-    assert default_extractor().packets_parsed == before + 5
+    descriptors_from_keys(keys)  # the helper's own extractor, not ours
+    assert mine.packets_parsed == 0
+    descriptors_from_keys(keys, extractor=mine)
+    assert mine.packets_parsed == 5
+
+
+def test_scenario_descriptors_back_to_back_runs_are_identical():
+    first = scenario_descriptors("zipf_mix", 80, seed=2)
+    second = scenario_descriptors("zipf_mix", 80, seed=2)
+    assert [(d.key, d.key_bytes, d.length_bytes, d.timestamp_ps) for d in first] == [
+        (d.key, d.key_bytes, d.length_bytes, d.timestamp_ps) for d in second
+    ]
+
+
+def test_scenario_descriptors_uses_caller_extractor_when_given():
+    extractor = default_extractor()
+    scenario_descriptors("churn", 40, seed=3, extractor=extractor)
+    assert extractor.packets_parsed == 40
 
 
 def test_random_flow_keys_infeasible_count_raises():

@@ -56,6 +56,17 @@ def test_count_min_from_error_bounds_geometry():
     assert sketch.memory_bytes == sketch.width * sketch.depth * 4
 
 
+def test_count_min_zero_count_update_is_a_noop():
+    sketch = CountMinSketch(width=64, depth=3, key_bits=32, seed=4)
+    sketch.update(7, count=5)
+    before = [list(row) for row in sketch._rows]
+    sketch.update(7, count=0)
+    sketch.update(99, count=0)
+    assert sketch.total == 5
+    assert [list(row) for row in sketch._rows] == before
+    assert sketch.estimate(7) >= 5  # the real count survives the no-op
+
+
 def test_count_min_rejects_bad_parameters():
     with pytest.raises(ValueError):
         CountMinSketch(width=0)
@@ -93,6 +104,40 @@ def test_distinct_counter_merge_is_union():
         left.merge(DistinctCounter(bitmap_bits=1024, seed=9))
     with pytest.raises(ValueError, match="hash seeds"):
         left.merge(DistinctCounter(bitmap_bits=2048, key_bits=32, seed=10))
+
+
+def test_distinct_counter_mismatched_merge_leaves_state_intact():
+    counter = DistinctCounter(bitmap_bits=2048, key_bits=32, seed=9)
+    for item in range(300):
+        counter.add(item)
+    estimate_before = counter.estimate()
+    bits_before = counter.bits_set
+    with pytest.raises(ValueError):
+        counter.merge(DistinctCounter(bitmap_bits=512, key_bits=32, seed=9))
+    with pytest.raises(ValueError):
+        counter.merge(DistinctCounter(bitmap_bits=2048, key_bits=32, seed=11))
+    assert counter.estimate() == estimate_before
+    assert counter.bits_set == bits_before
+    assert counter.items_added == 300
+
+
+def test_distinct_counter_merge_matches_directly_counted_union():
+    union = DistinctCounter(bitmap_bits=2048, key_bits=32, seed=5)
+    left = DistinctCounter(bitmap_bits=2048, key_bits=32, seed=5)
+    right = DistinctCounter(bitmap_bits=2048, key_bits=32, seed=5)
+    for item in range(500):
+        union.add(item)
+        (left if item % 2 else right).add(item)
+    left.merge(right)
+    # Same geometry and seed: the merged bitmap is exactly the union bitmap,
+    # so the estimates agree to the bit, not just approximately.
+    assert left.bits_set == union.bits_set
+    assert left.estimate() == union.estimate()
+    assert left.items_added == union.items_added
+    # Merging the same counter again is idempotent for the bitmap.
+    bits = left.bits_set
+    left.merge(right)
+    assert left.bits_set == bits
 
 
 # --------------------------------------------------------------------------- #
@@ -154,6 +199,66 @@ def test_space_saving_threshold_hitters():
         tracker.update(f"noise{index}")
     hitters = tracker.threshold_hitters(0.5)
     assert [entry.key for entry in hitters] == ["dominant"]
+
+
+def test_space_saving_threshold_is_strictly_exceeds():
+    tracker = SpaceSavingTracker(capacity=8)
+    tracker.update("boundary", 25)
+    tracker.update("above", 26)
+    tracker.update("below", 49)
+    assert tracker.total == 100
+    # "boundary" sits exactly at fraction * total = 25: the docstring promises
+    # entries *exceeding* the fraction, so it must be excluded.
+    hitters = {entry.key for entry in tracker.threshold_hitters(0.25)}
+    assert hitters == {"above", "below"}
+    assert "boundary" not in hitters
+    # Fractions that are not exactly representable as floats must not round
+    # the threshold down below the boundary (0.29 * 100 == 28.999… as floats).
+    tracker = SpaceSavingTracker(capacity=8)
+    tracker.update("edge", 29)
+    tracker.update("rest", 71)
+    assert [entry.key for entry in tracker.threshold_hitters(0.29)] == ["rest"]
+    # Tiny fractions must not be collapsed to a zero threshold.
+    tracker = SpaceSavingTracker(capacity=8)
+    tracker.update("mouse", 1)
+    tracker.update("bulk", 10**12 - 1)
+    hitters = {entry.key for entry in tracker.threshold_hitters(1e-10)}
+    assert hitters == {"bulk"}  # floor is 100 units, not 0
+
+
+def test_space_saving_heap_eviction_matches_guarantees_under_weighted_churn():
+    # Weighted updates over a churn of unmonitored keys exercise the lazy
+    # min-heap (stale tombstones, compaction) far past the eviction path.
+    truth = {}
+    tracker = SpaceSavingTracker(capacity=16)
+    for index in range(2000):
+        if index % 3 == 0:
+            key, weight = f"elephant{index % 5}", 64 + (index % 7)
+        else:
+            key, weight = f"mouse{index}", 1 + (index % 3)
+        truth[key] = truth.get(key, 0) + weight
+        tracker.update(key, weight)
+    assert tracker.evictions > 500
+    assert len(tracker) == tracker.capacity
+    assert len(tracker._heap) <= 4 * tracker.capacity  # compaction bounds memory
+    for entry in tracker.entries():
+        true_count = truth.get(entry.key, 0)
+        assert entry.count >= true_count
+        assert entry.guaranteed <= true_count
+    floor = tracker.total / tracker.capacity
+    for key, count in truth.items():
+        if count > floor:
+            assert key in tracker
+
+
+def test_space_saving_handles_non_comparable_key_mixes():
+    # Count ties among keys of different types must not raise when the heap
+    # orders its entries (the seq tie-breaker keeps ordering total).
+    tracker = SpaceSavingTracker(capacity=4)
+    for key in ("text", b"bytes", 7, ("tu", "ple"), "evictor1", b"evictor2", 99):
+        tracker.update(key, 1)
+    assert tracker.evictions == 3
+    assert len(tracker) == 4
 
 
 # --------------------------------------------------------------------------- #
