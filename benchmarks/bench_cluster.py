@@ -1,0 +1,158 @@
+"""Cluster layer — scaling, fail-over accounting, merged telemetry fidelity.
+
+No paper reference: this is the scale-out tier above the PR-2 sharded
+engine.  Three properties are checked:
+
+1. **Scaling** — cluster aggregate (simulated) throughput grows with the
+   node count on the realistic ``zipf_mix`` workload: at least 2x with 4
+   nodes versus 1, because nodes are independent machines and the ring
+   spreads flows across them.
+2. **Fail-over accounting** — after a node join (live flows migrate) and a
+   forced node failure mid-run (live flows and sketches are lost), the
+   books still balance exactly: every ingested descriptor was completed by
+   exactly one node, surviving or not, and the migrated/lost flow counts
+   are reported explicitly rather than papered over.
+3. **Merged telemetry fidelity** — the cluster-wide heavy-hitter view
+   obtained by merging per-node Space-Saving summaries matches the exact
+   single-node tally's top-k on every named scenario (the summaries are
+   sized so no evictions occur, where the merge is provably exact).
+
+Set ``CLUSTER_BENCH_PACKETS`` to shrink or grow the workload (CI smoke runs
+use a small value).
+"""
+
+import os
+
+from repro.cluster import ClusterCoordinator
+from repro.engine import run_scenario_single
+from repro.reporting import format_table, run_cluster_scaling
+from repro.telemetry import TelemetryConfig
+from repro.traffic import generate_scenario, list_scenarios, scenario_descriptors
+
+PACKETS = int(os.environ.get("CLUSTER_BENCH_PACKETS", "4000"))
+NODE_COUNTS = (1, 2, 4)
+TOP_K = 10
+
+
+def test_cluster_throughput_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_cluster_scaling(
+            scenario="zipf_mix", packet_count=PACKETS, node_counts=NODE_COUNTS, seed=19
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result["rows"]
+    print()
+    print(format_table(rows, title=f"cluster scaling — zipf_mix ({PACKETS} packets)"))
+
+    by_nodes = {row["nodes"]: row for row in rows}
+    assert set(by_nodes) == set(NODE_COUNTS)
+
+    # Outcome totals are invariant under the node count (ring flow pinning).
+    for row in rows:
+        assert row["matches_single_path"], row
+
+    # Aggregate throughput rises with node count: >= 2x at 4 nodes versus 1.
+    rates = [by_nodes[nodes]["throughput_mdesc_s"] for nodes in NODE_COUNTS]
+    assert rates == sorted(rates)
+    assert by_nodes[4]["throughput_mdesc_s"] >= 2.0 * by_nodes[1]["throughput_mdesc_s"]
+    benchmark.extra_info["rows"] = rows
+
+
+def test_failover_accounting_is_exact():
+    packets = max(800, PACKETS // 2)
+    descriptors = scenario_descriptors("node_failover", packets, seed=29)
+    coordinator = ClusterCoordinator(nodes=4, telemetry_seed=29)
+
+    coordinator.ingest(descriptors[: packets // 2])
+    assert coordinator.cluster_totals()["completed"] == packets // 2
+
+    # A node joins: the live flows in its new arcs migrate onto it, losslessly.
+    join = coordinator.add_node("joiner")
+    assert join["migrated"] > 0
+    assert join["lost"] == 0
+
+    # A node is forced to fail: its live flows and sketches are lost.
+    victim = max(coordinator.nodes, key=lambda n: coordinator.nodes[n].active_flows)
+    at_failure = coordinator.nodes[victim].active_flows
+    completed_by_victim = coordinator.nodes[victim].completed
+    failure = coordinator.fail_node(victim)
+    assert failure["lost"] == at_failure > 0
+
+    coordinator.ingest(descriptors[packets // 2 :])
+
+    # The books balance exactly: every descriptor completed on exactly one
+    # node, surviving or failed, and hits + misses == completed throughout.
+    totals = coordinator.cluster_totals()
+    alive = coordinator.alive_totals()
+    assert totals["completed"] == coordinator.ingested == packets
+    assert totals["hits"] + totals["misses"] == totals["completed"]
+    assert alive["completed"] == packets - completed_by_victim
+    assert alive["hits"] + alive["misses"] == alive["completed"]
+
+    # Migration and loss are reported explicitly, and losing flow state
+    # costs re-learning: the cluster sees more new flows than the
+    # uninterrupted single path would have.
+    assert coordinator.flows_migrated >= join["migrated"]
+    assert coordinator.flows_lost == failure["lost"]
+    single = run_scenario_single("node_failover", packets, seed=29)
+    relearned = totals["new_flows"] - single.totals()["new_flows"]
+    assert 0 < relearned <= coordinator.flows_lost
+
+    print()
+    print(format_table(
+        [
+            {
+                "packets": packets,
+                "migrated": coordinator.flows_migrated,
+                "lost": coordinator.flows_lost,
+                "relearned_flows": relearned,
+                "telemetry_pkts_lost": coordinator.telemetry_packets_lost,
+                "balanced": totals["completed"] == coordinator.ingested,
+            }
+        ],
+        title="fail-over accounting — node_failover",
+    ))
+
+
+def test_merged_topk_matches_exact_on_every_scenario():
+    packets = max(600, PACKETS // 4)
+    config = TelemetryConfig(heavy_hitter_capacity=8 * packets)
+    rows = []
+    for name in list_scenarios():
+        coordinator = ClusterCoordinator(
+            nodes=3, telemetry_config=config, telemetry_seed=37
+        )
+        coordinator.ingest(scenario_descriptors(name, packets, seed=37))
+        merged = coordinator.merged_telemetry()
+
+        exact: dict = {}
+        for packet in generate_scenario(name, packets, seed=37):
+            key = packet.key.pack()
+            exact[key] = exact.get(key, 0) + packet.length_bytes
+
+        # The summaries never filled, so the merge is exact: compare the
+        # top-k lists directly, byte counts included, with a deterministic
+        # (count desc, key) order so ties cannot flake the comparison.
+        exact_top = sorted(exact.items(), key=lambda item: (-item[1], item[0]))[:TOP_K]
+        merged_top = [
+            (hitter.key, hitter.count)
+            for hitter in sorted(
+                merged.heavy_hitters.entries(), key=lambda h: (-h.count, h.key)
+            )[:TOP_K]
+        ]
+        assert merged_top == exact_top, name
+        assert merged.packets == packets
+        rows.append(
+            {
+                "scenario": name,
+                "flows": len(exact),
+                f"top{TOP_K}_match": merged_top == exact_top,
+                "heaviest_bytes": exact_top[0][1],
+            }
+        )
+    print()
+    print(format_table(
+        rows, title=f"cluster-wide merged top-{TOP_K} vs exact ({packets} packets each)"
+    ))

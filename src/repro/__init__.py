@@ -13,6 +13,10 @@ The package is organised as the paper's system is:
 * :mod:`repro.analyzer` — the Figure 7 traffic-analyzer integration.
 * :mod:`repro.engine` — sharded batch fast-path execution
   (:class:`~repro.engine.ShardedFlowLUT` and the scenario runner).
+* :mod:`repro.cluster` — the scale-out tier: consistent-hash flow steering
+  across :class:`~repro.cluster.ClusterNode` fleets, node join/leave/failure
+  with flow-state migration, and mergeable cluster-wide telemetry
+  (:class:`~repro.cluster.ClusterCoordinator`).
 * :mod:`repro.telemetry` — sketch-based streaming measurement (heavy
   hitters, superspreaders, flow sizes) riding on the analyzer's events.
 * :mod:`repro.reporting` — experiment tables and paper reference values.
@@ -29,6 +33,7 @@ Quick start::
     print(result.throughput_mdesc_s, "Mdesc/s")
 """
 
+from repro.cluster import ClusterCoordinator, ClusterNode, HashRing
 from repro.core.config import FlowLUTConfig, PROTOTYPE_CONFIG, small_test_config
 from repro.core.flow_lut import FlowLUT, LookupOutcome
 from repro.core.flow_state import FlowRecord, FlowStateTable
@@ -44,6 +49,8 @@ from repro.telemetry import TelemetryConfig, TelemetryPipeline
 __version__ = "0.1.0"
 
 __all__ = [
+    "ClusterCoordinator",
+    "ClusterNode",
     "DescriptorExtractor",
     "DescriptorSource",
     "ExperimentResult",
@@ -53,6 +60,7 @@ __all__ = [
     "FlowRecord",
     "FlowStateTable",
     "HashCamTable",
+    "HashRing",
     "LookupOutcome",
     "LookupStage",
     "PROTOTYPE_CONFIG",

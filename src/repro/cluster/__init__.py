@@ -1,0 +1,28 @@
+"""Cluster simulation layer: the scale-out tier above the sharded engine.
+
+PR 2 scaled one box (shards inside :class:`~repro.engine.ShardedFlowLUT`);
+this package simulates the fleet a production NetFlow-style deployment runs:
+
+* :mod:`repro.cluster.ring` — :class:`HashRing`, consistent hashing with
+  virtual nodes over CRC-32 so membership changes remap only ``~1/N`` of
+  the flow keyspace.
+* :mod:`repro.cluster.node` — :class:`ClusterNode`, one sharded engine plus
+  a mergeable telemetry pipeline and per-shard flow state behind a ring
+  identity, with live-flow extract/absorb hooks for migration.
+* :mod:`repro.cluster.coordinator` — :class:`ClusterCoordinator`, batched
+  ring-steered ingestion, node join/leave/failure with flow-state migration
+  and explicit loss accounting, load-imbalance detection, and
+  :meth:`~ClusterCoordinator.merged_telemetry` for the fleet-wide
+  heavy-hitter / superspreader view.
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.node import ClusterNode
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterNode",
+    "DEFAULT_VNODES",
+    "HashRing",
+]

@@ -1,0 +1,423 @@
+"""Cluster-wide orchestration: steering, membership, global accounting.
+
+:class:`ClusterCoordinator` is the control plane of the simulated fleet.  It
+owns a :class:`~repro.cluster.ring.HashRing` and a set of
+:class:`~repro.cluster.node.ClusterNode`\\ s, steers descriptor batches to
+the nodes that own their flow keys, and keeps the books that make the
+simulation honest:
+
+* **Global accounting** — hit / miss / new-flow / throughput totals summed
+  over alive nodes, with departed and failed nodes' contributions retained
+  separately so ``cluster_totals()`` always balances against what was
+  ingested, even across membership changes.
+* **Membership** — :meth:`add_node` (join with live-flow migration onto the
+  new owner), :meth:`remove_node` (graceful leave, flows re-homed), and
+  :meth:`fail_node` (crash: live flow state and telemetry sketches are
+  lost, and the loss is counted, not papered over).
+* **Load imbalance** — observed per-node load versus the ring's expected
+  arc share (:meth:`imbalance_report`), separating consistent-hashing
+  unevenness from genuinely skewed traffic such as the ``hotspot_shift``
+  scenario.
+* **Mergeable telemetry** — :meth:`merged_telemetry` folds the per-node
+  sketch pipelines into one cluster-wide measurement plane (exact for
+  Count-Min and bitmap unions, bounded-error for Space-Saving), which is
+  what an operator would query for fleet-level heavy hitters and
+  superspreaders.
+
+Because flows are pinned to nodes by ring hash — like shards inside one
+node — the cluster's aggregate hit/miss/new-flow totals on a static
+membership equal a single LUT serving the whole stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import FlowLUTConfig, small_test_config
+from repro.core.flow_state import FlowRecord
+from repro.cluster.node import ClusterNode
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.sim.rng import SeedLike
+from repro.telemetry.pipeline import TelemetryConfig, TelemetryPipeline
+
+DEFAULT_BATCH_SIZE = 512
+
+
+class ClusterCoordinator:
+    """Batched ingestion across a ring-steered fleet of measurement nodes.
+
+    Parameters
+    ----------
+    nodes: initial membership — a count (IDs ``node0..nodeN-1``) or explicit
+        node IDs.
+    config: per-shard Flow LUT configuration shared by every node; defaults
+        to the small test prototype (like the scenario runner).
+    shards_per_node: Flow LUT devices inside each node.
+    vnodes: virtual nodes per ring member.
+    telemetry: give every node a telemetry pipeline; all pipelines share
+        ``telemetry_config`` / ``telemetry_seed`` so they merge.
+    flow_timeout_us: housekeeping timeout for per-node flow state.
+    batch_size: default sub-batch size for :meth:`ingest`.
+    """
+
+    def __init__(
+        self,
+        nodes: Union[int, Sequence[str]] = 4,
+        config: Optional[FlowLUTConfig] = None,
+        shards_per_node: int = 1,
+        vnodes: int = DEFAULT_VNODES,
+        telemetry: bool = True,
+        telemetry_config: Optional[TelemetryConfig] = None,
+        telemetry_seed: SeedLike = 0,
+        flow_timeout_us: Optional[float] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if isinstance(nodes, int):
+            if nodes <= 0:
+                raise ValueError("node count must be positive")
+            node_ids: List[str] = [f"node{index}" for index in range(nodes)]
+        else:
+            node_ids = list(nodes)
+            if not node_ids:
+                raise ValueError("at least one node is required")
+            if len(set(node_ids)) != len(node_ids):
+                raise ValueError("node IDs must be unique")
+        self.config = config or small_test_config()
+        self.shards_per_node = shards_per_node
+        self.telemetry_enabled = telemetry
+        self.telemetry_config = telemetry_config
+        self.telemetry_seed = telemetry_seed
+        self.flow_timeout_us = flow_timeout_us
+        self.batch_size = batch_size
+
+        self.ring = HashRing(vnodes=vnodes)
+        self.nodes: Dict[str, ClusterNode] = {}
+        for node_id in node_ids:
+            self.ring.add_node(node_id)
+            self.nodes[node_id] = self._make_node(node_id)
+
+        self.ingested = 0
+        self.flows_migrated = 0
+        self.flows_lost = 0
+        self.telemetry_packets_lost = 0
+        self.joins = 0
+        self.leaves = 0
+        self.failures = 0
+        self.routed: Dict[str, int] = {node_id: 0 for node_id in node_ids}
+        # Departed/failed nodes' final accounting, so the cluster-wide books
+        # keep balancing after membership changes.
+        self._retired_reports: List[dict] = []
+        self._retired_pipelines: List[TelemetryPipeline] = []
+        self.events: List[dict] = []
+
+    def _make_node(self, node_id: str) -> ClusterNode:
+        return ClusterNode(
+            node_id,
+            config=self.config,
+            shards=self.shards_per_node,
+            telemetry=self.telemetry_enabled,
+            telemetry_config=self.telemetry_config,
+            telemetry_seed=self.telemetry_seed,
+            flow_timeout_us=self.flow_timeout_us,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Steering and ingestion
+    # ------------------------------------------------------------------ #
+
+    def owner_of(self, key_bytes: bytes) -> str:
+        """The node currently owning a flow key."""
+        return self.ring.lookup(key_bytes)
+
+    def route(self, descriptors: Sequence) -> Dict[str, List]:
+        """Partition a descriptor batch by ring owner (order kept per node)."""
+        groups: Dict[str, List] = {node_id: [] for node_id in self.nodes}
+        for descriptor in descriptors:
+            groups[self.ring.lookup(descriptor.key_bytes)].append(descriptor)
+        return groups
+
+    def ingest(self, descriptors: Sequence, batch_size: Optional[int] = None) -> dict:
+        """Steer one stream segment across the fleet in per-node batches.
+
+        Every descriptor is routed to exactly one alive node and processed
+        there in sub-batches of ``batch_size``; nodes are independent
+        devices, so the wall-clock cost of a segment is the slowest node's
+        simulated time.  Returns the per-node packet counts of this call.
+        """
+        size = self.batch_size if batch_size is None else batch_size
+        if size <= 0:
+            raise ValueError("batch_size must be positive")
+        groups = self.route(descriptors)
+        per_node: Dict[str, int] = {}
+        for node_id, group in groups.items():
+            if not group:
+                continue
+            node = self.nodes[node_id]
+            for offset in range(0, len(group), size):
+                node.process_batch(group[offset : offset + size])
+            per_node[node_id] = len(group)
+            self.routed[node_id] = self.routed.get(node_id, 0) + len(group)
+        self.ingested += len(descriptors)
+        return {"packets": len(descriptors), "per_node": per_node}
+
+    def run_housekeeping(self, now_ps: Optional[int] = None) -> int:
+        """One flow-aging pass across every alive node; returns removals."""
+        return sum(node.run_housekeeping(now_ps) for node in self.nodes.values())
+
+    def finalize_telemetry(self) -> int:
+        """Close the measurement window on every alive node.
+
+        Sizes the flows still live into each node's flow-size distribution
+        (expired flows were sized by :meth:`run_housekeeping`), so a
+        subsequent :meth:`merged_telemetry` carries the fleet-wide
+        flow-size histogram, not just the streaming sketches.  Call once
+        per window, before merging.
+        """
+        return sum(node.finalize_telemetry() for node in self.nodes.values())
+
+    # ------------------------------------------------------------------ #
+    # Membership: join / leave / failure with flow-state migration
+    # ------------------------------------------------------------------ #
+
+    def _rehome(self, flows: Iterable[Tuple[bytes, FlowRecord]]) -> dict:
+        """Restore extracted flows onto their current ring owners."""
+        migrated = 0
+        lost = 0
+        pending: Dict[str, List[Tuple[bytes, FlowRecord]]] = {}
+        for key_bytes, record in flows:
+            pending.setdefault(self.ring.lookup(key_bytes), []).append((key_bytes, record))
+        for node_id, group in pending.items():
+            restored, failed = self.nodes[node_id].absorb_flows(group)
+            migrated += restored
+            lost += failed
+        self.flows_migrated += migrated
+        self.flows_lost += lost
+        return {"migrated": migrated, "lost": lost}
+
+    def add_node(self, node_id: str) -> dict:
+        """A node joins: ring arcs remap and the affected live flows follow.
+
+        The new member takes over roughly ``1/N`` of the keyspace; every
+        live flow record in those arcs is extracted from its previous owner
+        (table entry deleted, record detached without export) and re-homed
+        onto the joiner, so packets arriving after the join hit existing
+        state instead of being miscounted as new flows.
+        """
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id!r} is already a member")
+        node = self._make_node(node_id)
+        self.ring.add_node(node_id)
+        self.nodes[node_id] = node
+        self.routed.setdefault(node_id, 0)
+        moved: List[Tuple[bytes, FlowRecord]] = []
+        for other in self.nodes.values():
+            if other is node:
+                continue
+            moved.extend(
+                other.extract_flows(
+                    lambda key_bytes, record: self.ring.lookup(key_bytes) == node_id
+                )
+            )
+        outcome = self._rehome(moved)
+        self.joins += 1
+        event = {"event": "join", "node": node_id, **outcome}
+        self.events.append(event)
+        return event
+
+    def remove_node(self, node_id: str) -> dict:
+        """A node leaves gracefully: its live flows migrate to the survivors."""
+        node = self._pop_member(node_id)
+        records = node.extract_flows()
+        self.ring.remove_node(node_id)
+        self._retire(node, reason="leave")
+        outcome = self._rehome(records)
+        self.leaves += 1
+        event = {"event": "leave", "node": node_id, **outcome}
+        self.events.append(event)
+        return event
+
+    def fail_node(self, node_id: str) -> dict:
+        """A node crashes: its flow state and telemetry die with it.
+
+        Nothing is migrated — the lost live flows are counted in
+        ``flows_lost`` and the node's telemetry packets in
+        ``telemetry_packets_lost``.  Packets of the lost flows arriving
+        later are misses / new flows on the surviving owners, exactly as a
+        real collector fleet would re-learn them.
+        """
+        node = self._pop_member(node_id)
+        lost = node.fail()
+        self.ring.remove_node(node_id)
+        self.flows_lost += lost
+        if node.pipeline is not None:
+            self.telemetry_packets_lost += node.pipeline.packets
+        self._retire(node, reason="failure", keep_telemetry=False)
+        self.failures += 1
+        event = {"event": "failure", "node": node_id, "migrated": 0, "lost": lost}
+        self.events.append(event)
+        return event
+
+    def _pop_member(self, node_id: str) -> ClusterNode:
+        if node_id not in self.nodes:
+            raise KeyError(f"node {node_id!r} is not a member")
+        if len(self.nodes) == 1:
+            raise ValueError("cannot remove the last node of the cluster")
+        return self.nodes.pop(node_id)
+
+    def _retire(self, node: ClusterNode, reason: str, keep_telemetry: bool = True) -> None:
+        self._retired_reports.append(
+            {
+                "node_id": node.node_id,
+                "reason": reason,
+                "elapsed_ps": node.elapsed_ps,
+                **node.totals(),
+            }
+        )
+        if keep_telemetry and node.pipeline is not None:
+            # A graceful leaver hands its sketches over before departing.
+            self._retired_pipelines.append(node.pipeline)
+
+    # ------------------------------------------------------------------ #
+    # Global accounting
+    # ------------------------------------------------------------------ #
+
+    def alive_totals(self) -> dict:
+        """Hit/miss/new-flow accounting summed over the surviving nodes."""
+        totals = {"completed": 0, "hits": 0, "misses": 0, "new_flows": 0}
+        for node in self.nodes.values():
+            for key, value in node.totals().items():
+                totals[key] += value
+        return totals
+
+    def cluster_totals(self) -> dict:
+        """Alive totals plus departed/failed nodes' retained contributions.
+
+        This is the figure that must always balance: every ingested
+        descriptor was completed by exactly one node, member or not, so
+        ``cluster_totals()["completed"] == ingested`` whenever all batches
+        have been processed.
+        """
+        totals = self.alive_totals()
+        for report in self._retired_reports:
+            for key in totals:
+                totals[key] += report[key]
+        return totals
+
+    @property
+    def active_flows(self) -> int:
+        return sum(node.active_flows for node in self.nodes.values())
+
+    @property
+    def elapsed_ps(self) -> int:
+        """Cluster wall clock: the slowest node's simulated time."""
+        elapsed = [node.elapsed_ps for node in self.nodes.values()]
+        elapsed.extend(report["elapsed_ps"] for report in self._retired_reports)
+        return max(elapsed, default=0)
+
+    @property
+    def throughput_mdesc_s(self) -> float:
+        """Aggregate processing rate: all nodes run concurrently."""
+        elapsed = self.elapsed_ps
+        if elapsed <= 0:
+            return 0.0
+        return self.cluster_totals()["completed"] * 1e6 / elapsed
+
+    @property
+    def load_imbalance(self) -> float:
+        """Busiest alive node's completed load over the mean (0.0 when idle)."""
+        loads = [node.completed for node in self.nodes.values()]
+        total = sum(loads)
+        if total <= 0 or not loads:
+            return 0.0
+        return max(loads) * len(loads) / total
+
+    def imbalance_report(self, threshold: float = 1.25) -> dict:
+        """Observed load versus the ring's expected share, per alive node.
+
+        A node is flagged *overloaded* when its observed share of completed
+        descriptors exceeds ``threshold`` times its expected arc share —
+        the signal that traffic is skewed (or the ring needs more vnodes).
+        """
+        if threshold <= 1.0:
+            raise ValueError("threshold must exceed 1.0")
+        totals = self.alive_totals()["completed"]
+        shares = self.ring.arc_shares()
+        rows = []
+        overloaded = []
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            observed = node.completed / totals if totals else 0.0
+            expected = shares.get(node_id, 0.0)
+            flagged = bool(totals) and expected > 0.0 and observed > threshold * expected
+            if flagged:
+                overloaded.append(node_id)
+            rows.append(
+                {
+                    "node": node_id,
+                    "completed": node.completed,
+                    "observed_share": round(observed, 4),
+                    "expected_share": round(expected, 4),
+                    "overloaded": flagged,
+                }
+            )
+        return {
+            "rows": rows,
+            "load_imbalance": self.load_imbalance,
+            "overloaded": overloaded,
+            "imbalance_detected": bool(overloaded),
+            "threshold": threshold,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Cluster-wide telemetry
+    # ------------------------------------------------------------------ #
+
+    def merged_telemetry(self, include_departed: bool = True) -> TelemetryPipeline:
+        """The fleet-level measurement plane: all per-node pipelines merged.
+
+        Builds a fresh pipeline from the shared config/seed and folds in
+        every alive node's sketches, plus graceful leavers' retained
+        pipelines (``include_departed``).  Failed nodes contributed nothing
+        — their sketches died with them; ``telemetry_packets_lost`` says
+        how much of the stream the merged view is therefore missing.
+        """
+        if not self.telemetry_enabled:
+            raise RuntimeError("cluster was built with telemetry disabled")
+        merged = TelemetryPipeline(self.telemetry_config, seed=self.telemetry_seed)
+        for node in self.nodes.values():
+            merged.merge(node.pipeline)
+        if include_departed:
+            for pipeline in self._retired_pipelines:
+                merged.merge(pipeline)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def report(self) -> dict:
+        return {
+            "nodes": sorted(self.nodes),
+            "shards_per_node": self.shards_per_node,
+            "ingested": self.ingested,
+            "alive_totals": self.alive_totals(),
+            "cluster_totals": self.cluster_totals(),
+            "active_flows": self.active_flows,
+            "throughput_mdesc_s": self.throughput_mdesc_s,
+            "load_imbalance": self.load_imbalance,
+            "flows_migrated": self.flows_migrated,
+            "flows_lost": self.flows_lost,
+            "telemetry_packets_lost": self.telemetry_packets_lost,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "failures": self.failures,
+            "routed": dict(self.routed),
+            "events": list(self.events),
+            "per_node": [
+                self.nodes[node_id].report() for node_id in sorted(self.nodes)
+            ],
+            "retired": list(self._retired_reports),
+            "ring": self.ring.stats(),
+        }

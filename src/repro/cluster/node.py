@@ -1,0 +1,250 @@
+"""One measurement node of the simulated cluster.
+
+A :class:`ClusterNode` is what one rack slot runs: a
+:class:`~repro.engine.sharded.ShardedFlowLUT` (one or more timed Flow LUT
+devices) with per-shard flow state attached, and — unless disabled — a
+:class:`~repro.telemetry.TelemetryPipeline` riding the merged outcome
+batches so the node summarises its slice of the traffic in mergeable
+sketches.  The coordinator steers descriptor batches to nodes via the hash
+ring and, on membership changes, moves live flow state between nodes with
+:meth:`extract_flows` / :meth:`absorb_flows`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.config import FlowLUTConfig
+from repro.core.flow_lut import LookupOutcome
+from repro.core.flow_state import FlowRecord
+from repro.engine.sharded import ShardedFlowLUT
+from repro.sim.rng import SeedLike
+from repro.telemetry.pipeline import TelemetryConfig, TelemetryPipeline
+
+
+class ClusterNode:
+    """A sharded engine plus telemetry plane behind one node identity.
+
+    Parameters
+    ----------
+    node_id: the node's ring identity (stable across the node's life).
+    config: per-shard Flow LUT configuration.
+    shards: Flow LUT devices inside this node (the PR-2 scale-up axis; the
+        cluster is the scale-out axis on top of it).
+    telemetry: build a per-node telemetry pipeline fed by the engine's
+        outcome batches.  All nodes of a cluster share ``telemetry_config``
+        and ``telemetry_seed`` so their pipelines are mergeable.
+    flow_timeout_us: housekeeping timeout for the per-shard flow state.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        config: Optional[FlowLUTConfig] = None,
+        shards: int = 1,
+        telemetry: bool = True,
+        telemetry_config: Optional[TelemetryConfig] = None,
+        telemetry_seed: SeedLike = 0,
+        flow_timeout_us: Optional[float] = None,
+        input_queue_depth: int = 32,
+    ) -> None:
+        if not node_id:
+            raise ValueError("node_id must be non-empty")
+        self.node_id = node_id
+        self.pipeline: Optional[TelemetryPipeline] = (
+            TelemetryPipeline(telemetry_config, seed=telemetry_seed) if telemetry else None
+        )
+        self.engine = ShardedFlowLUT(
+            shards=shards,
+            config=config,
+            on_batch=self.pipeline.observe_outcomes if self.pipeline is not None else None,
+            input_queue_depth=input_queue_depth,
+        )
+        self.engine.attach_flow_state(timeout_us=flow_timeout_us)
+        self.alive = True
+        self.flows_migrated_in = 0
+        self.flows_migrated_out = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def process_batch(self, descriptors: Sequence) -> List[LookupOutcome]:
+        """Run one descriptor batch through this node's engine."""
+        if not self.alive:
+            raise RuntimeError(f"node {self.node_id!r} has failed; cannot ingest")
+        return self.engine.process_batch(descriptors)
+
+    def preload(self, keys) -> int:
+        return self.engine.preload(keys)
+
+    def run_housekeeping(self, now_ps: Optional[int] = None) -> int:
+        """One aging pass; expired flows also feed the flow-size sketches.
+
+        On the analyzer path the pipeline hears ``FLOW_EXPIRED`` events;
+        the engine path has no event engine, so the expired records are
+        picked out of each shard's export stream here and sized exactly
+        once — migration uses :meth:`~repro.core.flow_state.FlowStateTable.
+        detach`, which does not export, so moved flows never appear.
+        """
+        if self.pipeline is None:
+            return self.engine.run_housekeeping(now_ps)
+        watermarks = [
+            len(shard.flow_state.exported) if shard.flow_state is not None else 0
+            for shard in self.engine.shards
+        ]
+        removed = self.engine.run_housekeeping(now_ps)
+        for shard, mark in zip(self.engine.shards, watermarks):
+            state = shard.flow_state
+            if state is None:
+                continue
+            for record in state.exported[mark:]:
+                self.pipeline.flow_sizes.observe_flow(record.packets, record.bytes)
+        return removed
+
+    def finalize_telemetry(self) -> int:
+        """Close the measurement window: size the flows still live here.
+
+        Mirrors :meth:`~repro.telemetry.TelemetryPipeline.finalize` on the
+        analyzer path; together with the expiry accounting in
+        :meth:`run_housekeeping` every flow is sized exactly once.  Returns
+        the number of records added (0 with telemetry disabled).
+        """
+        if self.pipeline is None:
+            return 0
+        added = 0
+        for state in self.engine.flow_states:
+            if state is not None:
+                added += self.pipeline.finalize(state)
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Flow-state migration
+    # ------------------------------------------------------------------ #
+
+    def live_records(self) -> List[FlowRecord]:
+        """Snapshot of every live flow record on this node."""
+        return list(self.engine.flow_records())
+
+    @property
+    def active_flows(self) -> int:
+        return self.engine.active_flows
+
+    def extract_flows(
+        self, predicate: Optional[Callable[[bytes, FlowRecord], bool]] = None
+    ) -> List[Tuple[bytes, FlowRecord]]:
+        """Remove and return live flows matching ``predicate`` (all if None).
+
+        Yields ``(key_bytes, record)`` pairs where ``key_bytes`` is the
+        *engine* key the flow table stored (the descriptor extractor's field
+        packing — the same bytes the ring steers on), so the caller can
+        re-home each flow on the ring owner of exactly that identity.  The
+        records are detached (not exported — the flows are moving, not
+        terminating) and their table entries deleted, so this node stops
+        claiming them; the caller re-homes them with :meth:`absorb_flows`
+        on the new owner.
+        """
+        extracted: List[Tuple[bytes, FlowRecord]] = []
+        for shard in self.engine.shards:
+            state = shard.flow_state
+            if state is None:
+                continue
+            victims = []
+            for record in state:
+                key_bytes = shard.live_key(record.flow_id)
+                if key_bytes is None:
+                    continue  # record without a table entry cannot migrate
+                if predicate is None or predicate(key_bytes, record):
+                    victims.append((key_bytes, record))
+            for key_bytes, record in victims:
+                state.detach(record.flow_id)
+                shard.delete_flow(key_bytes)
+                extracted.append((key_bytes, record))
+        if extracted:
+            self.flows_migrated_out += len(extracted)
+            self.engine.drain()  # retire the deletion writes before handoff
+        return extracted
+
+    def absorb_flows(self, flows: Sequence[Tuple[bytes, FlowRecord]]) -> Tuple[int, int]:
+        """Adopt migrated ``(key_bytes, record)`` pairs; returns ``(restored, failed)``.
+
+        A flow fails only when the table cannot place its key (overflow);
+        the coordinator accounts those flows as lost.
+        """
+        restored = 0
+        failed = 0
+        for key_bytes, record in flows:
+            if self.engine.restore_flow(record, key_bytes):
+                restored += 1
+            else:
+                failed += 1
+        self.flows_migrated_in += restored
+        return restored, failed
+
+    def fail(self) -> int:
+        """Mark the node failed; returns the live flows lost with it.
+
+        A failed node takes its flow state *and* its telemetry sketches
+        down — nothing is migrated.  The engine object is kept so the
+        coordinator can still report what the node had completed before
+        dying, but it accepts no further traffic.
+        """
+        self.alive = False
+        return self.active_flows
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def completed(self) -> int:
+        return self.engine.completed
+
+    @property
+    def hits(self) -> int:
+        return self.engine.hits
+
+    @property
+    def misses(self) -> int:
+        return self.engine.misses
+
+    @property
+    def new_flows(self) -> int:
+        return self.engine.new_flows
+
+    @property
+    def insert_failures(self) -> int:
+        return self.engine.insert_failures
+
+    @property
+    def elapsed_ps(self) -> int:
+        return self.engine.elapsed_ps
+
+    def totals(self) -> dict:
+        """The outcome accounting the cluster books balance over."""
+        return {
+            "completed": self.completed,
+            "hits": self.hits,
+            "misses": self.misses,
+            "new_flows": self.new_flows,
+        }
+
+    def report(self) -> dict:
+        report = {
+            "node_id": self.node_id,
+            "alive": self.alive,
+            "shards": self.engine.num_shards,
+            "active_flows": self.active_flows,
+            "flows_migrated_in": self.flows_migrated_in,
+            "flows_migrated_out": self.flows_migrated_out,
+            "insert_failures": self.insert_failures,
+            "throughput_mdesc_s": self.engine.throughput_mdesc_s,
+            **self.totals(),
+        }
+        if self.pipeline is not None:
+            report["telemetry_packets"] = self.pipeline.packets
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "failed"
+        return f"ClusterNode({self.node_id!r}, {state}, completed={self.completed})"

@@ -1,0 +1,159 @@
+"""Consistent-hash flow steering for the cluster layer.
+
+A fleet of measurement nodes has the same problem the sharded engine solved
+on one box — every packet of a flow must land on the same device — but with
+one extra requirement: membership changes.  Nodes join, leave and fail, and
+a plain ``hash % N`` would remap almost every flow each time ``N`` changes.
+
+:class:`HashRing` is the classic consistent-hashing answer: every node owns
+``vnodes`` pseudo-random points (*virtual nodes*) on a 32-bit ring, a flow
+key hashes to a point, and the first vnode at or clockwise of that point
+owns the flow.  Adding or removing one node therefore only remaps the keys
+in the arcs that node's vnodes cover — about ``1/N`` of the keyspace —
+which is exactly the flow state the cluster migrates.
+
+The hash is the repository's table-driven IEEE CRC-32
+(:data:`repro.hashing.crc.CRC32`), a different family from both the
+per-shard CRC used inside :class:`~repro.engine.sharded.ShardedFlowLUT`
+(zlib's, over the raw key) and the per-node H3 bucket hashing, so placement
+decisions at the three levels stay uncorrelated.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hashing.crc import CRC32
+
+RING_BITS = 32
+RING_SIZE = 1 << RING_BITS
+
+DEFAULT_VNODES = 64
+"""Virtual nodes per physical node: enough that the largest arc share stays
+within a few tens of percent of the mean, cheap enough to rebuild on joins."""
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes over CRC-32 space.
+
+    Parameters
+    ----------
+    vnodes: ring points per unit of node weight; more points mean a smoother
+        key distribution at slightly larger membership-change cost.
+    """
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._weights: Dict[str, int] = {}
+        # Sorted parallel arrays: token -> owning node.  Tokens can collide
+        # (two vnodes hashing to the same point); insertion order then breaks
+        # the tie deterministically, which is all lookup needs.
+        self._tokens: List[int] = []
+        self._owners: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._weights
+
+    @property
+    def node_ids(self) -> List[str]:
+        """Member node IDs in insertion-independent (sorted) order."""
+        return sorted(self._weights)
+
+    def _node_tokens(self, node_id: str, weight: int) -> List[int]:
+        return [
+            CRC32.hash(f"{node_id}#{replica}".encode("utf-8"))
+            for replica in range(self.vnodes * weight)
+        ]
+
+    def _rebuild(self) -> None:
+        points: List[Tuple[int, str]] = []
+        for node_id, weight in self._weights.items():
+            points.extend((token, node_id) for token in self._node_tokens(node_id, weight))
+        points.sort()
+        self._tokens = [token for token, _ in points]
+        self._owners = [node_id for _, node_id in points]
+
+    def add_node(self, node_id: str, weight: int = 1) -> None:
+        """Add a member with ``vnodes * weight`` ring points."""
+        if not node_id:
+            raise ValueError("node_id must be non-empty")
+        if node_id in self._weights:
+            raise ValueError(f"node {node_id!r} is already on the ring")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._weights[node_id] = weight
+        self._rebuild()
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a member; its arcs fall to the clockwise successors."""
+        if node_id not in self._weights:
+            raise KeyError(f"node {node_id!r} is not on the ring")
+        del self._weights[node_id]
+        self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # Steering
+    # ------------------------------------------------------------------ #
+
+    def key_token(self, key_bytes: bytes) -> int:
+        """The ring position of a flow key."""
+        return CRC32.hash(key_bytes)
+
+    def lookup(self, key_bytes: bytes) -> str:
+        """The node owning ``key_bytes``: first vnode clockwise of its token."""
+        if not self._tokens:
+            raise LookupError("cannot look up a key on an empty ring")
+        index = bisect.bisect_left(self._tokens, self.key_token(key_bytes))
+        if index == len(self._tokens):  # wrap past the top of the ring
+            index = 0
+        return self._owners[index]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def arc_shares(self) -> Dict[str, float]:
+        """Fraction of the ring each node owns (sums to 1.0).
+
+        This is the *expected* share of a uniformly hashing keyspace; the
+        coordinator compares it against observed per-node load to separate
+        ring unevenness from genuinely skewed traffic.
+        """
+        if not self._tokens:
+            return {}
+        shares: Dict[str, float] = {node_id: 0.0 for node_id in self._weights}
+        previous = self._tokens[-1] - RING_SIZE  # the wrap-around arc
+        for token, owner in zip(self._tokens, self._owners):
+            shares[owner] += (token - previous) / RING_SIZE
+            previous = token
+        return shares
+
+    def spread(self, keys: Sequence[bytes]) -> Dict[str, int]:
+        """How many of ``keys`` each node would own (all nodes listed)."""
+        counts = {node_id: 0 for node_id in self._weights}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts
+
+    def stats(self) -> dict:
+        shares = self.arc_shares()
+        return {
+            "nodes": len(self._weights),
+            "vnodes_per_weight": self.vnodes,
+            "ring_points": len(self._tokens),
+            "max_arc_share": max(shares.values()) if shares else 0.0,
+            "min_arc_share": min(shares.values()) if shares else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HashRing(nodes={self.node_ids}, vnodes={self.vnodes})"

@@ -389,6 +389,56 @@ class FlowLUT:
         if self.on_result is not None:
             self.on_result(outcome)
 
+    def live_key(self, flow_id: int) -> Optional[bytes]:
+        """The table's key bytes for a live flow ID (None if unknown).
+
+        This is the *engine* representation of the flow identity — the
+        descriptor extractor's field packing, which is not necessarily
+        :meth:`FlowKey.pack` order — so migration can delete and re-insert
+        exactly the bytes the table stores.
+        """
+        return self._live_keys.get(flow_id)
+
+    def restore_flow(self, record, key_bytes: Optional[bytes] = None) -> bool:
+        """Re-home a migrated flow: functional insert plus state adoption.
+
+        The cluster layer moves live flows between nodes when the ring
+        changes.  Like :meth:`preload` this is functional (no simulated
+        time): the key is inserted into the table, registered as live, and —
+        when a flow-state table is attached — the record is adopted under
+        the location-derived flow ID the new placement yields, keeping its
+        accumulated packet/byte counters.  ``key_bytes`` must be the engine
+        key the old owner's table stored (see :meth:`live_key`); it defaults
+        to the standard 5-tuple packing for callers outside the migration
+        path.  If the key already lives here (e.g. a packet of the flow
+        arrived before its state did), the migrated counters are folded into
+        the existing record.  Returns ``False`` only when the table cannot
+        place the key (overflow), in which case the caller must account the
+        flow as lost.
+        """
+        if key_bytes is None:
+            key_bytes = record.key.pack()
+        result = self.table.insert(key_bytes)
+        if result.already_present:
+            if self.flow_state is not None and result.flow_id is not None:
+                existing = self.flow_state.get(result.flow_id)
+                if existing is None:
+                    self.flow_state.adopt(result.flow_id, record)
+                else:
+                    existing.packets += record.packets
+                    existing.bytes += record.bytes
+                    existing.first_seen_ps = min(existing.first_seen_ps, record.first_seen_ps)
+                    existing.last_seen_ps = max(existing.last_seen_ps, record.last_seen_ps)
+                    existing.tcp_flags |= record.tcp_flags
+            return True
+        if not result.inserted:
+            return False
+        if result.flow_id is not None:
+            self._live_keys[result.flow_id] = key_bytes
+            if self.flow_state is not None:
+                self.flow_state.adopt(result.flow_id, record)
+        return True
+
     # ------------------------------------------------------------------ #
     # Deletion and housekeeping
     # ------------------------------------------------------------------ #

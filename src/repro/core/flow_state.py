@@ -70,6 +70,7 @@ class FlowStateTable:
         self.created = 0
         self.updated = 0
         self.expired = 0
+        self.adopted = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -121,6 +122,27 @@ class FlowStateTable:
             self.exported.append(record)
         return record
 
+    def detach(self, flow_id: int) -> Optional[FlowRecord]:
+        """Remove and return a record *without* exporting it.
+
+        Used when a live flow migrates to another node: the flow is not
+        terminating, so it must not appear in this table's NetFlow export
+        stream — it continues accumulating on its new owner.
+        """
+        return self._records.pop(flow_id, None)
+
+    def adopt(self, flow_id: int, record: FlowRecord) -> FlowRecord:
+        """Install a migrated record under this table's (new) flow ID.
+
+        Flow IDs are location-derived, so a record re-homed onto another
+        node gets whatever ID its new table location yields; the accumulated
+        counters and timestamps travel with it unchanged.
+        """
+        record.flow_id = flow_id
+        self._records[flow_id] = record
+        self.adopted += 1
+        return record
+
     def expire(self, now_ps: int) -> List[FlowRecord]:
         """Housekeeping pass: remove every flow idle for longer than the timeout.
 
@@ -153,6 +175,7 @@ class FlowStateTable:
             "created": self.created,
             "updated": self.updated,
             "expired": self.expired,
+            "adopted": self.adopted,
             "exported": len(self.exported),
             "timeout_us": self.timeout_us,
         }

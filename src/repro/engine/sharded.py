@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import heapq
 import zlib
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.core.config import FlowLUTConfig
 from repro.core.flow_lut import FlowLUT, LookupOutcome
+from repro.core.flow_state import FlowRecord, FlowStateTable
 from repro.net.parser import PacketDescriptor
 
 
@@ -127,6 +128,67 @@ class ShardedFlowLUT:
             shard.drain()
 
     # ------------------------------------------------------------------ #
+    # Flow state, aging and migration
+    # ------------------------------------------------------------------ #
+
+    def attach_flow_state(self, timeout_us: Optional[float] = None) -> List[FlowStateTable]:
+        """Give every shard its own flow-state table; returns the tables.
+
+        ``timeout_us`` defaults to the configuration's housekeeping timeout.
+        Flow state is per shard — flows are pinned to shards by key hash, so
+        no record ever needs to be visible across shard boundaries — and
+        enables :meth:`run_housekeeping` plus the cluster layer's live-flow
+        migration.  Calling this again replaces the tables (records in the
+        old ones are abandoned), so attach before processing traffic.
+        """
+        timeout = timeout_us if timeout_us is not None else self.config.flow_timeout_us
+        for shard in self.shards:
+            shard.flow_state = FlowStateTable(timeout_us=timeout)
+        return [shard.flow_state for shard in self.shards]
+
+    @property
+    def flow_states(self) -> List[Optional[FlowStateTable]]:
+        return [shard.flow_state for shard in self.shards]
+
+    def flow_records(self) -> Iterator[FlowRecord]:
+        """Every live flow record across all shards (needs attached state)."""
+        for shard in self.shards:
+            if shard.flow_state is not None:
+                yield from shard.flow_state
+
+    @property
+    def active_flows(self) -> int:
+        """Live flow records across all shards (0 without attached state)."""
+        return sum(
+            len(shard.flow_state) for shard in self.shards if shard.flow_state is not None
+        )
+
+    def delete_flow(self, key_bytes: bytes) -> bool:
+        """Remove one flow entry on its owning shard (routed, not fanned out)."""
+        return self.shards[self.shard_of(key_bytes)].delete_flow(key_bytes)
+
+    def restore_flow(self, record: FlowRecord, key_bytes: Optional[bytes] = None) -> bool:
+        """Re-home a migrated flow record onto its owning shard.
+
+        ``key_bytes`` is the engine key the record was stored under on its
+        previous owner (defaults to the standard 5-tuple packing).
+        """
+        if key_bytes is None:
+            key_bytes = record.key.pack()
+        return self.shards[self.shard_of(key_bytes)].restore_flow(record, key_bytes)
+
+    def run_housekeeping(self, now_ps: Optional[int] = None) -> int:
+        """One aging pass over every shard; returns total flows removed.
+
+        Fans out to each shard's :meth:`~repro.core.flow_lut.FlowLUT.
+        run_housekeeping` (expire idle records, delete their table entries)
+        and sums the removals.  ``now_ps`` should be the workload clock (the
+        latest descriptor timestamp) because record idle times are measured
+        in descriptor timestamps; it defaults to each shard's simulated time.
+        """
+        return sum(shard.run_housekeeping(now_ps) for shard in self.shards)
+
+    # ------------------------------------------------------------------ #
     # Aggregate accounting
     # ------------------------------------------------------------------ #
 
@@ -166,10 +228,16 @@ class ShardedFlowLUT:
 
     @property
     def load_imbalance(self) -> float:
-        """Busiest shard's load over the mean (1.0 means perfectly even)."""
+        """Busiest shard's load over the mean (1.0 means perfectly even).
+
+        Before any descriptor has completed there is no load to compare, so
+        the ratio is defined as 0.0 — never a division error or NaN.
+        """
         loads = self.shard_completed
-        mean = sum(loads) / len(loads)
-        return max(loads) / mean if mean else 0.0
+        total = sum(loads)
+        if total <= 0:
+            return 0.0
+        return max(loads) * len(loads) / total
 
     @property
     def elapsed_ps(self) -> int:

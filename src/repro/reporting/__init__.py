@@ -8,6 +8,7 @@ notebooks.
 """
 
 from repro.reporting.experiments import (
+    run_cluster_scaling,
     run_fig3_bandwidth,
     run_fig6_flow_ratio,
     run_linerate_feasibility,
@@ -27,6 +28,7 @@ __all__ = [
     "PAPER_TABLE2B",
     "format_comparison",
     "format_table",
+    "run_cluster_scaling",
     "run_fig3_bandwidth",
     "run_fig6_flow_ratio",
     "run_linerate_feasibility",

@@ -28,8 +28,11 @@ from repro.reporting.paper import (
     PAPER_TABLE2A,
     PAPER_TABLE2B,
 )
+from repro.cluster import ClusterCoordinator
 from repro.core.resources import PAPER_TABLE1
 from repro.engine import run_scenario_sharded, run_scenario_single
+from repro.net.parser import DescriptorExtractor
+from repro.traffic.scenarios import scenario_descriptors
 from repro.telemetry import TelemetryConfig, TelemetryPipeline
 from repro.traffic.flows import SyntheticTraceGenerator, analyze_new_flow_ratio
 from repro.traffic.generators import descriptors_from_keys, match_rate_workload, random_flow_keys
@@ -339,6 +342,77 @@ def run_telemetry_scenarios(
 # --------------------------------------------------------------------------- #
 # Sharded engine — throughput scaling versus shard count (extension)
 # --------------------------------------------------------------------------- #
+
+
+# --------------------------------------------------------------------------- #
+# Cluster layer — aggregate throughput versus node count (extension)
+# --------------------------------------------------------------------------- #
+
+
+def run_cluster_scaling(
+    scenario: str = "zipf_mix",
+    packet_count: int = 4000,
+    node_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 19,
+    config: Optional[FlowLUTConfig] = None,
+    shards_per_node: int = 1,
+    batch_size: int = 512,
+    telemetry: bool = False,
+) -> dict:
+    """Replay one scenario through the cluster layer at several node counts.
+
+    The single-LUT per-packet path is the baseline; each row reports the
+    cluster's aggregate (simulated) throughput — nodes are independent
+    machines, so the cluster finishes in the slowest node's time — its
+    speedup over the baseline, the observed load imbalance across nodes,
+    and the outcome totals, which must be invariant under the node count
+    because the ring pins every flow to one node.  Telemetry is off by
+    default (this experiment measures the lookup plane); turn it on to
+    also exercise the per-node sketch pipelines.  There is no paper
+    reference: this is the scale-out tier above the PR-2 sharded engine.
+    """
+    baseline = run_scenario_single(scenario, packet_count, seed=seed, config=config)
+    rows = []
+    for nodes in node_counts:
+        extractor = DescriptorExtractor()
+        descriptors = scenario_descriptors(
+            scenario, packet_count, seed=seed, extractor=extractor
+        )
+        coordinator = ClusterCoordinator(
+            nodes=nodes,
+            config=config,
+            shards_per_node=shards_per_node,
+            telemetry=telemetry,
+            telemetry_seed=seed,
+            batch_size=batch_size,
+        )
+        coordinator.ingest(descriptors)
+        totals = coordinator.cluster_totals()
+        rows.append(
+            {
+                "nodes": nodes,
+                "completed": totals["completed"],
+                "hits": totals["hits"],
+                "misses": totals["misses"],
+                "new_flows": totals["new_flows"],
+                "throughput_mdesc_s": round(coordinator.throughput_mdesc_s, 2),
+                "speedup_vs_single": round(
+                    coordinator.throughput_mdesc_s / baseline.throughput_mdesc_s, 2
+                )
+                if baseline.throughput_mdesc_s
+                else 0.0,
+                "load_imbalance": round(coordinator.load_imbalance, 3),
+                "matches_single_path": totals == baseline.totals(),
+            }
+        )
+    return {
+        "scenario": scenario,
+        "packet_count": packet_count,
+        "seed": seed,
+        "shards_per_node": shards_per_node,
+        "single_path_mdesc_s": round(baseline.throughput_mdesc_s, 2),
+        "rows": rows,
+    }
 
 
 def run_sharded_scaling(

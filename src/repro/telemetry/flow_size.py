@@ -41,6 +41,21 @@ class FlowSizeDistribution:
         self.total_packets += packets
         self.total_bytes += bytes_
 
+    def merge(self, other: "FlowSizeDistribution") -> "FlowSizeDistribution":
+        """Add ``other``'s histogram into this one (exact — plain counters).
+
+        Both collectors must clamp at the same ``max_bucket``, otherwise the
+        same flow size could land in different buckets on the two sides.
+        """
+        if other.max_bucket != self.max_bucket:
+            raise ValueError("cannot merge distributions with different max_bucket")
+        for bucket, count in other._packet_buckets.items():
+            self._packet_buckets[bucket] = self._packet_buckets.get(bucket, 0) + count
+        self.flows += other.flows
+        self.total_packets += other.total_packets
+        self.total_bytes += other.total_bytes
+        return self
+
     def histogram(self) -> List[dict]:
         """Rows of ``{bucket, min_packets, max_packets, flows, fraction}``."""
         rows = []

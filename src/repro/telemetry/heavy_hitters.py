@@ -122,6 +122,55 @@ class SpaceSavingTracker:
         if len(self._heap) > 4 * len(self._counts):
             self._compact()
 
+    def merge(self, other: "SpaceSavingTracker") -> "SpaceSavingTracker":
+        """Combine ``other`` into this summary (bounded-error merge).
+
+        The merge of Agarwal et al.'s *Mergeable Summaries*: a key absent
+        from a full summary may still have occurred up to that summary's
+        minimum counter, so each side contributes its monitored count — or
+        its minimum counter as both count and error when the key is
+        unmonitored (0 when the summary never filled, where absence really
+        means zero).  The union is then trimmed back to ``self.capacity``
+        entries, largest counts first.  Both invariants survive:
+        ``count`` never underestimates and ``count - error`` never
+        overestimates the true count over the concatenated stream, and any
+        key above ``total / capacity`` of the combined total stays monitored.
+        When neither summary ever evicted, the merge is exact.  Both
+        summaries must share the same capacity — their error bounds are
+        ``total / capacity``, and combining different epsilons would yield
+        a summary whose guarantee matches neither input.
+        """
+        if other.capacity != self.capacity:
+            raise ValueError("cannot merge trackers with different capacities")
+        floor_self = (
+            min(self._counts.values())
+            if len(self._counts) >= self.capacity
+            else 0
+        )
+        floor_other = (
+            min(other._counts.values())
+            if len(other._counts) >= other.capacity
+            else 0
+        )
+        merged: Dict[Hashable, Tuple[int, int]] = {}
+        for key in self._counts.keys() | other._counts.keys():
+            count_self = self._counts.get(key)
+            count_other = other._counts.get(key)
+            count = (count_self if count_self is not None else floor_self) + (
+                count_other if count_other is not None else floor_other
+            )
+            error = (
+                self._errors[key] if count_self is not None else floor_self
+            ) + (other._errors[key] if count_other is not None else floor_other)
+            merged[key] = (count, error)
+        kept = sorted(merged.items(), key=lambda item: item[1][0], reverse=True)
+        self._counts = {key: count for key, (count, _) in kept[: self.capacity]}
+        self._errors = {key: error for key, (_, error) in kept[: self.capacity]}
+        self.evictions += len(kept) - len(self._counts) + other.evictions
+        self.total += other.total
+        self._compact()
+        return self
+
     def estimate(self, key: Hashable) -> int:
         """Overestimate of ``key``'s count (0 if unmonitored)."""
         return self._counts.get(key, 0)

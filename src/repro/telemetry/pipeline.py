@@ -202,6 +202,34 @@ class TelemetryPipeline:
             engine.on_event = chained
         return self
 
+    def merge(self, other: "TelemetryPipeline") -> "TelemetryPipeline":
+        """Fold another pipeline's measurements into this one.
+
+        This is the cluster aggregation step: per-node pipelines summarise
+        their slice of the traffic, and merging them yields the measurement
+        plane one pipeline would have built over the whole stream (exactly
+        for the Count-Min sketches, bitmaps and flow-size histogram;
+        bounded-error for the Space-Saving summary).  Both pipelines must
+        have been constructed with the same :class:`TelemetryConfig` and
+        seed — the config is checked here, and every underlying structure
+        verifies its own geometry/seed before mutating, so a mismatched
+        merge fails on its first structure (the packet sketch) with nothing
+        yet combined.
+        """
+        if other.config != self.config:
+            raise ValueError("cannot merge pipelines with different configurations")
+        self.packet_counts.merge(other.packet_counts)
+        self.byte_counts.merge(other.byte_counts)
+        self.heavy_hitters.merge(other.heavy_hitters)
+        self.spreaders.merge(other.spreaders)
+        self.port_scanners.merge(other.port_scanners)
+        self.flow_sizes.merge(other.flow_sizes)
+        self.packets += other.packets
+        self.bytes += other.bytes
+        self.syn_packets += other.syn_packets
+        self.events_seen += other.events_seen
+        return self
+
     def finalize(self, flow_state) -> int:
         """Close the measurement window: size flows still active in ``flow_state``.
 

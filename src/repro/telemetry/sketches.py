@@ -62,7 +62,11 @@ class CountMinSketch:
         self.width = width
         self.depth = depth
         self.key_bits = key_bits
-        self._hashes = MultiHash(depth, key_bits=key_bits, output_bits=32, seed=seed)
+        # The seed is resolved to a concrete 64-bit value (as DistinctCounter
+        # does) so two sketches can prove they share a hash family before a
+        # merge; MultiHash itself keeps no comparable seed.
+        self._hash_seed = make_rng(seed).getrandbits(64)
+        self._hashes = MultiHash(depth, key_bits=key_bits, output_bits=32, seed=self._hash_seed)
         self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
         self.total = 0
 
@@ -100,6 +104,30 @@ class CountMinSketch:
             row[index]
             for row, index in zip(self._rows, self._hashes.indices(key, self.width))
         )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Add ``other``'s counters into this sketch (distributed aggregation).
+
+        Count-Min is linearly mergeable: cell-wise addition of two sketches
+        built from the same hash family yields exactly the sketch of the
+        concatenated stream, so per-node sketches can be combined into one
+        cluster-wide view without losing the no-underestimate guarantee.
+        Both sketches must share geometry (``width`` / ``depth`` /
+        ``key_bits``) and hash seed, mirroring
+        :meth:`DistinctCounter.merge`; a mismatch raises :class:`ValueError`
+        before any state is modified.
+        """
+        if (other.width, other.depth) != (self.width, self.depth):
+            raise ValueError("cannot merge sketches with different geometry")
+        if other.key_bits != self.key_bits:
+            raise ValueError("cannot merge sketches with different key widths")
+        if other._hash_seed != self._hash_seed:
+            raise ValueError("cannot merge sketches built from different hash seeds")
+        for row, other_row in zip(self._rows, other._rows):
+            for index, value in enumerate(other_row):
+                row[index] += value
+        self.total += other.total
+        return self
 
     @property
     def epsilon(self) -> float:

@@ -87,6 +87,38 @@ class SuperSpreaderDetector:
         self._counter_for(source).add(destination)
         self.updates += 1
 
+    def merge(self, other: "SuperSpreaderDetector") -> "SuperSpreaderDetector":
+        """Union ``other``'s per-source bitmaps into this detector.
+
+        Bitmap union is exact for distinct counting, so merging per-node
+        detectors built from the same seed yields the fan-out each source
+        would show against the concatenated stream (duplicated contacts
+        observed on both nodes still count once).  Geometry and hash seed
+        must match, mirroring :meth:`DistinctCounter.merge`; the guards run
+        before any state changes.  If the union exceeds ``max_sources``,
+        the smallest fan-outs are evicted, as arrival-time eviction would.
+        """
+        if other.bitmap_bits != self.bitmap_bits:
+            raise ValueError("cannot merge detectors with different bitmap sizes")
+        if other.key_bits != self.key_bits:
+            raise ValueError("cannot merge detectors with different key widths")
+        if other._seed != self._seed:
+            raise ValueError("cannot merge detectors built from different hash seeds")
+        for source, counter in other._counters.items():
+            mine = self._counters.get(source)
+            if mine is None:
+                mine = DistinctCounter(
+                    self.bitmap_bits, key_bits=self.key_bits, seed=self._seed
+                )
+                self._counters[source] = mine
+            mine.merge(counter)
+        self.updates += other.updates
+        while len(self._counters) > self.max_sources:
+            victim = min(self._counters, key=lambda s: self._counters[s].bits_set)
+            del self._counters[victim]
+            self.evictions += 1
+        return self
+
     def fanout(self, source: Hashable) -> float:
         """Estimated distinct destinations of ``source`` (0 if unmonitored)."""
         counter = self._counters.get(source)

@@ -12,7 +12,11 @@ deterministic packet stream for a given seed:
 * ``port_scan`` — one scanner sweeping hosts and ports (a superspreader);
 * ``flash_crowd`` — many legitimate clients converging on one service;
 * ``churn`` — few long-lived elephants over rapidly churning short flows;
-* ``uniform_random`` — every packet a new flow (worst case for any cache).
+* ``uniform_random`` — every packet a new flow (worst case for any cache);
+* ``node_failover`` — mostly long-lived service flows (the cluster
+  fail-over drill: state that persists across a mid-run node loss);
+* ``hotspot_shift`` — the traffic hotspot jumps to a different service
+  mid-stream (stresses cluster load balance and re-detection).
 
 Each scenario is a builder ``(count, rng, start_ps) -> packets`` registered
 with :func:`register_scenario`; :func:`generate_scenario` seeds the RNG so
@@ -279,6 +283,95 @@ def _churn(count: int, rng: random.Random, start_ps: int) -> List[Packet]:
             else:
                 flags = 0
             length = rng.choice((64, 128, 256))
+        packets.append(
+            Packet(key=key, length_bytes=length, timestamp_ps=int(timestamp), tcp_flags=flags)
+        )
+        timestamp = _advance(rng, timestamp)
+    return packets
+
+
+@register_scenario(
+    "node_failover",
+    "Cluster fail-over drill: a fixed pool of long-lived service flows "
+    "carries most packets for the whole run (so live state visibly migrates "
+    "or is lost when a node dies mid-stream), over light short-flow churn.",
+)
+def _node_failover(count: int, rng: random.Random, start_ps: int) -> List[Packet]:
+    # 48 persistent flows towards one service cluster; they stay active from
+    # the first packet to the last, so any mid-run membership change has live
+    # state to move — which is the point of the scenario.
+    persistent = [
+        FlowKey(
+            src_ip=0x0E000000 | index,
+            dst_ip=0xC0A80004 | ((index % 4) << 8),  # four service replicas
+            src_port=25000 + index,
+            dst_port=443,
+            protocol=PROTO_TCP,
+        )
+        for index in range(48)
+    ]
+    packets: List[Packet] = []
+    timestamp = float(start_ps)
+    short_serial = 0
+    for _ in range(count):
+        if rng.random() < 0.75:
+            key = persistent[rng.randrange(len(persistent))]
+            flags, length = TCP_FLAGS["ACK"], rng.choice((512, 1024, 1460))
+        else:
+            short_serial += 1
+            key = FlowKey(
+                src_ip=0x0F000000 | (short_serial & 0x00FFFFFF),
+                dst_ip=rng.getrandbits(32),
+                src_port=rng.randrange(1024, 65536),
+                dst_port=rng.choice((53, 80, 443)),
+                protocol=PROTO_UDP,
+            )
+            flags, length = 0, rng.choice((64, 128))
+        packets.append(
+            Packet(key=key, length_bytes=length, timestamp_ps=int(timestamp), tcp_flags=flags)
+        )
+        timestamp = _advance(rng, timestamp)
+    return packets
+
+
+@register_scenario(
+    "hotspot_shift",
+    "The hotspot moves: the first half of the stream concentrates on one "
+    "service's flows, the second half abruptly shifts to a different "
+    "service, over uniform background — a rolling load imbalance for any "
+    "static placement.",
+)
+def _hotspot_shift(count: int, rng: random.Random, start_ps: int) -> List[Packet]:
+    def service_flows(service_ip: int, base_src: int) -> List[FlowKey]:
+        return [
+            FlowKey(
+                src_ip=base_src | index,
+                dst_ip=service_ip,
+                src_port=40000 + index,
+                dst_port=443,
+                protocol=PROTO_TCP,
+            )
+            for index in range(12)
+        ]
+
+    first_hot = service_flows(0xC0A80010, 0x10000000)  # 192.168.0.16
+    second_hot = service_flows(0xC0A800A0, 0x11000000)  # 192.168.0.160
+    packets: List[Packet] = []
+    timestamp = float(start_ps)
+    for index in range(count):
+        hot = first_hot if index < count // 2 else second_hot
+        if rng.random() < 0.8:
+            key = hot[rng.randrange(len(hot))]
+            flags, length = TCP_FLAGS["ACK"], rng.choice((512, 1024, 1460))
+        else:
+            key = FlowKey(
+                src_ip=rng.getrandbits(32),
+                dst_ip=rng.getrandbits(32),
+                src_port=rng.randrange(1024, 65536),
+                dst_port=rng.randrange(1, 65536),
+                protocol=PROTO_TCP if rng.random() < 0.5 else PROTO_UDP,
+            )
+            flags, length = 0, rng.choice((64, 350, 1518))
         packets.append(
             Packet(key=key, length_bytes=length, timestamp_ps=int(timestamp), tcp_flags=flags)
         )

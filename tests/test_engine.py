@@ -269,3 +269,61 @@ def test_flow_processor_batch_observer_sees_whole_batches():
     analyzer.analyze_batched(generate_scenario("churn", 250, seed=19), batch_size=100)
     assert len(seen) == 3  # 100 + 100 + 50
     assert sum(len(batch) for batch in seen) == 250
+
+
+# --------------------------------------------------------------------------- #
+# Flow aging through the sharded engine
+# --------------------------------------------------------------------------- #
+
+
+def test_sharded_housekeeping_expires_idle_flows_under_churn():
+    engine = ShardedFlowLUT(shards=2, config=CONFIG)
+    tables = engine.attach_flow_state(timeout_us=5.0)
+    assert len(tables) == 2
+    descriptors = scenario_descriptors("churn", 600, seed=30)
+    removed = 0
+    # Interleave ingestion with aging passes driven by the workload clock,
+    # the way a bounded-memory deployment runs: short flows FIN out, go
+    # idle, and must be expired so the table does not grow without bound.
+    for offset in range(0, len(descriptors), 200):
+        batch = descriptors[offset : offset + 200]
+        engine.process_batch(batch)
+        removed += engine.run_housekeeping(
+            now_ps=batch[-1].timestamp_ps + 10_000_000
+        )
+    assert removed > 0
+    # Housekeeping removals fan out across every shard and sum up exactly.
+    created = sum(table.created for table in engine.flow_states)
+    assert engine.active_flows == created - removed
+    assert engine.active_flows < engine.new_flows  # churn got aged out
+
+
+def test_sharded_housekeeping_without_flow_state_is_a_noop():
+    engine = ShardedFlowLUT(shards=2, config=CONFIG)
+    engine.process_batch(scenario_descriptors("zipf_mix", 100, seed=31))
+    assert engine.run_housekeeping() == 0
+    assert engine.active_flows == 0
+
+
+def test_sharded_delete_flow_routes_to_the_owning_shard():
+    engine = ShardedFlowLUT(shards=4, config=CONFIG)
+    engine.attach_flow_state()
+    descriptors = scenario_descriptors("zipf_mix", 200, seed=32)
+    engine.process_batch(descriptors)
+    key = descriptors[0].key_bytes
+    assert engine.delete_flow(key) is True
+    assert engine.delete_flow(key) is False  # already gone
+    # A deleted flow is re-learned as new on its next packet.
+    new_flows_before = engine.new_flows
+    engine.process_batch([descriptors[0]])
+    assert engine.new_flows == new_flows_before + 1
+
+
+def test_load_imbalance_is_zero_before_any_completion():
+    # Regression: the imbalance ratio must be 0.0 — not a division error or
+    # NaN — when no descriptor has completed yet.
+    engine = ShardedFlowLUT(shards=3, config=CONFIG)
+    assert engine.load_imbalance == 0.0
+    assert engine.report()["load_imbalance"] == 0.0
+    engine.process_batch(scenario_descriptors("zipf_mix", 60, seed=34))
+    assert engine.load_imbalance >= 1.0  # defined once work completed

@@ -66,6 +66,16 @@ def test_sharded_engine_demo_example(capsys):
     assert "MISMATCH" not in output  # sharded totals equal the single path
 
 
+def test_cluster_demo_example(capsys):
+    output = run_example("cluster_demo", capsys)
+    assert "4-node cluster over zipf_mix" in output
+    assert "live flows migrated" in output
+    assert "live flows lost" in output
+    assert "[balanced]" in output  # the books balance across the failure
+    assert "MISMATCH" not in output
+    assert "cluster scaling — zipf_mix" in output
+
+
 def test_ddr3_bandwidth_explorer_example(capsys):
     output = run_example("ddr3_bandwidth_explorer", capsys)
     assert "DDR3-1066" in output
@@ -89,4 +99,5 @@ def test_examples_directory_contains_expected_scripts():
         "paper_tables",
         "sharded_engine_demo",
         "telemetry_demo",
+        "cluster_demo",
     } <= names

@@ -180,3 +180,37 @@ def test_match_rate_workload_miss_keys_all_miss():
     matches = sum(1 for descriptor in workload if descriptor.key in table_set)
     assert matches == 100
     assert len(workload) == 200
+
+
+def test_node_failover_structure():
+    packets = generate_scenario("node_failover", 3000, seed=3)
+    per_flow = {}
+    for packet in packets:
+        per_flow[packet.key] = per_flow.get(packet.key, 0) + 1
+    persistent = {key for key, count in per_flow.items() if count >= 10}
+    carried = sum(per_flow[key] for key in persistent)
+    assert carried / len(packets) > 0.6  # persistent flows dominate
+    assert len(persistent) <= 48
+    # The persistent flows span the whole stream — there is live state to
+    # migrate (or lose) at any mid-run membership change.
+    midpoint_keys = {packet.key for packet in packets[len(packets) // 2 :]}
+    assert persistent <= midpoint_keys
+
+
+def test_hotspot_shift_structure():
+    packets = generate_scenario("hotspot_shift", 3000, seed=3)
+    half = len(packets) // 2
+
+    def hot_destinations(window):
+        per_dst = {}
+        for packet in window:
+            per_dst[packet.key.dst_ip] = per_dst.get(packet.key.dst_ip, 0) + 1
+        return max(per_dst, key=per_dst.get), per_dst
+
+    first_hot, first_counts = hot_destinations(packets[:half])
+    second_hot, second_counts = hot_destinations(packets[half:])
+    assert first_hot != second_hot  # the hotspot moved
+    assert first_counts[first_hot] / half > 0.5
+    assert second_counts[second_hot] / (len(packets) - half) > 0.5
+    # The old hotspot goes cold after the shift.
+    assert second_counts.get(first_hot, 0) / (len(packets) - half) < 0.1

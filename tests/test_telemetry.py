@@ -434,3 +434,173 @@ def test_pipeline_report_shape(attached_run):
     assert set(report["detections"]) == {"syn_flood", "port_scan", "superspreaders"}
     assert report["flow_sizes"]["flows"] == pipeline.flow_sizes.flows
     assert report["memory_bytes"] == pipeline.memory_bytes
+
+
+# --------------------------------------------------------------------------- #
+# Merge laws — the distributed-aggregation contract of every structure
+# --------------------------------------------------------------------------- #
+
+
+def test_count_min_merge_equals_concatenated_stream():
+    whole = CountMinSketch(width=512, depth=4, key_bits=32, seed=31)
+    left = CountMinSketch(width=512, depth=4, key_bits=32, seed=31)
+    right = CountMinSketch(width=512, depth=4, key_bits=32, seed=31)
+    for item in range(800):
+        count = 1 + item % 7
+        whole.update(item, count)
+        (left if item % 3 else right).update(item, count)
+    left.merge(right)
+    # Same seed: cell-wise addition reproduces the single-stream sketch
+    # exactly, so every estimate agrees to the counter, not approximately.
+    assert left.total == whole.total
+    assert left._rows == whole._rows
+    for item in range(800):
+        assert left.estimate(item) == whole.estimate(item)
+
+
+def test_count_min_merge_rejects_mismatched_shapes_and_seeds():
+    base = CountMinSketch(width=256, depth=4, key_bits=32, seed=1)
+    base.update(7, 3)
+    before_rows = [list(row) for row in base._rows]
+    with pytest.raises(ValueError, match="geometry"):
+        base.merge(CountMinSketch(width=128, depth=4, key_bits=32, seed=1))
+    with pytest.raises(ValueError, match="geometry"):
+        base.merge(CountMinSketch(width=256, depth=2, key_bits=32, seed=1))
+    with pytest.raises(ValueError, match="key widths"):
+        base.merge(CountMinSketch(width=256, depth=4, key_bits=64, seed=1))
+    with pytest.raises(ValueError, match="hash seeds"):
+        base.merge(CountMinSketch(width=256, depth=4, key_bits=32, seed=2))
+    # The guards fire before any state changes (mirrors DistinctCounter).
+    assert [list(row) for row in base._rows] == before_rows
+    assert base.total == 3
+
+
+def test_space_saving_merge_is_exact_when_no_summary_filled():
+    whole = SpaceSavingTracker(capacity=64)
+    left = SpaceSavingTracker(capacity=64)
+    right = SpaceSavingTracker(capacity=64)
+    truth = {}
+    for index in range(40):
+        key = f"flow{index % 20}"
+        side = left if index % 2 else right
+        side.update(key, 1 + index % 5)
+        whole.update(key, 1 + index % 5)
+        truth[key] = truth.get(key, 0) + 1 + index % 5
+    left.merge(right)
+    assert left.total == whole.total
+    for key, count in truth.items():
+        assert left.estimate(key) == count  # exact: nobody ever evicted
+    # Tie-aware top-k comparison: many counts collide in this stream, so
+    # compare deterministic (count desc, key) orderings, not .top() order.
+    def ranked(tracker):
+        return sorted(((e.count, e.key) for e in tracker.entries()), reverse=True)[:5]
+
+    assert ranked(left) == ranked(whole)
+
+
+def test_space_saving_merge_bounds_survive_evictions():
+    truth = {}
+    left = SpaceSavingTracker(capacity=8)
+    right = SpaceSavingTracker(capacity=8)
+    for index in range(300):
+        key = f"elephant{index % 3}" if index % 2 else f"mouse{index}"
+        (left if index % 4 < 2 else right).update(key)
+        truth[key] = truth.get(key, 0) + 1
+    assert left.evictions > 0 and right.evictions > 0
+    total_before = left.total + right.total
+    left.merge(right)
+    assert left.total == total_before
+    assert len(left) <= left.capacity
+    for entry in left.entries():
+        true_count = truth.get(entry.key, 0)
+        assert entry.count >= true_count  # never underestimates...
+        assert entry.guaranteed <= true_count  # ...and the floor stays a floor
+    # The Space-Saving presence guarantee holds over the combined stream.
+    floor = left.total / left.capacity
+    for key, count in truth.items():
+        if count > floor:
+            assert key in left
+
+
+def test_superspreader_merge_is_bitmap_union():
+    whole = SuperSpreaderDetector(max_sources=32, bitmap_bits=1024, seed=33)
+    left = SuperSpreaderDetector(max_sources=32, bitmap_bits=1024, seed=33)
+    right = SuperSpreaderDetector(max_sources=32, bitmap_bits=1024, seed=33)
+    for destination in range(300):
+        whole.update("scanner", destination)
+        # Both halves see some duplicates; the union must not double-count.
+        (left if destination % 2 else right).update("scanner", destination)
+        if destination % 10 == 0:
+            left.update("scanner", destination)
+            whole.update("scanner", destination)
+    left.merge(right)
+    assert left.fanout("scanner") == whole.fanout("scanner")
+    with pytest.raises(ValueError, match="bitmap sizes"):
+        left.merge(SuperSpreaderDetector(max_sources=32, bitmap_bits=512, seed=33))
+    with pytest.raises(ValueError, match="hash seeds"):
+        left.merge(SuperSpreaderDetector(max_sources=32, bitmap_bits=1024, seed=34))
+
+
+def test_superspreader_merge_enforces_capacity():
+    left = SuperSpreaderDetector(max_sources=8, bitmap_bits=256, seed=35)
+    right = SuperSpreaderDetector(max_sources=8, bitmap_bits=256, seed=35)
+    for source in range(8):
+        for destination in range(source + 2):
+            left.update(f"left{source}", destination)
+            right.update(f"right{source}", destination)
+    left.merge(right)
+    assert len(left) == left.max_sources
+    assert left.evictions >= 8  # the union had 16 sources for 8 slots
+
+
+def test_flow_size_merge_sums_histograms():
+    whole = FlowSizeDistribution()
+    left = FlowSizeDistribution()
+    right = FlowSizeDistribution()
+    for index, packets in enumerate([1, 2, 3, 5, 8, 13, 21, 34]):
+        whole.observe_flow(packets, packets * 100)
+        (left if index % 2 else right).observe_flow(packets, packets * 100)
+    left.merge(right)
+    assert left.histogram() == whole.histogram()
+    assert left.total_packets == whole.total_packets
+    assert left.total_bytes == whole.total_bytes
+    with pytest.raises(ValueError, match="max_bucket"):
+        left.merge(FlowSizeDistribution(max_bucket=8))
+
+
+def test_pipeline_merge_matches_single_pipeline_over_whole_stream():
+    config = TelemetryConfig(heavy_hitter_capacity=2048)
+    packets = generate_scenario("zipf_mix", 600, seed=37)
+    solo = TelemetryPipeline(config, seed=37)
+    solo.observe_packets(packets)
+    left = TelemetryPipeline(config, seed=37)
+    right = TelemetryPipeline(config, seed=37)
+    left.observe_packets(packets[:250])
+    right.observe_packets(packets[250:])
+    left.merge(right)
+    assert left.packets == solo.packets == 600
+    assert left.bytes == solo.bytes
+    assert left.syn_fraction == solo.syn_fraction
+    for packet in packets:
+        key = packet.key
+        assert left.estimate_packets(key) == solo.estimate_packets(key)
+        assert left.estimate_bytes(key) == solo.estimate_bytes(key)
+        assert left.heavy_hitters.estimate(key.pack()) == solo.heavy_hitters.estimate(
+            key.pack()
+        )
+
+
+def test_pipeline_merge_rejects_mismatched_config_or_seed():
+    left = TelemetryPipeline(TelemetryConfig(cm_width=1024), seed=1)
+    with pytest.raises(ValueError, match="configurations"):
+        left.merge(TelemetryPipeline(TelemetryConfig(cm_width=512), seed=1))
+    with pytest.raises(ValueError, match="hash seeds"):
+        left.merge(TelemetryPipeline(TelemetryConfig(cm_width=1024), seed=2))
+
+
+def test_space_saving_merge_rejects_mismatched_capacity():
+    left = SpaceSavingTracker(capacity=8)
+    left.update("a", 3)
+    with pytest.raises(ValueError, match="capacities"):
+        left.merge(SpaceSavingTracker(capacity=16))
+    assert left.estimate("a") == 3  # guard fired before any mutation
