@@ -15,8 +15,12 @@ The package is organised as the paper's system is:
   (:class:`~repro.engine.ShardedFlowLUT` and the scenario runner).
 * :mod:`repro.cluster` — the scale-out tier: consistent-hash flow steering
   across :class:`~repro.cluster.ClusterNode` fleets, node join/leave/failure
-  with flow-state migration, and mergeable cluster-wide telemetry
+  with flow-state migration, k=2 ring replication with lossless backup
+  promotion, periodic checkpointing, and mergeable cluster-wide telemetry
   (:class:`~repro.cluster.ClusterCoordinator`).
+* :mod:`repro.persist` — durable checkpoint/restore: versioned binary
+  codecs for flow state, live-key maps and every telemetry structure,
+  with seed/geometry guards mirroring the merge guards.
 * :mod:`repro.telemetry` — sketch-based streaming measurement (heavy
   hitters, superspreaders, flow sizes) riding on the analyzer's events.
 * :mod:`repro.reporting` — experiment tables and paper reference values.

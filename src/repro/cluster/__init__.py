@@ -14,10 +14,17 @@ this package simulates the fleet a production NetFlow-style deployment runs:
   and explicit loss accounting, load-imbalance detection, and
   :meth:`~ClusterCoordinator.merged_telemetry` for the fleet-wide
   heavy-hitter / superspreader view.
+* :mod:`repro.cluster.replica` — :class:`ReplicaStore`, the passive
+  flow-record copies behind k>=2 ring replication
+  (``ClusterCoordinator(replication=2)``), promoted on ``fail_node`` so
+  failover is lossless for replicated keys; checkpoint-based warm restarts
+  (``checkpoint_interval=...``) are the lighter-weight alternative, built
+  on :mod:`repro.persist`.
 """
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.node import ClusterNode
+from repro.cluster.replica import ReplicaStore
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 
 __all__ = [
@@ -25,4 +32,5 @@ __all__ = [
     "ClusterNode",
     "DEFAULT_VNODES",
     "HashRing",
+    "ReplicaStore",
 ]

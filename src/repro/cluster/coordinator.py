@@ -34,9 +34,17 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import FlowLUTConfig, small_test_config
+from repro.core.flow_lut import LookupOutcome
 from repro.core.flow_state import FlowRecord
 from repro.cluster.node import ClusterNode
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.persist import (
+    NodeSnapshot,
+    dump_node_snapshot,
+    dumps,
+    load_node_snapshot,
+    loads,
+)
 from repro.sim.rng import SeedLike
 from repro.telemetry.pipeline import TelemetryConfig, TelemetryPipeline
 
@@ -58,6 +66,25 @@ class ClusterCoordinator:
         ``telemetry_config`` / ``telemetry_seed`` so they merge.
     flow_timeout_us: housekeeping timeout for per-node flow state.
     batch_size: default sub-batch size for :meth:`ingest`.
+    replication: size of each key's ring replica set — 1 (no replication)
+        or 2.  With ``k = 2`` every processed outcome is mirrored —
+        functionally, off the timed path — onto the key's backup node
+        (:class:`~repro.cluster.replica.ReplicaStore` flow copies plus
+        per-primary backup telemetry pipelines), and :meth:`fail_node`
+        promotes the backups so failover is lossless for replicated keys.
+        Exact recovery rests on each packet updating exactly *one* backup
+        (copies partition the stream in time and re-merge by addition);
+        ``k > 2`` would hand every backup a full copy and double-count on
+        promotion, so it is rejected.
+    checkpoint_interval: packets between automatic per-node checkpoints
+        (``None`` disables the trigger).  A node is re-checkpointed as soon
+        as it has completed at least this many descriptors since its last
+        checkpoint, so at any point between :meth:`ingest` calls the
+        un-checkpointed delta is below the interval — which bounds what a
+        failure can cost: ``telemetry_packets_lost <= checkpoint_interval``
+        per failure, and ``flows_lost`` shrinks to the flows the checkpoint
+        missed.  :meth:`checkpoint_all` is the window-close trigger for
+        callers that checkpoint at measurement-window boundaries instead.
     """
 
     def __init__(
@@ -71,9 +98,19 @@ class ClusterCoordinator:
         telemetry_seed: SeedLike = 0,
         flow_timeout_us: Optional[float] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        replication: int = 1,
+        checkpoint_interval: Optional[int] = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if replication not in (1, 2):
+            raise ValueError(
+                "replication must be 1 (off) or 2: promotion re-merges backup "
+                "copies by addition, which is only exact when each packet "
+                "updates exactly one backup"
+            )
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive (or None)")
         if isinstance(nodes, int):
             if nodes <= 0:
                 raise ValueError("node count must be positive")
@@ -98,13 +135,24 @@ class ClusterCoordinator:
             self.ring.add_node(node_id)
             self.nodes[node_id] = self._make_node(node_id)
 
+        self.replication = replication
+        self.checkpoint_interval = checkpoint_interval
+
         self.ingested = 0
         self.flows_migrated = 0
         self.flows_lost = 0
+        self.flows_restored = 0
         self.telemetry_packets_lost = 0
+        self.replicated_packets = 0
+        self.checkpoints_taken = 0
         self.joins = 0
         self.leaves = 0
         self.failures = 0
+        # Latest binary checkpoint per node (repro.persist frames) and the
+        # completed-count watermark the packet-count trigger compares against.
+        self.checkpoints: Dict[str, bytes] = {}
+        self._checkpoint_meta: Dict[str, dict] = {}
+        self._checkpointed_at: Dict[str, int] = {}
         self.routed: Dict[str, int] = {node_id: 0 for node_id in node_ids}
         # Departed/failed nodes' final accounting, so the cluster-wide books
         # keep balancing after membership changes.
@@ -156,15 +204,75 @@ class ClusterCoordinator:
                 continue
             node = self.nodes[node_id]
             for offset in range(0, len(group), size):
-                node.process_batch(group[offset : offset + size])
+                outcomes = node.process_batch(group[offset : offset + size])
+                if self.replication > 1:
+                    self._replicate(node_id, outcomes)
+                if (
+                    self.checkpoint_interval is not None
+                    and node.completed - self._checkpointed_at.get(node_id, 0)
+                    >= self.checkpoint_interval
+                ):
+                    self.checkpoint_node(node_id)
             per_node[node_id] = len(group)
             self.routed[node_id] = self.routed.get(node_id, 0) + len(group)
         self.ingested += len(descriptors)
         return {"packets": len(descriptors), "per_node": per_node}
 
+    def _replicate(self, primary_id: str, outcomes: Sequence[LookupOutcome]) -> None:
+        """Mirror a primary's outcome batch onto its keys' backup nodes.
+
+        The replica set is memoised per *batch* only: flows repeat heavily
+        within a batch (that is what flow tables exploit), so the memo
+        captures most repeated ring walks, while its size stays bounded by
+        the batch instead of growing one entry per distinct flow key for
+        the life of a membership.
+        """
+        if len(self.ring) < 2:
+            return  # a one-node ring has nowhere to put a backup
+        backups: Dict[bytes, List[str]] = {}
+        groups: Dict[str, List[LookupOutcome]] = {}
+        for outcome in outcomes:
+            key_bytes = outcome.descriptor.key_bytes
+            backup_ids = backups.get(key_bytes)
+            if backup_ids is None:
+                backup_ids = self.ring.lookup_n(key_bytes, self.replication)[1:]
+                backups[key_bytes] = backup_ids
+            for backup_id in backup_ids:
+                groups.setdefault(backup_id, []).append(outcome)
+        for backup_id, group in groups.items():
+            self.nodes[backup_id].replicate(primary_id, group)
+            self.replicated_packets += len(group)
+
     def run_housekeeping(self, now_ps: Optional[int] = None) -> int:
-        """One flow-aging pass across every alive node; returns removals."""
-        return sum(node.run_housekeeping(now_ps) for node in self.nodes.values())
+        """One flow-aging pass across every alive node; returns removals.
+
+        With replication on, the expired flows' replica copies are purged
+        from every backup store in the same pass — an expired flow has
+        ended, and a later failover must not resurrect it — and the expiry
+        *sizing* the primary just recorded in its flow-size histogram is
+        mirrored into the key's backup pipeline, so a later promotion
+        reconstructs the dead primary's histogram too, not only its
+        streaming sketches.
+        """
+        if self.replication <= 1:
+            return sum(node.run_housekeeping(now_ps) for node in self.nodes.values())
+        removed = 0
+        for node in list(self.nodes.values()):
+            expired: List[Tuple[bytes, FlowRecord]] = []
+            removed += node.run_housekeeping(now_ps, expired)
+            if len(self.ring) < 2:
+                continue  # running alone: no backups to purge or mirror into
+            for key_bytes, record in expired:
+                # After a resync exactly the key's current backup holds a
+                # copy, so only the replica set needs touching.
+                for backup_id in self.ring.lookup_n(key_bytes, self.replication)[1:]:
+                    backup = self.nodes[backup_id]
+                    backup.replica_flows.drop(key_bytes)
+                    if self.telemetry_enabled:
+                        backup.backup_pipeline(node.node_id).flow_sizes.observe_flow(
+                            record.packets, record.bytes
+                        )
+        return removed
 
     def finalize_telemetry(self) -> int:
         """Close the measurement window on every alive node.
@@ -174,8 +282,72 @@ class ClusterCoordinator:
         subsequent :meth:`merged_telemetry` carries the fleet-wide
         flow-size histogram, not just the streaming sketches.  Call once
         per window, before merging.
+
+        With replication on, the window-close sizings are mirrored into
+        the backup pipelines exactly like the expiry sizings in
+        :meth:`run_housekeeping` — otherwise a failure after the window
+        close would lose the victim's histogram contributions while still
+        reporting the recovery lossless.
         """
-        return sum(node.finalize_telemetry() for node in self.nodes.values())
+        if self.replication <= 1 or not self.telemetry_enabled or len(self.ring) < 2:
+            return sum(node.finalize_telemetry() for node in self.nodes.values())
+        added = 0
+        for node in list(self.nodes.values()):
+            # Capture the sized set first; finalize does not mutate it.
+            pairs = node.engine.live_flow_pairs()
+            added += node.finalize_telemetry()
+            for key_bytes, record in pairs:
+                if record is None:
+                    continue  # bare preloaded entries are not sized either
+                for backup_id in self.ring.lookup_n(key_bytes, self.replication)[1:]:
+                    self.nodes[backup_id].backup_pipeline(
+                        node.node_id
+                    ).flow_sizes.observe_flow(record.packets, record.bytes)
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (repro.persist)
+    # ------------------------------------------------------------------ #
+
+    def checkpoint_node(self, node_id: str) -> dict:
+        """Write a durable binary checkpoint of one node; returns its metadata.
+
+        The checkpoint (a :mod:`repro.persist` node frame: live flows plus
+        the telemetry pipeline) replaces the node's previous one — recovery
+        always replays the latest — and resets the packet-count trigger.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"node {node_id!r} is not a member")
+        data = dump_node_snapshot(node)
+        self.checkpoints[node_id] = data
+        self._checkpointed_at[node_id] = node.completed
+        self.checkpoints_taken += 1
+        meta = {
+            "node": node_id,
+            "completed": node.completed,
+            "flows": node.active_flows,
+            # Telemetry packets covered; 0 without a pipeline, matching
+            # NodeSnapshot.packets for the same frame.
+            "packets": node.pipeline.packets if node.pipeline is not None else 0,
+            "size_bytes": len(data),
+        }
+        self._checkpoint_meta[node_id] = meta
+        return meta
+
+    def checkpoint_all(self) -> List[dict]:
+        """The window-close trigger: checkpoint every member now."""
+        return [self.checkpoint_node(node_id) for node_id in sorted(self.nodes)]
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        """Total size of the retained checkpoints (the durability footprint)."""
+        return sum(len(data) for data in self.checkpoints.values())
+
+    @property
+    def replica_memory_bytes(self) -> int:
+        """Provisioned bytes of the replication plane across the fleet."""
+        return sum(node.replica_memory_bytes for node in self.nodes.values())
 
     # ------------------------------------------------------------------ #
     # Membership: join / leave / failure with flow-state migration
@@ -196,7 +368,30 @@ class ClusterCoordinator:
         self.flows_lost += lost
         return {"migrated": migrated, "lost": lost}
 
-    def add_node(self, node_id: str) -> dict:
+    def _restore_flows(self, flows: Iterable[Tuple[bytes, Optional[FlowRecord]]]) -> int:
+        """Install recovered flow copies on their current ring owners.
+
+        The recovery counterpart of :meth:`_rehome`: each record lands on
+        the node now owning its key (folding into an already re-learned
+        record if one exists).  A ``None`` record is a bare preloaded
+        table entry — the key is re-installed functionally but counts as
+        no flow instance (it was never in the flow books).  Re-replication
+        of the restored flows is the plane resync's job — every membership
+        change ends with :meth:`_resync_replication_plane`, which rebuilds
+        the backups from the post-recovery primary state.  Returns the
+        number of flow records installed; a flow the table cannot place
+        stays lost (it was already counted when its node died).
+        """
+        restored = 0
+        for key_bytes, record in flows:
+            owner = self.ring.lookup(key_bytes)
+            if record is None:
+                self.nodes[owner].engine.preload([key_bytes])
+            elif self.nodes[owner].restore_flow(key_bytes, record):
+                restored += 1
+        return restored
+
+    def add_node(self, node_id: str, snapshot: Optional[Union[bytes, NodeSnapshot]] = None) -> dict:
         """A node joins: ring arcs remap and the affected live flows follow.
 
         The new member takes over roughly ``1/N`` of the keyspace; every
@@ -204,6 +399,22 @@ class ClusterCoordinator:
         (table entry deleted, record detached without export) and re-homed
         onto the joiner, so packets arriving after the join hit existing
         state instead of being miscounted as new flows.
+
+        ``snapshot`` warm-starts the join from a :mod:`repro.persist` node
+        checkpoint (for example one taken before a failure that had no
+        automatic recovery path): the snapshot's flow records are restored
+        onto their current ring owners — counted in ``flows_restored`` and
+        credited against ``flows_lost`` — and its telemetry pipeline is
+        merged into the joiner's.  Only pass a snapshot that recovers state
+        the cluster actually lost: unlike :meth:`fail_node`'s checkpoint
+        replay, this path has no live-at-failure filter (the node that
+        knew is long gone), so replaying still-live state folds harmlessly
+        into the resident records but double-credits the loss books, and
+        replaying flows that have since *ended* resurrects them — they
+        will be sized a second time at the next expiry or window close,
+        and ``flows_lost`` / ``telemetry_packets_lost`` can go negative
+        (the conservation identity still balances; the negative counter is
+        the visible symptom of the over-credit).
         """
         if node_id in self.nodes:
             raise ValueError(f"node {node_id!r} is already a member")
@@ -221,49 +432,221 @@ class ClusterCoordinator:
                 )
             )
         outcome = self._rehome(moved)
+        restored = 0
+        if snapshot is not None:
+            if not isinstance(snapshot, NodeSnapshot):
+                snapshot = load_node_snapshot(snapshot)
+            restored = self._restore_flows(snapshot.flows)
+            self.flows_restored += restored
+            self.flows_lost -= restored
+            if snapshot.pipeline is not None and node.pipeline is not None:
+                node.pipeline.merge(snapshot.pipeline)
+                self.telemetry_packets_lost -= snapshot.pipeline.packets
+        self._resync_replication_plane()
         self.joins += 1
-        event = {"event": "join", "node": node_id, **outcome}
+        event = {"event": "join", "node": node_id, **outcome, "restored": restored}
         self.events.append(event)
         return event
 
     def remove_node(self, node_id: str) -> dict:
-        """A node leaves gracefully: its live flows migrate to the survivors."""
-        node = self._pop_member(node_id)
+        """A node leaves gracefully: its live flows migrate to the survivors.
+
+        The leaver hands its telemetry sketches over, so any backup copies
+        of its stream held elsewhere must not survive (they would
+        double-count its packets); the plane resync at the end guarantees
+        that — it rebuilds every backup from the remaining members, so the
+        leaver's stream copies and the segments it hosted for others all
+        disappear together.  Its retained checkpoint is dropped too.
+        """
+        node = self._pop_member(node_id, action="remove")
         records = node.extract_flows()
         self.ring.remove_node(node_id)
+        self.checkpoints.pop(node_id, None)
+        self._checkpoint_meta.pop(node_id, None)
+        self._checkpointed_at.pop(node_id, None)
         self._retire(node, reason="leave")
         outcome = self._rehome(records)
+        self._resync_replication_plane()
         self.leaves += 1
         event = {"event": "leave", "node": node_id, **outcome}
         self.events.append(event)
         return event
 
     def fail_node(self, node_id: str) -> dict:
-        """A node crashes: its flow state and telemetry die with it.
+        """A node crashes; recovery shrinks the loss to what was unprotected.
 
-        Nothing is migrated — the lost live flows are counted in
-        ``flows_lost`` and the node's telemetry packets in
-        ``telemetry_packets_lost``.  Packets of the lost flows arriving
-        later are misses / new flows on the surviving owners, exactly as a
-        real collector fleet would re-learn them.
+        Without protection the node's live flows and telemetry die with it
+        — counted in ``flows_lost`` / ``telemetry_packets_lost``, never
+        papered over.  With ``replication >= 2`` the survivors' replica
+        copies of the dead node's live flows are promoted onto the keys'
+        new owners and its per-primary backup pipelines are merged back,
+        making the failure lossless for replicated keys; otherwise, if a
+        checkpoint exists, its flows (filtered to the flows still live at
+        failure, so ended flows are not resurrected) and pipeline are
+        replayed, shrinking both losses to the since-checkpoint delta.
+        Packets of genuinely lost flows arriving later are misses / new
+        flows on the surviving owners, exactly as a real collector fleet
+        would re-learn them.
+
+        Failing the **last** node is refused with :class:`ValueError`
+        before any state changes: an empty ring could steer no flow key,
+        so the cluster must always keep at least one member (add a
+        replacement first, then fail the old node).
         """
-        node = self._pop_member(node_id)
+        node = self._pop_member(node_id, action="fail")
+        live_keys = {key for key, _ in node.engine.live_flow_pairs()}
+
+        # Gather the recovery material before anything is torn down; the
+        # victim's live-key set is the promotion filter (copies of flows
+        # that already ended must not be resurrected).
+        recovery = "none"
+        recovered_flows: List[Tuple[bytes, Optional[FlowRecord]]] = []
+        recovered_pipeline: Optional[TelemetryPipeline] = None
+        if self.replication > 1:
+            recovery = "replicas"
+            merged: Dict[bytes, Optional[FlowRecord]] = {}
+            for other in self.nodes.values():
+                for key, record in other.replica_flows.pop_matching(
+                    lambda key: key in live_keys
+                ):
+                    existing = merged.get(key)
+                    if existing is None:
+                        merged[key] = record
+                    else:
+                        # Segments from re-pointed backups partition the
+                        # packet stream; absorbing them reassembles it.
+                        existing.absorb(record)
+            if self.telemetry_enabled:
+                pieces = [
+                    other.backup_pipelines.pop(node_id)
+                    for other in self.nodes.values()
+                    if node_id in other.backup_pipelines
+                ]
+                if pieces:
+                    recovered_pipeline = TelemetryPipeline(
+                        self.telemetry_config, seed=self.telemetry_seed
+                    )
+                    for piece in pieces:
+                        recovered_pipeline.merge(piece)
+            if node_id in self.checkpoints:
+                # The replica plane is normally the fuller source, but it
+                # can cover less than a retained checkpoint (both sources
+                # are exact lower bounds on each flow): recover each flow
+                # from whichever saw more of it, and take the pipeline
+                # with the wider packet coverage.
+                snapshot = load_node_snapshot(self.checkpoints.pop(node_id))
+                self._checkpoint_meta.pop(node_id, None)
+                used_checkpoint = False
+                for key, record in snapshot.flows:
+                    if key not in live_keys:
+                        continue
+                    if record is None:
+                        # A bare preloaded entry: worth re-installing, but
+                        # never preferable to any replica record.
+                        if key not in merged:
+                            merged[key] = None
+                            used_checkpoint = True
+                        continue
+                    existing = merged.get(key)
+                    if existing is None or existing.packets < record.packets:
+                        merged[key] = record
+                        used_checkpoint = True
+                if snapshot.pipeline is not None and (
+                    recovered_pipeline is None
+                    or snapshot.pipeline.packets > recovered_pipeline.packets
+                ):
+                    recovered_pipeline = snapshot.pipeline
+                    used_checkpoint = True
+                if used_checkpoint:
+                    recovery = "replicas+checkpoint"
+            recovered_flows = list(merged.items())
+        elif node_id in self.checkpoints:
+            recovery = "checkpoint"
+            snapshot = load_node_snapshot(self.checkpoints.pop(node_id))
+            self._checkpoint_meta.pop(node_id, None)
+            recovered_flows = [
+                (key, record) for key, record in snapshot.flows if key in live_keys
+            ]
+            recovered_pipeline = snapshot.pipeline
+        self._checkpointed_at.pop(node_id, None)
+
         lost = node.fail()
         self.ring.remove_node(node_id)
         self.flows_lost += lost
-        if node.pipeline is not None:
-            self.telemetry_packets_lost += node.pipeline.packets
+        pipeline_packets = node.pipeline.packets if node.pipeline is not None else 0
+        self.telemetry_packets_lost += pipeline_packets
         self._retire(node, reason="failure", keep_telemetry=False)
+
+        restored = self._restore_flows(recovered_flows)
+        self.flows_restored += restored
+        self.flows_lost -= restored
+        recovered_packets = 0
+        if recovered_pipeline is not None:
+            self._retired_pipelines.append(recovered_pipeline)
+            recovered_packets = recovered_pipeline.packets
+            self.telemetry_packets_lost -= recovered_packets
+        self._resync_replication_plane()
+
         self.failures += 1
-        event = {"event": "failure", "node": node_id, "migrated": 0, "lost": lost}
+        event = {
+            "event": "failure",
+            "node": node_id,
+            "migrated": 0,
+            "lost": lost - restored,
+            "restored": restored,
+            "recovery": recovery,
+            "telemetry_packets_lost": pipeline_packets - recovered_packets,
+        }
         self.events.append(event)
         return event
 
-    def _pop_member(self, node_id: str) -> ClusterNode:
+    def _resync_replication_plane(self) -> None:
+        """Rebuild every backup from current primary state after a
+        membership change.
+
+        Joins, leaves and failures all invalidate parts of the backup
+        plane — a failed or departed node takes the segments and backup
+        pipelines it hosted with it, and a joiner may arrive into a
+        cluster that ran alone (mirroring nothing) for a while.  Rather
+        than patching each hole, the plane is rebuilt wholesale from the
+        one source that is always complete, the primaries themselves:
+        every live flow is re-seeded onto its current backup (the full
+        record supersedes every partial segment), and every primary's
+        pipeline is deep-copied (via its own snapshot codec) onto one
+        backup host.  Exactness of a later promotion follows from the
+        time-partition argument — full copy as of now, plus whatever the
+        per-key backups mirror afterwards.  Membership changes are rare,
+        so the O(live flows + pipeline size) rebuild is cheap insurance
+        against silently degraded redundancy.
+        """
+        if self.replication <= 1:
+            return
+        for node in self.nodes.values():
+            node.replica_flows.clear()
+            node.backup_pipelines.clear()
+        if len(self.ring) < 2:
+            return  # alone again: nothing to mirror onto
+        for node in self.nodes.values():
+            for key_bytes, record in node.engine.live_flow_pairs():
+                if record is None:
+                    continue  # a bare preloaded entry has no state to copy
+                for backup_id in self.ring.lookup_n(key_bytes, self.replication)[1:]:
+                    self.nodes[backup_id].replica_flows.seed(key_bytes, record)
+            if node.pipeline is not None and node.pipeline.packets:
+                hosts = [other for other in self.nodes if other != node.node_id]
+                self.nodes[min(hosts)].backup_pipelines[node.node_id] = loads(
+                    dumps(node.pipeline)
+                )
+
+    def _pop_member(self, node_id: str, action: str = "remove") -> ClusterNode:
         if node_id not in self.nodes:
             raise KeyError(f"node {node_id!r} is not a member")
         if len(self.nodes) == 1:
-            raise ValueError("cannot remove the last node of the cluster")
+            raise ValueError(
+                f"cannot {action} node {node_id!r}: it is the cluster's last "
+                "member, and an empty ring could steer no flow key; add a "
+                "replacement node first"
+            )
         return self.nodes.pop(node_id)
 
     def _retire(self, node: ClusterNode, reason: str, keep_telemetry: bool = True) -> None:
@@ -272,6 +655,7 @@ class ClusterCoordinator:
                 "node_id": node.node_id,
                 "reason": reason,
                 "elapsed_ps": node.elapsed_ps,
+                "flow_books": node.flow_state_books(),
                 **node.totals(),
             }
         )
@@ -308,6 +692,46 @@ class ClusterCoordinator:
     @property
     def active_flows(self) -> int:
         return sum(node.active_flows for node in self.nodes.values())
+
+    def flow_books(self) -> dict:
+        """Cluster-wide flow-record conservation: every instance created is
+        retired exactly once.
+
+        A record instance is *born* by a flow-state creation or by a
+        recovery install (checkpoint replay / replica promotion, counted
+        in ``flows_restored``), and *retired* by expiry/termination
+        (``exported``), by folding into an already-resident record
+        (``folded``), or by being lost (node death or an unplaceable
+        migration).  Because each successful restore also decrements the
+        net loss, the restores cancel and the identity reduces to::
+
+            flows_created == live + exported + folded + flows_lost
+
+        summed over alive and retired nodes.  ``balanced`` is that check;
+        the invariant tests assert it after arbitrary membership histories.
+        """
+        created = exported = folded = 0
+        for node in self.nodes.values():
+            books = node.flow_state_books()
+            created += books["created"]
+            exported += books["exported"]
+            folded += books["folded"]
+        for report in self._retired_reports:
+            books = report["flow_books"]
+            created += books["created"]
+            exported += books["exported"]
+            folded += books["folded"]
+        live = self.active_flows
+        return {
+            "flows_created": created,
+            "live": live,
+            "exported": exported,
+            "folded": folded,
+            "flows_lost": self.flows_lost,
+            "flows_migrated": self.flows_migrated,
+            "flows_restored": self.flows_restored,
+            "balanced": created == live + exported + folded + self.flows_lost,
+        }
 
     @property
     def elapsed_ps(self) -> int:
@@ -409,7 +833,18 @@ class ClusterCoordinator:
             "load_imbalance": self.load_imbalance,
             "flows_migrated": self.flows_migrated,
             "flows_lost": self.flows_lost,
+            "flows_restored": self.flows_restored,
+            "flow_books": self.flow_books(),
             "telemetry_packets_lost": self.telemetry_packets_lost,
+            "replication": self.replication,
+            "replicated_packets": self.replicated_packets,
+            "replica_memory_bytes": self.replica_memory_bytes,
+            "checkpoint_interval": self.checkpoint_interval,
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoints": {
+                node_id: dict(meta) for node_id, meta in self._checkpoint_meta.items()
+            },
             "joins": self.joins,
             "leaves": self.leaves,
             "failures": self.failures,

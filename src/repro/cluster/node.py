@@ -12,8 +12,9 @@ ring and, on membership changes, moves live flow state between nodes with
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.replica import ReplicaStore
 from repro.core.config import FlowLUTConfig
 from repro.core.flow_lut import LookupOutcome
 from repro.core.flow_state import FlowRecord
@@ -51,9 +52,17 @@ class ClusterNode:
         if not node_id:
             raise ValueError("node_id must be non-empty")
         self.node_id = node_id
+        self.telemetry_config = telemetry_config
+        self.telemetry_seed = telemetry_seed
         self.pipeline: Optional[TelemetryPipeline] = (
             TelemetryPipeline(telemetry_config, seed=telemetry_seed) if telemetry else None
         )
+        # Replication plane (populated only when the coordinator runs with
+        # k >= 2): passive copies of flows this node backs up, and one
+        # telemetry pipeline per primary whose packets it mirrors, so a
+        # failed primary's sketch state can be reassembled exactly.
+        self.replica_flows = ReplicaStore()
+        self.backup_pipelines: Dict[str, TelemetryPipeline] = {}
         self.engine = ShardedFlowLUT(
             shards=shards,
             config=config,
@@ -64,6 +73,7 @@ class ClusterNode:
         self.alive = True
         self.flows_migrated_in = 0
         self.flows_migrated_out = 0
+        self.flows_restored_in = 0
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -78,7 +88,11 @@ class ClusterNode:
     def preload(self, keys) -> int:
         return self.engine.preload(keys)
 
-    def run_housekeeping(self, now_ps: Optional[int] = None) -> int:
+    def run_housekeeping(
+        self,
+        now_ps: Optional[int] = None,
+        expired_out: Optional[List[Tuple[bytes, FlowRecord]]] = None,
+    ) -> int:
         """One aging pass; expired flows also feed the flow-size sketches.
 
         On the analyzer path the pipeline hears ``FLOW_EXPIRED`` events;
@@ -86,14 +100,16 @@ class ClusterNode:
         picked out of each shard's export stream here and sized exactly
         once — migration uses :meth:`~repro.core.flow_state.FlowStateTable.
         detach`, which does not export, so moved flows never appear.
+        ``expired_out`` collects the expired ``(key_bytes, record)`` pairs
+        (the coordinator purges replica copies with them).
         """
         if self.pipeline is None:
-            return self.engine.run_housekeeping(now_ps)
+            return self.engine.run_housekeeping(now_ps, expired_out)
         watermarks = [
             len(shard.flow_state.exported) if shard.flow_state is not None else 0
             for shard in self.engine.shards
         ]
-        removed = self.engine.run_housekeeping(now_ps)
+        removed = self.engine.run_housekeeping(now_ps, expired_out)
         for shard, mark in zip(self.engine.shards, watermarks):
             state = shard.flow_state
             if state is None:
@@ -181,6 +197,60 @@ class ClusterNode:
         self.flows_migrated_in += restored
         return restored, failed
 
+    def restore_flow(self, key_bytes: bytes, record: FlowRecord) -> bool:
+        """Adopt one flow recovered from a checkpoint or replica promotion.
+
+        Like :meth:`absorb_flows` but accounted separately — a restore is
+        recovery of state that was about to be lost, not a migration.
+        Returns ``False`` when the table cannot place the key.
+        """
+        if self.engine.restore_flow(record, key_bytes):
+            self.flows_restored_in += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Replication (backup role)
+    # ------------------------------------------------------------------ #
+
+    def replicate(self, primary_id: str, outcomes: Sequence[LookupOutcome]) -> int:
+        """Mirror a primary's outcome batch into this node's backup plane.
+
+        Flow-record copies land in :attr:`replica_flows` (only outcomes
+        that produced a flow ID — see :meth:`ReplicaStore.observe_outcome
+        <repro.cluster.replica.ReplicaStore.observe_outcome>`), and, with
+        telemetry enabled, every outcome also feeds a per-primary backup
+        pipeline so the primary's sketches can be reassembled exactly
+        after a failure.  Returns the number of outcomes mirrored.
+        """
+        if not self.alive:
+            raise RuntimeError(f"node {self.node_id!r} has failed; cannot replicate")
+        for outcome in outcomes:
+            self.replica_flows.observe_outcome(outcome)
+        if self.pipeline is not None and outcomes:
+            self.backup_pipeline(primary_id).observe_outcomes(outcomes)
+        return len(outcomes)
+
+    def backup_pipeline(self, primary_id: str) -> TelemetryPipeline:
+        """The (lazily created) backup pipeline mirroring ``primary_id``.
+
+        All backup pipelines share the cluster's telemetry config/seed, so
+        the segments scattered across backups merge exactly into the
+        primary's measurement plane on promotion.
+        """
+        backup = self.backup_pipelines.get(primary_id)
+        if backup is None:
+            backup = TelemetryPipeline(self.telemetry_config, seed=self.telemetry_seed)
+            self.backup_pipelines[primary_id] = backup
+        return backup
+
+    @property
+    def replica_memory_bytes(self) -> int:
+        """Provisioned bytes of the backup plane (the replication
+        overhead the durability experiment charges against k=2)."""
+        pipelines = sum(p.memory_bytes for p in self.backup_pipelines.values())
+        return self.replica_flows.memory_bytes + pipelines
+
     def fail(self) -> int:
         """Mark the node failed; returns the live flows lost with it.
 
@@ -229,6 +299,24 @@ class ClusterNode:
             "new_flows": self.new_flows,
         }
 
+    def flow_state_books(self) -> dict:
+        """Record-instance accounting summed across this node's shards.
+
+        The cluster's conservation identity (every record instance is
+        created once and retired once) is balanced over these figures plus
+        the coordinator's lost/restored counters.
+        """
+        books = {"created": 0, "expired": 0, "adopted": 0, "folded": 0, "exported": 0}
+        for state in self.engine.flow_states:
+            if state is None:
+                continue
+            books["created"] += state.created
+            books["expired"] += state.expired
+            books["adopted"] += state.adopted
+            books["folded"] += state.folded
+            books["exported"] += len(state.exported)
+        return books
+
     def report(self) -> dict:
         report = {
             "node_id": self.node_id,
@@ -237,12 +325,17 @@ class ClusterNode:
             "active_flows": self.active_flows,
             "flows_migrated_in": self.flows_migrated_in,
             "flows_migrated_out": self.flows_migrated_out,
+            "flows_restored_in": self.flows_restored_in,
             "insert_failures": self.insert_failures,
             "throughput_mdesc_s": self.engine.throughput_mdesc_s,
             **self.totals(),
         }
         if self.pipeline is not None:
             report["telemetry_packets"] = self.pipeline.packets
+        if len(self.replica_flows) or self.backup_pipelines:
+            report["replica"] = self.replica_flows.stats()
+            report["backup_pipelines"] = len(self.backup_pipelines)
+            report["replica_memory_bytes"] = self.replica_memory_bytes
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -118,6 +118,31 @@ class HashRing:
             index = 0
         return self._owners[index]
 
+    def lookup_n(self, key_bytes: bytes, count: int = 2) -> List[str]:
+        """The key's replica set: the first ``count`` *distinct* nodes clockwise.
+
+        The classic consistent-hashing replica placement — the primary is
+        the arc owner (``lookup``), the backup the next distinct node
+        clockwise, and so on.  Walking vnodes of the same physical node is
+        skipped, so replicas always land on different machines.  With
+        fewer than ``count`` members the whole membership is returned (a
+        one-node ring simply has no backup to offer).
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if not self._tokens:
+            raise LookupError("cannot look up a key on an empty ring")
+        start = bisect.bisect_left(self._tokens, self.key_token(key_bytes))
+        owners: List[str] = []
+        limit = min(count, len(self._weights))
+        for step in range(len(self._tokens)):
+            owner = self._owners[(start + step) % len(self._tokens)]
+            if owner not in owners:
+                owners.append(owner)
+                if len(owners) == limit:
+                    break
+        return owners
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #

@@ -399,6 +399,29 @@ class FlowLUT:
         """
         return self._live_keys.get(flow_id)
 
+    def live_items(self) -> List[Tuple[int, bytes]]:
+        """Every live ``(flow_id, key_bytes)`` pair, sorted by flow ID.
+
+        This is the table's live-key map — the engine-side flow identities
+        a snapshot must carry so a warm restart can re-install exactly the
+        keys the device held (:mod:`repro.persist`).
+        """
+        return sorted(self._live_keys.items())
+
+    def live_flow_pairs(self) -> List[Tuple[bytes, Optional["FlowRecord"]]]:
+        """Every live ``(key_bytes, record)`` pair of this device.
+
+        The live-key map joined with the flow-state table: keys installed
+        without state (:meth:`preload`, or no table attached) appear with
+        a ``None`` record.  This is the single definition of "what a
+        snapshot must capture" — the sharded engine and the persist codecs
+        both build on it.
+        """
+        return [
+            (key_bytes, self.flow_state.get(flow_id) if self.flow_state is not None else None)
+            for flow_id, key_bytes in self.live_items()
+        ]
+
     def restore_flow(self, record, key_bytes: Optional[bytes] = None) -> bool:
         """Re-home a migrated flow: functional insert plus state adoption.
 
@@ -425,11 +448,7 @@ class FlowLUT:
                 if existing is None:
                     self.flow_state.adopt(result.flow_id, record)
                 else:
-                    existing.packets += record.packets
-                    existing.bytes += record.bytes
-                    existing.first_seen_ps = min(existing.first_seen_ps, record.first_seen_ps)
-                    existing.last_seen_ps = max(existing.last_seen_ps, record.last_seen_ps)
-                    existing.tcp_flags |= record.tcp_flags
+                    self.flow_state.fold(result.flow_id, record)
             return True
         if not result.inserted:
             return False
@@ -456,11 +475,18 @@ class FlowLUT:
             self._live_keys.pop(location.flow_id, None)
         return True
 
-    def run_housekeeping(self, now_ps: Optional[int] = None) -> int:
+    def run_housekeeping(
+        self,
+        now_ps: Optional[int] = None,
+        expired_out: Optional[List[Tuple[bytes, "FlowRecord"]]] = None,
+    ) -> int:
         """One housekeeping pass: expire idle flows and delete their entries.
 
         Requires an attached flow-state table.  Returns the number of flows
-        removed.
+        removed.  When ``expired_out`` is given, every expired flow's
+        ``(key_bytes, record)`` pair is appended to it — the cluster layer
+        uses this to purge replica copies of flows that have ended, so a
+        later failover cannot resurrect them.
         """
         if self.flow_state is None:
             return 0
@@ -471,6 +497,8 @@ class FlowLUT:
             key_bytes = self._live_keys.get(record.flow_id)
             if key_bytes is None:
                 continue
+            if expired_out is not None:
+                expired_out.append((key_bytes, record))
             if self.delete_flow(key_bytes):
                 removed += 1
         return removed

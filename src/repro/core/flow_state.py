@@ -31,6 +31,23 @@ class FlowRecord:
     def duration_ps(self) -> int:
         return self.last_seen_ps - self.first_seen_ps
 
+    def absorb(self, other: "FlowRecord") -> "FlowRecord":
+        """Fold another instance of the same flow into this record.
+
+        Used when two partial views of one flow meet — a migrated or
+        checkpoint-restored copy landing where the flow was already
+        re-learned, or replica segments that each saw a disjoint span of
+        the packet stream.  Counters add, the observation window widens,
+        and the TCP flag union is kept; this record's identity (flow ID
+        and key) wins.
+        """
+        self.packets += other.packets
+        self.bytes += other.bytes
+        self.first_seen_ps = min(self.first_seen_ps, other.first_seen_ps)
+        self.last_seen_ps = max(self.last_seen_ps, other.last_seen_ps)
+        self.tcp_flags |= other.tcp_flags
+        return self
+
     @property
     def mean_packet_bytes(self) -> float:
         return self.bytes / self.packets if self.packets else 0.0
@@ -71,6 +88,41 @@ class FlowStateTable:
         self.updated = 0
         self.expired = 0
         self.adopted = 0
+        self.folded = 0
+
+    @classmethod
+    def from_state(
+        cls,
+        *,
+        timeout_us: float,
+        records: List[FlowRecord],
+        exported: List[FlowRecord],
+        created: int = 0,
+        updated: int = 0,
+        expired: int = 0,
+        adopted: int = 0,
+        folded: int = 0,
+    ) -> "FlowStateTable":
+        """Rebuild a table from snapshotted records and books.
+
+        Live records must carry unique flow IDs; the counters are restored
+        verbatim so a snapshot→restore round trip preserves the table's
+        accounting exactly.
+        """
+        table = cls(timeout_us=timeout_us)
+        for record in records:
+            if record.flow_id in table._records:
+                raise ValueError(f"duplicate flow_id {record.flow_id} in snapshot")
+            table._records[record.flow_id] = record
+        table.exported = list(exported)
+        if min(created, updated, expired, adopted, folded) < 0:
+            raise ValueError("flow-state counters must be non-negative")
+        table.created = created
+        table.updated = updated
+        table.expired = expired
+        table.adopted = adopted
+        table.folded = folded
+        return table
 
     def __len__(self) -> int:
         return len(self._records)
@@ -143,6 +195,21 @@ class FlowStateTable:
         self.adopted += 1
         return record
 
+    def fold(self, flow_id: int, record: FlowRecord) -> FlowRecord:
+        """Merge an arriving copy of a flow into the record already stored.
+
+        The cluster layer hits this when a migrated, replica-promoted or
+        checkpoint-restored record lands on a node that has since
+        re-learned the same flow: the copy's counters are absorbed into
+        the resident record and the copy ceases to exist as an instance
+        (tracked by ``folded``, which the cluster's conservation books
+        balance against).
+        """
+        existing = self._records[flow_id]
+        existing.absorb(record)
+        self.folded += 1
+        return existing
+
     def expire(self, now_ps: int) -> List[FlowRecord]:
         """Housekeeping pass: remove every flow idle for longer than the timeout.
 
@@ -176,6 +243,7 @@ class FlowStateTable:
             "updated": self.updated,
             "expired": self.expired,
             "adopted": self.adopted,
+            "folded": self.folded,
             "exported": len(self.exported),
             "timeout_us": self.timeout_us,
         }

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 import zlib
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import FlowLUTConfig
 from repro.core.flow_lut import FlowLUT, LookupOutcome
@@ -163,6 +163,24 @@ class ShardedFlowLUT:
             len(shard.flow_state) for shard in self.shards if shard.flow_state is not None
         )
 
+    def live_flow_pairs(self) -> List[Tuple[bytes, Optional[FlowRecord]]]:
+        """Every live ``(engine_key_bytes, record)`` pair across all shards.
+
+        The non-destructive counterpart of the cluster layer's
+        ``extract_flows``: the same pairs, but the records stay in place.
+        Snapshots (:mod:`repro.persist`) and replica promotion filters are
+        built from this view.  The walk follows each shard's *live-key
+        map*, so keys installed without flow state (``preload``) appear
+        with a ``None`` record — a snapshot must carry them or a warm
+        restart would silently forget table entries.  Records without a
+        table entry (deleted mid-migration) cannot appear, exactly as
+        extraction skips them.
+        """
+        pairs: List[Tuple[bytes, Optional[FlowRecord]]] = []
+        for shard in self.shards:
+            pairs.extend(shard.live_flow_pairs())
+        return pairs
+
     def delete_flow(self, key_bytes: bytes) -> bool:
         """Remove one flow entry on its owning shard (routed, not fanned out)."""
         return self.shards[self.shard_of(key_bytes)].delete_flow(key_bytes)
@@ -177,7 +195,11 @@ class ShardedFlowLUT:
             key_bytes = record.key.pack()
         return self.shards[self.shard_of(key_bytes)].restore_flow(record, key_bytes)
 
-    def run_housekeeping(self, now_ps: Optional[int] = None) -> int:
+    def run_housekeeping(
+        self,
+        now_ps: Optional[int] = None,
+        expired_out: Optional[List[Tuple[bytes, FlowRecord]]] = None,
+    ) -> int:
         """One aging pass over every shard; returns total flows removed.
 
         Fans out to each shard's :meth:`~repro.core.flow_lut.FlowLUT.
@@ -185,8 +207,10 @@ class ShardedFlowLUT:
         and sums the removals.  ``now_ps`` should be the workload clock (the
         latest descriptor timestamp) because record idle times are measured
         in descriptor timestamps; it defaults to each shard's simulated time.
+        ``expired_out`` collects the expired ``(key_bytes, record)`` pairs
+        across all shards (see the single-LUT method).
         """
-        return sum(shard.run_housekeeping(now_ps) for shard in self.shards)
+        return sum(shard.run_housekeeping(now_ps, expired_out) for shard in self.shards)
 
     # ------------------------------------------------------------------ #
     # Aggregate accounting

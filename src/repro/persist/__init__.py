@@ -1,0 +1,60 @@
+"""Durable checkpoint/restore for flow state and telemetry.
+
+The cluster layer made node failure *observable* (``flows_lost`` /
+``telemetry_packets_lost``); this package makes it *survivable*.  Every
+durable structure of the reproduction — flow-state tables, the Flow LUT
+live-key maps, and all five mergeable telemetry structures plus the
+pipeline that composes them — has a versioned, CRC-framed binary codec
+here, with seed/geometry guards on restore that mirror the ``merge``
+guards: a snapshot only restores into a world it can be reconciled with.
+
+* :func:`dumps` / :func:`loads` — value codecs (self-contained objects).
+* :func:`dump_flow_lut` / :func:`restore_flow_lut`,
+  :func:`dump_sharded` / :func:`restore_sharded` — device snapshots
+  replayed into freshly built engines (functional, like ``preload``).
+* :func:`dump_node_snapshot` / :func:`load_node_snapshot` — cluster-node
+  checkpoints, the unit :class:`~repro.cluster.ClusterCoordinator`
+  writes periodically and replays on ``fail_node`` warm restarts.
+"""
+
+from repro.persist.codec import (
+    ByteReader,
+    ByteWriter,
+    SnapshotError,
+    SnapshotFormatError,
+    pack_frame,
+    unpack_frame,
+)
+from repro.persist.snapshots import (
+    FlowLUTSnapshot,
+    NodeSnapshot,
+    ShardedSnapshot,
+    dump_flow_lut,
+    dump_node_snapshot,
+    dump_sharded,
+    dumps,
+    load_node_snapshot,
+    loads,
+    restore_flow_lut,
+    restore_sharded,
+)
+
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "FlowLUTSnapshot",
+    "NodeSnapshot",
+    "ShardedSnapshot",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "dump_flow_lut",
+    "dump_node_snapshot",
+    "dump_sharded",
+    "dumps",
+    "load_node_snapshot",
+    "loads",
+    "pack_frame",
+    "restore_flow_lut",
+    "restore_sharded",
+    "unpack_frame",
+]

@@ -8,7 +8,9 @@ notebooks.
 """
 
 from repro.reporting.experiments import (
+    merged_top_k,
     run_cluster_scaling,
+    run_durability_comparison,
     run_fig3_bandwidth,
     run_fig6_flow_ratio,
     run_linerate_feasibility,
@@ -28,7 +30,9 @@ __all__ = [
     "PAPER_TABLE2B",
     "format_comparison",
     "format_table",
+    "merged_top_k",
     "run_cluster_scaling",
+    "run_durability_comparison",
     "run_fig3_bandwidth",
     "run_fig6_flow_ratio",
     "run_linerate_feasibility",

@@ -415,6 +415,139 @@ def run_cluster_scaling(
     }
 
 
+def merged_top_k(coordinator: ClusterCoordinator, top_k: int = 10) -> List[tuple]:
+    """The cluster-wide heavy-hitter top-k, deterministically ordered
+    (count descending, then key — so ties cannot flake a comparison).
+    Shared by the durability experiment and ``bench_durability.py`` so
+    both compare exactly the same view."""
+    merged = coordinator.merged_telemetry()
+    return [
+        (hitter.key, hitter.count)
+        for hitter in sorted(
+            merged.heavy_hitters.entries(), key=lambda h: (-h.count, h.key)
+        )[:top_k]
+    ]
+
+
+def run_durability_comparison(
+    scenario_names: Sequence[str] = ("node_failover", "churn"),
+    packet_count: int = 3000,
+    checkpoint_intervals: Sequence[int] = (64, 256),
+    nodes: int = 4,
+    seed: int = 43,
+    config: Optional[FlowLUTConfig] = None,
+    telemetry_config: Optional[TelemetryConfig] = None,
+    batch_size: int = 128,
+    top_k: int = 10,
+) -> dict:
+    """The durability trade-off: checkpoint intervals versus k=2 replication.
+
+    For each scenario, the same stream is replayed through identical
+    clusters that differ only in their protection, with the busiest node
+    forced to fail mid-run: *unprotected* (the PR-3 behaviour — losses
+    counted, nothing recovered), *checkpointing* at each interval (losses
+    shrink to the since-last-checkpoint delta; the retained snapshot bytes
+    are the durability footprint), and *k=2 replication* (failover is
+    lossless for replicated keys; the replica stores and backup pipelines
+    are the memory cost).  A no-failure baseline anchors the merged
+    top-``top_k`` comparison; ``ingest_slowdown`` divides each mode's
+    host wall-clock by the *unprotected failure run's* — the same
+    membership history — so it attributes the protection's overhead
+    rather than the failure's.  Every row's books must balance
+    (``hits + misses == packets`` and the flow-conservation identity);
+    ``balanced`` reports it.  There is no paper reference — this is the
+    scale-out durability tier above the cluster layer.
+    """
+    if packet_count <= 0:
+        raise ValueError("packet_count must be positive")
+    telemetry_config = telemetry_config or TelemetryConfig(
+        heavy_hitter_capacity=max(1024, 2 * packet_count)
+    )
+
+    def build(**overrides) -> ClusterCoordinator:
+        return ClusterCoordinator(
+            nodes=nodes,
+            config=config,
+            telemetry_config=telemetry_config,
+            telemetry_seed=seed,
+            batch_size=batch_size,
+            **overrides,
+        )
+
+    def run(coordinator: ClusterCoordinator, descriptors: Sequence, fail: bool) -> dict:
+        started = time.perf_counter()
+        coordinator.ingest(descriptors[: packet_count // 2])
+        victim = None
+        if fail:
+            victim = max(
+                coordinator.nodes, key=lambda n: coordinator.nodes[n].active_flows
+            )
+            coordinator.fail_node(victim)
+        coordinator.ingest(descriptors[packet_count // 2 :])
+        elapsed = time.perf_counter() - started
+        return {"victim": victim, "wall_s": elapsed}
+
+    rows = []
+    for scenario in scenario_names:
+        # Descriptors are plain data; one generation serves every mode.
+        descriptors = scenario_descriptors(
+            scenario, packet_count, seed=seed, extractor=DescriptorExtractor()
+        )
+        baseline = build()
+        run(baseline, descriptors, fail=False)
+        baseline_top = merged_top_k(baseline, top_k)
+        unprotected_wall = 0.0
+
+        modes: List[tuple] = [("unprotected", {})]
+        modes.extend(
+            (f"checkpoint@{interval}", {"checkpoint_interval": interval})
+            for interval in checkpoint_intervals
+        )
+        modes.append(("replica_k2", {"replication": 2}))
+
+        for mode, overrides in modes:
+            coordinator = build(**overrides)
+            outcome = run(coordinator, descriptors, fail=True)
+            if mode == "unprotected":
+                # The denominator for every mode: same stream, same
+                # failure, no protection — so the ratio isolates the
+                # protection's overhead, not the failure's.
+                unprotected_wall = outcome["wall_s"]
+            totals = coordinator.cluster_totals()
+            books = coordinator.flow_books()
+            extra_memory = (
+                coordinator.replica_memory_bytes + coordinator.checkpoint_bytes
+            )
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "mode": mode,
+                    "flows_lost": coordinator.flows_lost,
+                    "flows_restored": coordinator.flows_restored,
+                    "telemetry_pkts_lost": coordinator.telemetry_packets_lost,
+                    f"top{top_k}_match": merged_top_k(coordinator, top_k)
+                    == baseline_top,
+                    "extra_memory_kB": round(extra_memory / 1024, 1),
+                    "ingest_slowdown": round(outcome["wall_s"] / unprotected_wall, 2)
+                    if unprotected_wall > 0
+                    else 0.0,
+                    "balanced": (
+                        totals["completed"] == coordinator.ingested == packet_count
+                        and totals["hits"] + totals["misses"] == totals["completed"]
+                        and books["balanced"]
+                    ),
+                }
+            )
+    return {
+        "packet_count": packet_count,
+        "nodes": nodes,
+        "seed": seed,
+        "checkpoint_intervals": list(checkpoint_intervals),
+        "top_k": top_k,
+        "rows": rows,
+    }
+
+
 def run_sharded_scaling(
     scenario: str = "zipf_mix",
     packet_count: int = 4000,

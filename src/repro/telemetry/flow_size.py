@@ -26,6 +26,40 @@ class FlowSizeDistribution:
         self.total_packets = 0
         self.total_bytes = 0
 
+    @classmethod
+    def from_state(
+        cls,
+        *,
+        max_bucket: int,
+        buckets: Dict[int, int],
+        flows: int,
+        total_packets: int,
+        total_bytes: int,
+    ) -> "FlowSizeDistribution":
+        """Rebuild a histogram from snapshotted bucket counts.
+
+        Bucket indices must lie in ``[0, max_bucket]`` and the bucket
+        counts must sum to ``flows``; violations raise :class:`ValueError`.
+        """
+        if any(not 0 <= bucket <= max_bucket for bucket in buckets):
+            raise ValueError("bucket index outside [0, max_bucket]")
+        if any(count <= 0 for count in buckets.values()):
+            raise ValueError("bucket counts must be positive")
+        if sum(buckets.values()) != flows:
+            raise ValueError("bucket counts do not sum to the flow total")
+        if total_packets < 0 or total_bytes < 0:
+            raise ValueError("packet and byte totals must be non-negative")
+        distribution = cls(max_bucket=max_bucket)
+        distribution._packet_buckets = dict(buckets)
+        distribution.flows = flows
+        distribution.total_packets = total_packets
+        distribution.total_bytes = total_bytes
+        return distribution
+
+    def bucket_counts(self) -> Dict[int, int]:
+        """A copy of the raw ``bucket -> flows`` counts, for snapshotting."""
+        return dict(self._packet_buckets)
+
     @staticmethod
     def bucket_of(size: int) -> int:
         """The log2 bucket index of a flow of ``size`` packets."""

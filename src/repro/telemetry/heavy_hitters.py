@@ -67,6 +67,42 @@ class SpaceSavingTracker:
         self.total = 0
         self.evictions = 0
 
+    @classmethod
+    def from_state(
+        cls,
+        *,
+        capacity: int,
+        entries: List[Tuple[Hashable, int, int]],
+        total: int,
+        evictions: int,
+    ) -> "SpaceSavingTracker":
+        """Rebuild a summary from snapshotted ``(key, count, error)`` entries.
+
+        The entries must fit the capacity and keep the Space-Saving
+        invariant ``count >= error >= 0``; violations raise
+        :class:`ValueError` before any instance exists.
+        """
+        if len(entries) > capacity:
+            raise ValueError("more entries than the declared capacity")
+        tracker = cls(capacity)
+        for key, count, error in entries:
+            if not 0 <= error <= count:
+                raise ValueError("entries must satisfy count >= error >= 0")
+            if key in tracker._counts:
+                raise ValueError("duplicate key in snapshot entries")
+            tracker._counts[key] = count
+            tracker._errors[key] = error
+        if total < 0 or evictions < 0:
+            raise ValueError("total and evictions must be non-negative")
+        tracker.total = total
+        tracker.evictions = evictions
+        tracker._compact()
+        return tracker
+
+    def entry_states(self) -> List[Tuple[Hashable, int, int]]:
+        """The monitored ``(key, count, error)`` triples, for snapshotting."""
+        return [(key, count, self._errors[key]) for key, count in self._counts.items()]
+
     def __len__(self) -> int:
         return len(self._counts)
 

@@ -101,6 +101,59 @@ class TelemetryPipeline:
         self.syn_packets = 0
         self.events_seen = 0
 
+    @classmethod
+    def from_components(
+        cls,
+        config: TelemetryConfig,
+        *,
+        packet_counts: CountMinSketch,
+        byte_counts: CountMinSketch,
+        heavy_hitters: SpaceSavingTracker,
+        spreaders: SuperSpreaderDetector,
+        port_scanners: SuperSpreaderDetector,
+        flow_sizes: FlowSizeDistribution,
+        packets: int,
+        bytes_: int,
+        syn_packets: int,
+        events_seen: int,
+    ) -> "TelemetryPipeline":
+        """Reassemble a pipeline from restored components (:mod:`repro.persist`).
+
+        Each component must match the geometry the config would have built
+        — the same compatibility :meth:`merge` relies on — otherwise a
+        restored pipeline could silently refuse to merge with its peers.
+        Violations raise :class:`ValueError` before any state is adopted.
+        """
+        for sketch, label in ((packet_counts, "packet"), (byte_counts, "byte")):
+            if (sketch.width, sketch.depth) != (config.cm_width, config.cm_depth):
+                raise ValueError(f"{label} sketch geometry does not match the config")
+        if heavy_hitters.capacity != config.heavy_hitter_capacity:
+            raise ValueError("heavy-hitter capacity does not match the config")
+        for detector, label in ((spreaders, "spreader"), (port_scanners, "port-scan")):
+            if (
+                detector.max_sources != config.spreader_sources
+                or detector.bitmap_bits != config.spreader_bitmap_bits
+            ):
+                raise ValueError(f"{label} detector geometry does not match the config")
+        if min(packets, bytes_, syn_packets, events_seen) < 0:
+            raise ValueError("pipeline counters must be non-negative")
+        # Assembled directly (no throwaway __init__ components): a normal
+        # construction would build and immediately discard two full
+        # Count-Min grids, two detectors and a tracker on every restore.
+        pipeline = cls.__new__(cls)
+        pipeline.config = config
+        pipeline.packet_counts = packet_counts
+        pipeline.byte_counts = byte_counts
+        pipeline.heavy_hitters = heavy_hitters
+        pipeline.spreaders = spreaders
+        pipeline.port_scanners = port_scanners
+        pipeline.flow_sizes = flow_sizes
+        pipeline.packets = packets
+        pipeline.bytes = bytes_
+        pipeline.syn_packets = syn_packets
+        pipeline.events_seen = events_seen
+        return pipeline
+
     # ------------------------------------------------------------------ #
     # Ingest
     # ------------------------------------------------------------------ #

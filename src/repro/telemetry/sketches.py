@@ -88,6 +88,53 @@ class CountMinSketch:
         depth = math.ceil(math.log(1.0 / delta))
         return cls(width=width, depth=max(1, depth), key_bits=key_bits, seed=seed)
 
+    @classmethod
+    def from_state(
+        cls,
+        *,
+        width: int,
+        depth: int,
+        key_bits: int,
+        hash_seed: int,
+        rows: List[List[int]],
+        total: int,
+    ) -> "CountMinSketch":
+        """Rebuild a sketch from snapshotted state (:mod:`repro.persist`).
+
+        ``hash_seed`` is the *resolved* 64-bit seed of the original sketch
+        (not a seed-like input), so the restored sketch hashes — and
+        therefore merges — exactly like the one that was snapshotted.  The
+        counter grid must match the declared geometry and be non-negative;
+        a mismatch raises :class:`ValueError` before any instance exists.
+        """
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        if len(rows) != depth or any(len(row) != width for row in rows):
+            raise ValueError("counter rows do not match the declared geometry")
+        if total < 0 or any(cell < 0 for row in rows for cell in row):
+            raise ValueError("sketch counters must be non-negative")
+        # Assembled directly (no throwaway __init__ grid): restores run on
+        # the checkpoint/resync path, where the zeroed grid would be
+        # allocated only to be discarded.
+        sketch = cls.__new__(cls)
+        sketch.width = width
+        sketch.depth = depth
+        sketch.key_bits = key_bits
+        sketch._hash_seed = hash_seed
+        sketch._hashes = MultiHash(depth, key_bits=key_bits, output_bits=32, seed=hash_seed)
+        sketch._rows = [list(row) for row in rows]
+        sketch.total = total
+        return sketch
+
+    @property
+    def hash_seed(self) -> int:
+        """The resolved 64-bit seed identifying this sketch's hash family."""
+        return self._hash_seed
+
+    def counter_rows(self) -> List[List[int]]:
+        """A copy of the counter grid (row-major), for snapshotting."""
+        return [list(row) for row in self._rows]
+
     def update(self, key: KeyLike, count: int = 1) -> None:
         """Account ``count`` occurrences of ``key``."""
         if count < 0:
@@ -180,6 +227,47 @@ class DistinctCounter:
         self._bitmap = 0
         self._bits_set = 0
         self.items_added = 0
+
+    @classmethod
+    def from_state(
+        cls,
+        *,
+        bitmap_bits: int,
+        key_bits: int,
+        hash_seed: int,
+        bitmap: int,
+        items_added: int,
+    ) -> "DistinctCounter":
+        """Rebuild a counter from snapshotted state (:mod:`repro.persist`).
+
+        ``hash_seed`` is the resolved 64-bit seed; ``bitmap`` must fit in
+        ``bitmap_bits`` bits or :class:`ValueError` is raised.
+        """
+        if bitmap < 0 or bitmap >> bitmap_bits:
+            raise ValueError("bitmap does not fit in the declared bitmap_bits")
+        if items_added < 0:
+            raise ValueError("items_added must be non-negative")
+        if bitmap_bits <= 0:
+            raise ValueError("bitmap_bits must be positive")
+        counter = cls.__new__(cls)
+        counter.bitmap_bits = bitmap_bits
+        counter.key_bits = key_bits
+        counter._hash_seed = hash_seed
+        counter._hash = TabulationHash((key_bits + 7) // 8, 32, seed=hash_seed)
+        counter._bitmap = bitmap
+        counter._bits_set = bin(bitmap).count("1")
+        counter.items_added = items_added
+        return counter
+
+    @property
+    def hash_seed(self) -> int:
+        """The resolved 64-bit seed identifying this counter's hash."""
+        return self._hash_seed
+
+    @property
+    def bitmap_value(self) -> int:
+        """The bitmap as an integer, for snapshotting."""
+        return self._bitmap
 
     def add(self, item: KeyLike) -> None:
         item = _key_bits_of(item, self.key_bits)

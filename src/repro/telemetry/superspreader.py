@@ -13,7 +13,7 @@ from a spreading one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.hashing.h3 import KeyLike
 from repro.sim.rng import SeedLike, make_rng
@@ -64,6 +64,70 @@ class SuperSpreaderDetector:
         self._counters: Dict[Hashable, DistinctCounter] = {}
         self.updates = 0
         self.evictions = 0
+
+    @classmethod
+    def from_state(
+        cls,
+        *,
+        max_sources: int,
+        bitmap_bits: int,
+        threshold: float,
+        key_bits: int,
+        hash_seed: int,
+        sources: List[Tuple[Hashable, DistinctCounter]],
+        updates: int,
+        evictions: int,
+    ) -> "SuperSpreaderDetector":
+        """Rebuild a detector from snapshotted per-source counters.
+
+        Every restored counter must carry the detector's shared
+        ``hash_seed`` and geometry — the same compatibility the merge
+        guards enforce — or :class:`ValueError` is raised.
+        """
+        if len(sources) > max_sources:
+            raise ValueError("more sources than the declared max_sources")
+        detector = cls(
+            max_sources=max_sources,
+            bitmap_bits=bitmap_bits,
+            threshold=threshold,
+            key_bits=key_bits,
+            seed=0,
+        )
+        detector._seed = hash_seed
+        counter_seed = detector.counter_hash_seed
+        for source, counter in sources:
+            if counter.bitmap_bits != bitmap_bits or counter.key_bits != key_bits:
+                raise ValueError("source counter geometry does not match the detector")
+            if counter.hash_seed != counter_seed:
+                raise ValueError("source counter was built from a different hash seed")
+            if source in detector._counters:
+                raise ValueError("duplicate source in snapshot")
+            detector._counters[source] = counter
+        if updates < 0 or evictions < 0:
+            raise ValueError("updates and evictions must be non-negative")
+        detector.updates = updates
+        detector.evictions = evictions
+        return detector
+
+    @property
+    def hash_seed(self) -> int:
+        """The resolved 64-bit detector seed (bitmap hashes derive from it)."""
+        return self._seed
+
+    @property
+    def counter_hash_seed(self) -> int:
+        """The derived seed every per-source bitmap actually hashes with.
+
+        ``_counter_for`` builds each bitmap as ``DistinctCounter(...,
+        seed=self._seed)``, and the counter resolves that seed-like input
+        to ``make_rng(seed).getrandbits(64)`` — so this, not ``_seed``
+        itself, is what a restored counter must carry to be mergeable.
+        """
+        return make_rng(self._seed).getrandbits(64)
+
+    def source_states(self) -> List[Tuple[Hashable, DistinctCounter]]:
+        """The monitored ``(source, counter)`` pairs, for snapshotting."""
+        return list(self._counters.items())
 
     def __len__(self) -> int:
         return len(self._counters)

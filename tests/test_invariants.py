@@ -1,0 +1,357 @@
+"""Randomized invariant suite: merge laws and snapshot round-trips.
+
+Two algebraic properties hold the distributed story together, and both are
+checked here over seeded-random streams across several geometries/seeds:
+
+* **Merge law** — for every mergeable telemetry structure, merging two
+  summaries built from disjoint halves of a stream must equal (exactly,
+  or within the documented bound for Space-Saving) one summary built from
+  the concatenated stream.
+* **Snapshot round-trip** — for every :mod:`repro.persist` codec,
+  ``loads(dumps(x))`` must reproduce ``x``: identical estimates, stats and
+  internal state for the value codecs, and an equivalent live-flow world
+  (same keys, same accumulated counters) for the device codecs.  Restored
+  structures must also still *merge* with live same-seed peers — the
+  guards travel with the snapshot.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import small_test_config
+from repro.core.flow_lut import FlowLUT
+from repro.core.flow_state import FlowRecord, FlowStateTable
+from repro.engine.sharded import ShardedFlowLUT
+from repro.net.fivetuple import FlowKey
+from repro.persist import (
+    dump_flow_lut,
+    dump_sharded,
+    dumps,
+    loads,
+    restore_flow_lut,
+    restore_sharded,
+)
+from repro.telemetry import TelemetryConfig, TelemetryPipeline
+from repro.telemetry.flow_size import FlowSizeDistribution
+from repro.telemetry.heavy_hitters import SpaceSavingTracker
+from repro.telemetry.sketches import CountMinSketch, DistinctCounter
+from repro.telemetry.superspreader import SuperSpreaderDetector
+from repro.traffic import generate_scenario, scenario_descriptors
+
+CONFIG = small_test_config()
+
+SEEDS = (3, 17, 91)
+
+
+def _random_keys(rng, count, space=200):
+    """A skewed random key stream (collisions guaranteed)."""
+    return [rng.randrange(space) ** 2 % (1 << 48) for _ in range(count)]
+
+
+# --------------------------------------------------------------------------- #
+# Merge law: merge(A, B) == summary(A + B)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("width,depth", [(64, 2), (256, 4)])
+def test_count_min_merge_law(seed, width, depth):
+    rng = random.Random(seed)
+    stream_a = _random_keys(rng, 400)
+    stream_b = _random_keys(rng, 300)
+    left = CountMinSketch(width, depth, seed=seed)
+    right = CountMinSketch(width, depth, seed=seed)
+    whole = CountMinSketch(width, depth, seed=seed)
+    for key in stream_a:
+        left.update(key)
+        whole.update(key)
+    for key in stream_b:
+        right.update(key, 2)
+        whole.update(key, 2)
+    left.merge(right)
+    assert left.counter_rows() == whole.counter_rows()
+    assert left.total == whole.total
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("bits", [128, 1024])
+def test_distinct_counter_merge_law(seed, bits):
+    rng = random.Random(seed)
+    left = DistinctCounter(bits, seed=seed)
+    right = DistinctCounter(bits, seed=seed)
+    whole = DistinctCounter(bits, seed=seed)
+    for key in _random_keys(rng, 500):
+        (left if rng.random() < 0.5 else right).add(key)
+        whole.add(key)
+    left.merge(right)
+    assert left.bitmap_value == whole.bitmap_value
+    assert left.estimate() == whole.estimate()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_space_saving_merge_law_exact_when_unfilled(seed):
+    rng = random.Random(seed)
+    left = SpaceSavingTracker(512)
+    right = SpaceSavingTracker(512)
+    whole = SpaceSavingTracker(512)
+    for key in _random_keys(rng, 600):
+        amount = 1 + key % 7
+        (left if rng.random() < 0.5 else right).update(key, amount)
+        whole.update(key, amount)
+    left.merge(right)
+    assert left.evictions == whole.evictions == 0  # the merge is exact here
+    assert sorted(left.entry_states()) == sorted(whole.entry_states())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_space_saving_merge_bounds_survive_evictions(seed):
+    rng = random.Random(seed)
+    truth = {}
+    left = SpaceSavingTracker(16)
+    right = SpaceSavingTracker(16)
+    for key in _random_keys(rng, 800, space=120):
+        amount = 1 + key % 5
+        truth[key] = truth.get(key, 0) + amount
+        (left if rng.random() < 0.5 else right).update(key, amount)
+    left.merge(right)
+    assert left.total == sum(truth.values())
+    for hitter in left.entries():
+        true = truth.get(hitter.key, 0)
+        assert hitter.count >= true >= hitter.guaranteed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_superspreader_merge_law(seed):
+    rng = random.Random(seed)
+    left = SuperSpreaderDetector(max_sources=64, bitmap_bits=256, seed=seed)
+    right = SuperSpreaderDetector(max_sources=64, bitmap_bits=256, seed=seed)
+    whole = SuperSpreaderDetector(max_sources=64, bitmap_bits=256, seed=seed)
+    for _ in range(700):
+        source = rng.randrange(32)
+        destination = rng.randrange(500)
+        (left if rng.random() < 0.5 else right).update(source, destination)
+        whole.update(source, destination)
+    left.merge(right)
+    merged = {s: c.bitmap_value for s, c in left.source_states()}
+    expected = {s: c.bitmap_value for s, c in whole.source_states()}
+    assert merged == expected  # bitmap union is exact
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flow_size_merge_law(seed):
+    rng = random.Random(seed)
+    left = FlowSizeDistribution()
+    right = FlowSizeDistribution()
+    whole = FlowSizeDistribution()
+    for _ in range(300):
+        packets, bytes_ = 1 + rng.randrange(500), rng.randrange(1 << 20)
+        (left if rng.random() < 0.5 else right).observe_flow(packets, bytes_)
+        whole.observe_flow(packets, bytes_)
+    left.merge(right)
+    assert left.bucket_counts() == whole.bucket_counts()
+    assert left.stats() == whole.stats()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_pipeline_merge_law_over_scenarios(seed):
+    config = TelemetryConfig(cm_width=256, heavy_hitter_capacity=4096)
+    packets = generate_scenario("zipf_mix", 600, seed=seed)
+    left = TelemetryPipeline(config, seed=seed)
+    right = TelemetryPipeline(config, seed=seed)
+    whole = TelemetryPipeline(config, seed=seed)
+    left.observe_packets(packets[:300])
+    right.observe_packets(packets[300:])
+    whole.observe_packets(packets)
+    left.merge(right)
+    assert left.packets == whole.packets and left.bytes == whole.bytes
+    assert left.packet_counts.counter_rows() == whole.packet_counts.counter_rows()
+    assert sorted(left.heavy_hitters.entry_states()) == sorted(
+        whole.heavy_hitters.entry_states()
+    )
+    assert left.flow_sizes.bucket_counts() == whole.flow_sizes.bucket_counts()
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot round-trip: loads(dumps(x)) == x
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("width,depth", [(64, 2), (512, 4)])
+def test_count_min_round_trip(seed, width, depth):
+    rng = random.Random(seed)
+    sketch = CountMinSketch(width, depth, seed=seed)
+    keys = _random_keys(rng, 500)
+    for key in keys:
+        sketch.update(key, 1 + key % 3)
+    restored = loads(dumps(sketch))
+    assert restored.counter_rows() == sketch.counter_rows()
+    assert restored.total == sketch.total
+    assert all(restored.estimate(key) == sketch.estimate(key) for key in keys)
+    restored.merge(sketch)  # same resolved seed: merging must still work
+    assert restored.total == 2 * sketch.total
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("bits", [64, 2048])
+def test_distinct_counter_round_trip(seed, bits):
+    rng = random.Random(seed)
+    counter = DistinctCounter(bits, seed=seed)
+    for key in _random_keys(rng, 400):
+        counter.add(key)
+    restored = loads(dumps(counter))
+    assert restored.bitmap_value == counter.bitmap_value
+    assert restored.estimate() == counter.estimate()
+    assert restored.items_added == counter.items_added
+    restored.merge(counter)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("capacity", [8, 256])
+def test_space_saving_round_trip(seed, capacity):
+    rng = random.Random(seed)
+    tracker = SpaceSavingTracker(capacity)
+    for key in _random_keys(rng, 600, space=90):
+        # bytes and int keys both appear in deployment (packed 5-tuples,
+        # addresses); exercise both wire forms.
+        tracker.update(key.to_bytes(6, "big") if key % 2 else key, 1 + key % 4)
+    restored = loads(dumps(tracker))
+    assert sorted(restored.entry_states(), key=repr) == sorted(
+        tracker.entry_states(), key=repr
+    )
+    assert restored.total == tracker.total
+    assert restored.evictions == tracker.evictions
+    restored.merge(tracker)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_superspreader_round_trip(seed):
+    rng = random.Random(seed)
+    detector = SuperSpreaderDetector(max_sources=48, bitmap_bits=128, seed=seed)
+    for _ in range(500):
+        detector.update(rng.randrange(40), rng.randrange(300))
+    restored = loads(dumps(detector))
+    assert {s: c.bitmap_value for s, c in restored.source_states()} == {
+        s: c.bitmap_value for s, c in detector.source_states()
+    }
+    assert restored.updates == detector.updates
+    restored.merge(detector)  # derived counter seeds must have travelled
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flow_size_round_trip(seed):
+    rng = random.Random(seed)
+    distribution = FlowSizeDistribution()
+    for _ in range(250):
+        distribution.observe_flow(1 + rng.randrange(4000), rng.randrange(1 << 22))
+    restored = loads(dumps(distribution))
+    assert restored.bucket_counts() == distribution.bucket_counts()
+    assert restored.stats() == distribution.stats()
+    assert restored.histogram() == distribution.histogram()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", ["zipf_mix", "syn_flood", "port_scan"])
+def test_pipeline_round_trip(seed, scenario):
+    config = TelemetryConfig(cm_width=128, heavy_hitter_capacity=64)
+    pipeline = TelemetryPipeline(config, seed=seed)
+    pipeline.observe_packets(generate_scenario(scenario, 500, seed=seed))
+    restored = loads(dumps(pipeline))
+    assert restored.config == pipeline.config
+    assert restored.report() == pipeline.report()
+    assert restored.packet_counts.counter_rows() == pipeline.packet_counts.counter_rows()
+    # A restored pipeline is a first-class merge peer of live ones.
+    peer = TelemetryPipeline(config, seed=seed)
+    peer.merge(restored)
+    assert peer.packets == pipeline.packets
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flow_state_round_trip(seed):
+    rng = random.Random(seed)
+    table = FlowStateTable(timeout_us=100.0)
+    for index in range(120):
+        key = FlowKey(rng.getrandbits(32), rng.getrandbits(32), 80, 443, 6)
+        table.update(index, key, rng.randrange(1500), rng.randrange(1 << 30),
+                     tcp_flags=rng.randrange(64))
+    table.expire(1 << 31)  # push everything idle into the export stream
+    for index in range(40):
+        key = FlowKey(rng.getrandbits(32), rng.getrandbits(32), 53, 53, 17)
+        table.update(1000 + index, key, 64, (1 << 31) + index)
+    restored = loads(dumps(table))
+    assert restored.stats() == table.stats()
+    assert {r.flow_id for r in restored} == {r.flow_id for r in table}
+    for record in table:
+        twin = restored.get(record.flow_id)
+        assert (twin.key, twin.packets, twin.bytes, twin.first_seen_ps,
+                twin.last_seen_ps, twin.tcp_flags) == (
+            record.key, record.packets, record.bytes, record.first_seen_ps,
+            record.last_seen_ps, record.tcp_flags)
+    assert [r.flow_id for r in restored.exported] == [r.flow_id for r in table.exported]
+
+
+def _live_world(pairs):
+    return {
+        key: (record.packets, record.bytes) if record is not None else None
+        for key, record in pairs
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flow_lut_snapshot_restores_the_live_world(seed):
+    descriptors = scenario_descriptors("churn", 400, seed=seed)
+    lut = FlowLUT(CONFIG, flow_state=FlowStateTable())
+    for descriptor in descriptors:
+        lut.submit_blocking(descriptor)
+    lut.drain()
+
+    twin = FlowLUT(CONFIG, flow_state=FlowStateTable())
+    installed = restore_flow_lut(twin, dump_flow_lut(lut))
+    assert installed == len(lut.flow_state) > 0
+    original = _live_world(
+        (key, lut.flow_state.get(fid)) for fid, key in lut.live_items()
+    )
+    restored = _live_world(
+        (key, twin.flow_state.get(fid)) for fid, key in twin.live_items()
+    )
+    assert restored == original
+    # The restored table answers lookups for every live key.
+    for key in original:
+        assert twin.table.lookup(key).found
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shards_out", [2, 4])
+def test_sharded_snapshot_restores_across_shard_counts(seed, shards_out):
+    engine = ShardedFlowLUT(shards=3, config=CONFIG)
+    engine.attach_flow_state()
+    engine.process_batch(scenario_descriptors("node_failover", 400, seed=seed))
+    snapshot = dump_sharded(engine)
+
+    twin = ShardedFlowLUT(shards=shards_out, config=CONFIG)
+    twin.attach_flow_state()
+    installed = restore_sharded(twin, snapshot)
+    assert installed == engine.active_flows == twin.active_flows > 0
+    assert _live_world(twin.live_flow_pairs()) == _live_world(engine.live_flow_pairs())
+
+
+def test_sharded_snapshot_carries_preloaded_keys():
+    """Keys installed without flow state (``preload``) are live table
+    entries too: a snapshot must carry them, or a warm restart would
+    forget part of the live-key map."""
+    engine = ShardedFlowLUT(shards=2, config=CONFIG)
+    engine.attach_flow_state()
+    preloaded = [d.key_bytes for d in scenario_descriptors("uniform_random", 30, seed=6)]
+    assert engine.preload(preloaded) == len(preloaded)
+    engine.process_batch(scenario_descriptors("node_failover", 200, seed=6))
+    snapshot = dump_sharded(engine)
+    entryless = [key for key, record in engine.live_flow_pairs() if record is None]
+    assert entryless  # the preloaded keys really are record-less
+
+    twin = ShardedFlowLUT(shards=2, config=CONFIG)
+    twin.attach_flow_state()
+    restore_sharded(twin, snapshot)
+    for key in preloaded:
+        assert twin.shards[twin.shard_of(key)].table.lookup(key).found
+    assert _live_world(twin.live_flow_pairs()) == _live_world(engine.live_flow_pairs())
