@@ -25,7 +25,7 @@ import os
 
 from repro.cluster import ClusterCoordinator
 from repro.engine import run_scenario_single
-from repro.reporting import format_table, run_cluster_scaling
+from repro.reporting import exact_top_k, format_table, run_cluster_scaling
 from repro.telemetry import TelemetryConfig
 from repro.traffic import generate_scenario, list_scenarios, scenario_descriptors
 
@@ -127,15 +127,13 @@ def test_merged_topk_matches_exact_on_every_scenario():
         coordinator.ingest(scenario_descriptors(name, packets, seed=37))
         merged = coordinator.merged_telemetry()
 
-        exact: dict = {}
-        for packet in generate_scenario(name, packets, seed=37):
-            key = packet.key.pack()
-            exact[key] = exact.get(key, 0) + packet.length_bytes
+        stream = generate_scenario(name, packets, seed=37)
+        flows = len({packet.key for packet in stream})
 
         # The summaries never filled, so the merge is exact: compare the
-        # top-k lists directly, byte counts included, with a deterministic
-        # (count desc, key) order so ties cannot flake the comparison.
-        exact_top = sorted(exact.items(), key=lambda item: (-item[1], item[0]))[:TOP_K]
+        # top-k lists directly, byte counts included, with the shared
+        # deterministic (count desc, key) order so ties cannot flake.
+        exact_top = exact_top_k(stream, TOP_K)
         merged_top = [
             (hitter.key, hitter.count)
             for hitter in sorted(
@@ -147,7 +145,7 @@ def test_merged_topk_matches_exact_on_every_scenario():
         rows.append(
             {
                 "scenario": name,
-                "flows": len(exact),
+                "flows": flows,
                 f"top{TOP_K}_match": merged_top == exact_top,
                 "heaviest_bytes": exact_top[0][1],
             }

@@ -1,0 +1,120 @@
+"""Trace interchange — pcap ingest/export and NetFlow v5 throughput.
+
+No paper reference: this is the interchange tier above the cluster layer.
+Three properties are checked while the rates are measured:
+
+1. **pcap round trip** — write→read reproduces the (resolution-snapped)
+   packet stream exactly, at both byte orders, and the reader sustains a
+   reasonable conversion rate.
+2. **NetFlow round trip** — every exported flow record survives the
+   spec-layout datagram encode/decode with key, counters and
+   millisecond-resolution times intact.
+3. **Replay equivalence** — the ``run_trace_replay`` experiment's three
+   engine paths all match the synthetic run's books on a recorded
+   capture (the trace-backed scenario plumbing end to end).
+
+Set ``TRACE_BENCH_PACKETS`` to shrink or grow the workload (CI smoke runs
+use a small value).
+"""
+
+import os
+import time
+
+from repro.core.flow_state import FlowStateTable
+from repro.reporting import format_table, run_trace_replay
+from repro.trace import (
+    NetFlowV5Exporter,
+    decode_netflow_v5,
+    read_pcap,
+    snap_timestamps,
+    write_pcap,
+)
+from repro.traffic import generate_scenario
+
+PACKETS = int(os.environ.get("TRACE_BENCH_PACKETS", "20000"))
+
+
+def _fingerprint(packets):
+    return [(p.key, p.length_bytes, p.timestamp_ps, p.tcp_flags) for p in packets]
+
+
+def test_pcap_io_throughput(tmp_path, benchmark):
+    packets = snap_timestamps(generate_scenario("zipf_mix", PACKETS, seed=23))
+    rows = []
+    for order in ("little", "big"):
+        path = tmp_path / f"{order}.pcap"
+        started = time.perf_counter()
+        write_pcap(path, packets, byte_order=order)
+        write_s = time.perf_counter() - started
+        if order == "little":
+            trace = benchmark.pedantic(lambda: read_pcap(path), rounds=1, iterations=1)
+            read_s = benchmark.stats.stats.total
+        else:
+            started = time.perf_counter()
+            trace = read_pcap(path)
+            read_s = time.perf_counter() - started
+        assert trace.converted == PACKETS
+        assert _fingerprint(trace.packets) == _fingerprint(packets)
+        rows.append(
+            {
+                "byte_order": order,
+                "packets": PACKETS,
+                "file_kB": round(path.stat().st_size / 1024, 1),
+                "bytes_per_pkt": round(path.stat().st_size / PACKETS, 1),
+                "write_kpps": round(PACKETS / write_s / 1e3, 1),
+                "read_kpps": round(PACKETS / read_s / 1e3, 1),
+            }
+        )
+    print()
+    print(format_table(rows, title=f"pcap ingest/export — zipf_mix ({PACKETS} packets)"))
+
+
+def test_netflow_export_throughput():
+    table = FlowStateTable(timeout_us=50.0)
+    flow_ids = {}
+    for packet in generate_scenario("churn", PACKETS, seed=29):
+        flow_id = flow_ids.setdefault(packet.key, len(flow_ids))
+        table.update(flow_id, packet.key, packet.length_bytes,
+                     packet.timestamp_ps, packet.tcp_flags)
+    table.expire(now_ps=2**62)
+    exported = table.drain_exported()
+
+    started = time.perf_counter()
+    datagrams = NetFlowV5Exporter().export(exported)
+    encode_s = time.perf_counter() - started
+    started = time.perf_counter()
+    decoded = decode_netflow_v5(datagrams)
+    decode_s = time.perf_counter() - started
+
+    assert len(decoded) == len(exported) > 0
+    for original, roundtripped in zip(exported, decoded):
+        assert roundtripped.key == original.key
+        assert roundtripped.packets == original.packets
+        assert roundtripped.octets == original.bytes
+    wire_bytes = sum(len(d) for d in datagrams)
+    print()
+    print(format_table(
+        [
+            {
+                "flows": len(exported),
+                "datagrams": len(datagrams),
+                "wire_kB": round(wire_bytes / 1024, 1),
+                "encode_krec_s": round(len(exported) / encode_s / 1e3, 1),
+                "decode_krec_s": round(len(decoded) / decode_s / 1e3, 1),
+            }
+        ],
+        title=f"NetFlow v5 export — churn ({PACKETS} packets)",
+    ))
+
+
+def test_trace_replay_equivalence_end_to_end():
+    count = max(600, PACKETS // 10)
+    result = run_trace_replay(scenario="zipf_mix", packet_count=count, seed=31)
+    print()
+    print(format_table(result["rows"], title=f"trace replay — zipf_mix ({count} packets)"))
+    assert result["pcap"]["converted"] == count
+    for row in result["rows"]:
+        assert row["matches_synthetic"], row
+    cluster_row = result["rows"][-1]
+    assert cluster_row["netflow_roundtrip"], cluster_row
+    assert cluster_row[f"top10_match"], cluster_row

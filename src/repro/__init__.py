@@ -23,6 +23,10 @@ The package is organised as the paper's system is:
   with seed/geometry guards mirroring the merge guards.
 * :mod:`repro.telemetry` — sketch-based streaming measurement (heavy
   hitters, superspreaders, flow sizes) riding on the analyzer's events.
+* :mod:`repro.trace` — trace interchange: classic-pcap capture ingest
+  (both byte orders, Ethernet → IPv4 → TCP/UDP subset), spec-layout
+  NetFlow v5 export of the flow-state streams, and trace-backed
+  scenarios replaying any recording through every engine path.
 * :mod:`repro.reporting` — experiment tables and paper reference values.
 
 Quick start::

@@ -31,6 +31,8 @@ membership equal a single LUT serving the whole stream.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import FlowLUTConfig, small_test_config
@@ -85,6 +87,16 @@ class ClusterCoordinator:
         per failure, and ``flows_lost`` shrinks to the flows the checkpoint
         missed.  :meth:`checkpoint_all` is the window-close trigger for
         callers that checkpoint at measurement-window boundaries instead.
+    checkpoint_dir: persist checkpoints to disk files (``<node_id>.ckpt``,
+        one :mod:`repro.persist` frame each) as well as memory.  Files
+        matching *current members* are loaded at construction, so a fresh
+        coordinator warm-starts from a previous incarnation's checkpoints:
+        :meth:`fail_node` replays them exactly like in-memory ones, and
+        :meth:`add_node` accepts a checkpoint file path as its
+        ``snapshot``.  Files are consumed and retired together with their
+        in-memory copies; files for node IDs outside the membership are
+        left on disk untouched (import them explicitly via
+        ``add_node(snapshot=<path>)``).
     """
 
     def __init__(
@@ -100,6 +112,7 @@ class ClusterCoordinator:
         batch_size: int = DEFAULT_BATCH_SIZE,
         replication: int = 1,
         checkpoint_interval: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -153,6 +166,36 @@ class ClusterCoordinator:
         self.checkpoints: Dict[str, bytes] = {}
         self._checkpoint_meta: Dict[str, dict] = {}
         self._checkpointed_at: Dict[str, int] = {}
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            for file in sorted(self.checkpoint_dir.glob("*.ckpt")):
+                if file.stem not in self.nodes:
+                    # A checkpoint for a node this membership does not have
+                    # (a previous incarnation's layout): leave it on disk —
+                    # replaying it automatically could resurrect state this
+                    # cluster never lost.  The operator imports it
+                    # explicitly via ``add_node(snapshot=<path>)``.
+                    continue
+                data = file.read_bytes()
+                try:
+                    snapshot = load_node_snapshot(data)
+                except Exception as error:
+                    raise ValueError(
+                        f"checkpoint file {file} is not a readable node "
+                        f"snapshot: {error}"
+                    ) from error
+                if snapshot.node_id != file.stem:
+                    raise ValueError(
+                        f"checkpoint file {file} holds a snapshot of node "
+                        f"{snapshot.node_id!r}, not {file.stem!r}; to import "
+                        "another node's state use add_node(snapshot=<path>)"
+                    )
+                self.checkpoints[file.stem] = data
+        # Export records handed over by graceful leavers, awaiting the next
+        # cluster-wide drain (a failed node's undrained exports die with it).
+        self._pending_exports: List[FlowRecord] = []
+        self.exports_drained = 0
         self.routed: Dict[str, int] = {node_id: 0 for node_id in node_ids}
         # Departed/failed nodes' final accounting, so the cluster-wide books
         # keep balancing after membership changes.
@@ -321,6 +364,13 @@ class ClusterCoordinator:
             raise KeyError(f"node {node_id!r} is not a member")
         data = dump_node_snapshot(node)
         self.checkpoints[node_id] = data
+        if self.checkpoint_dir is not None:
+            # Write-then-rename so a crash mid-write never leaves a torn
+            # frame where the next incarnation expects a checkpoint.
+            target = self.checkpoint_dir / f"{node_id}.ckpt"
+            scratch = target.with_name(target.name + ".tmp")
+            scratch.write_bytes(data)
+            os.replace(scratch, target)
         self._checkpointed_at[node_id] = node.completed
         self.checkpoints_taken += 1
         meta = {
@@ -332,12 +382,25 @@ class ClusterCoordinator:
             "packets": node.pipeline.packets if node.pipeline is not None else 0,
             "size_bytes": len(data),
         }
+        if self.checkpoint_dir is not None:
+            meta["path"] = str(self.checkpoint_dir / f"{node_id}.ckpt")
         self._checkpoint_meta[node_id] = meta
         return meta
 
     def checkpoint_all(self) -> List[dict]:
         """The window-close trigger: checkpoint every member now."""
         return [self.checkpoint_node(node_id) for node_id in sorted(self.nodes)]
+
+    def _take_checkpoint(self, node_id: str) -> Optional[bytes]:
+        """Consume a node's retained checkpoint (memory and disk file)."""
+        data = self.checkpoints.pop(node_id, None)
+        self._checkpoint_meta.pop(node_id, None)
+        if self.checkpoint_dir is not None:
+            try:
+                (self.checkpoint_dir / f"{node_id}.ckpt").unlink()
+            except FileNotFoundError:
+                pass
+        return data
 
     @property
     def checkpoint_bytes(self) -> int:
@@ -391,7 +454,11 @@ class ClusterCoordinator:
                 restored += 1
         return restored
 
-    def add_node(self, node_id: str, snapshot: Optional[Union[bytes, NodeSnapshot]] = None) -> dict:
+    def add_node(
+        self,
+        node_id: str,
+        snapshot: Optional[Union[bytes, str, Path, NodeSnapshot]] = None,
+    ) -> dict:
         """A node joins: ring arcs remap and the affected live flows follow.
 
         The new member takes over roughly ``1/N`` of the keyspace; every
@@ -401,8 +468,9 @@ class ClusterCoordinator:
         state instead of being miscounted as new flows.
 
         ``snapshot`` warm-starts the join from a :mod:`repro.persist` node
-        checkpoint (for example one taken before a failure that had no
-        automatic recovery path): the snapshot's flow records are restored
+        checkpoint — frame bytes, a decoded :class:`NodeSnapshot`, or the
+        path of a ``checkpoint_dir`` file (for example one retained by a
+        previous coordinator incarnation): the snapshot's flow records are restored
         onto their current ring owners — counted in ``flows_restored`` and
         credited against ``flows_lost`` — and its telemetry pipeline is
         merged into the joiner's.  Only pass a snapshot that recovers state
@@ -434,6 +502,8 @@ class ClusterCoordinator:
         outcome = self._rehome(moved)
         restored = 0
         if snapshot is not None:
+            if isinstance(snapshot, (str, Path)):
+                snapshot = Path(snapshot).read_bytes()
             if not isinstance(snapshot, NodeSnapshot):
                 snapshot = load_node_snapshot(snapshot)
             restored = self._restore_flows(snapshot.flows)
@@ -460,9 +530,11 @@ class ClusterCoordinator:
         """
         node = self._pop_member(node_id, action="remove")
         records = node.extract_flows()
+        # The leaver also hands over its undrained export stream, so a
+        # graceful departure loses no NetFlow records.
+        self._pending_exports.extend(node.drain_exported())
         self.ring.remove_node(node_id)
-        self.checkpoints.pop(node_id, None)
-        self._checkpoint_meta.pop(node_id, None)
+        self._take_checkpoint(node_id)
         self._checkpointed_at.pop(node_id, None)
         self._retire(node, reason="leave")
         outcome = self._rehome(records)
@@ -528,14 +600,14 @@ class ClusterCoordinator:
                     )
                     for piece in pieces:
                         recovered_pipeline.merge(piece)
-            if node_id in self.checkpoints:
+            checkpoint_data = self._take_checkpoint(node_id)
+            if checkpoint_data is not None:
                 # The replica plane is normally the fuller source, but it
                 # can cover less than a retained checkpoint (both sources
                 # are exact lower bounds on each flow): recover each flow
                 # from whichever saw more of it, and take the pipeline
                 # with the wider packet coverage.
-                snapshot = load_node_snapshot(self.checkpoints.pop(node_id))
-                self._checkpoint_meta.pop(node_id, None)
+                snapshot = load_node_snapshot(checkpoint_data)
                 used_checkpoint = False
                 for key, record in snapshot.flows:
                     if key not in live_keys:
@@ -562,8 +634,7 @@ class ClusterCoordinator:
             recovered_flows = list(merged.items())
         elif node_id in self.checkpoints:
             recovery = "checkpoint"
-            snapshot = load_node_snapshot(self.checkpoints.pop(node_id))
-            self._checkpoint_meta.pop(node_id, None)
+            snapshot = load_node_snapshot(self._take_checkpoint(node_id))
             recovered_flows = [
                 (key, record) for key, record in snapshot.flows if key in live_keys
             ]
@@ -795,6 +866,33 @@ class ClusterCoordinator:
         }
 
     # ------------------------------------------------------------------ #
+    # Cluster-wide NetFlow export
+    # ------------------------------------------------------------------ #
+
+    def drain_exported(self) -> List[FlowRecord]:
+        """The cluster-wide merged export stream: every record retired
+        anywhere in the fleet since the last drain, handed over exactly once.
+
+        Collects each alive node's drained export stream (see
+        :meth:`FlowStateTable.drain_exported
+        <repro.core.flow_state.FlowStateTable.drain_exported>`) plus the
+        records graceful leavers handed over on departure, ordered by
+        ``(last_seen_ps, first_seen_ps, key)`` so the stream an exporter
+        (e.g. :class:`~repro.trace.netflow.NetFlowV5Exporter`) emits is
+        deterministic under any node count.  A *failed* node's undrained
+        exports die with it — like its sketches, the loss is visible in
+        the books (its retired report still counts them as exported)
+        rather than papered over.
+        """
+        drained = list(self._pending_exports)
+        self._pending_exports.clear()
+        for node_id in sorted(self.nodes):
+            drained.extend(self.nodes[node_id].drain_exported())
+        drained.sort(key=lambda r: (r.last_seen_ps, r.first_seen_ps, r.key.pack()))
+        self.exports_drained += len(drained)
+        return drained
+
+    # ------------------------------------------------------------------ #
     # Cluster-wide telemetry
     # ------------------------------------------------------------------ #
 
@@ -840,8 +938,11 @@ class ClusterCoordinator:
             "replicated_packets": self.replicated_packets,
             "replica_memory_bytes": self.replica_memory_bytes,
             "checkpoint_interval": self.checkpoint_interval,
+            "checkpoint_dir": str(self.checkpoint_dir) if self.checkpoint_dir else None,
             "checkpoints_taken": self.checkpoints_taken,
             "checkpoint_bytes": self.checkpoint_bytes,
+            "exports_drained": self.exports_drained,
+            "exports_pending": len(self._pending_exports),
             "checkpoints": {
                 node_id: dict(meta) for node_id, meta in self._checkpoint_meta.items()
             },

@@ -118,6 +118,10 @@ class ClusterNode:
                 self.pipeline.flow_sizes.observe_flow(record.packets, record.bytes)
         return removed
 
+    def drain_exported(self) -> List[FlowRecord]:
+        """Drain this node's export stream (see the engine-level hook)."""
+        return self.engine.drain_exported()
+
     def finalize_telemetry(self) -> int:
         """Close the measurement window: size the flows still live here.
 
@@ -314,7 +318,9 @@ class ClusterNode:
             books["expired"] += state.expired
             books["adopted"] += state.adopted
             books["folded"] += state.folded
-            books["exported"] += len(state.exported)
+            # Records handed to a NetFlow exporter are still retired
+            # records; exported_total keeps the identity balanced.
+            books["exported"] += state.exported_total
         return books
 
     def report(self) -> dict:

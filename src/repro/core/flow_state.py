@@ -89,6 +89,7 @@ class FlowStateTable:
         self.expired = 0
         self.adopted = 0
         self.folded = 0
+        self.drained = 0
 
     @classmethod
     def from_state(
@@ -102,6 +103,7 @@ class FlowStateTable:
         expired: int = 0,
         adopted: int = 0,
         folded: int = 0,
+        drained: int = 0,
     ) -> "FlowStateTable":
         """Rebuild a table from snapshotted records and books.
 
@@ -115,13 +117,14 @@ class FlowStateTable:
                 raise ValueError(f"duplicate flow_id {record.flow_id} in snapshot")
             table._records[record.flow_id] = record
         table.exported = list(exported)
-        if min(created, updated, expired, adopted, folded) < 0:
+        if min(created, updated, expired, adopted, folded, drained) < 0:
             raise ValueError("flow-state counters must be non-negative")
         table.created = created
         table.updated = updated
         table.expired = expired
         table.adopted = adopted
         table.folded = folded
+        table.drained = drained
         return table
 
     def __len__(self) -> int:
@@ -166,6 +169,25 @@ class FlowStateTable:
         record.last_seen_ps = max(record.last_seen_ps, timestamp_ps)
         record.tcp_flags |= tcp_flags
         return record
+
+    def drain_exported(self) -> List[FlowRecord]:
+        """Hand the accumulated export stream to a consumer and clear it.
+
+        This is the NetFlow hook: terminated and expired records pile up
+        in :attr:`exported` until an exporter (e.g.
+        :class:`~repro.trace.netflow.NetFlowV5Exporter`) drains them into
+        datagrams.  The drained count is retained in :attr:`drained` so
+        the conservation books (``created == live + exported + ...``)
+        keep balancing after the hand-off — see :attr:`exported_total`.
+        """
+        drained, self.exported = self.exported, []
+        self.drained += len(drained)
+        return drained
+
+    @property
+    def exported_total(self) -> int:
+        """Every record ever exported: still queued plus already drained."""
+        return len(self.exported) + self.drained
 
     def remove(self, flow_id: int) -> Optional[FlowRecord]:
         """Remove and return a record (e.g. on FIN/RST termination)."""
@@ -245,5 +267,6 @@ class FlowStateTable:
             "adopted": self.adopted,
             "folded": self.folded,
             "exported": len(self.exported),
+            "drained": self.drained,
             "timeout_us": self.timeout_us,
         }

@@ -181,6 +181,23 @@ class ShardedFlowLUT:
             pairs.extend(shard.live_flow_pairs())
         return pairs
 
+    def drain_exported(self) -> List[FlowRecord]:
+        """Drain every shard's export stream, in flow-termination order.
+
+        The engine-level NetFlow hook: terminated and expired records are
+        collected across shards (each shard's stream is cleared — see
+        :meth:`~repro.core.flow_state.FlowStateTable.drain_exported`) and
+        returned ordered by ``(last_seen_ps, first_seen_ps, key)``, so an
+        exporter emits one deterministic record stream regardless of how
+        flows were sharded.
+        """
+        drained: List[FlowRecord] = []
+        for shard in self.shards:
+            if shard.flow_state is not None:
+                drained.extend(shard.flow_state.drain_exported())
+        drained.sort(key=lambda r: (r.last_seen_ps, r.first_seen_ps, r.key.pack()))
+        return drained
+
     def delete_flow(self, key_bytes: bytes) -> bool:
         """Remove one flow entry on its owning shard (routed, not fanned out)."""
         return self.shards[self.shard_of(key_bytes)].delete_flow(key_bytes)

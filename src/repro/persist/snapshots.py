@@ -371,7 +371,7 @@ def _encode_flow_state(table: FlowStateTable) -> bytes:
     writer = ByteWriter()
     writer.f64(table.timeout_us)
     writer.u64(table.created).u64(table.updated).u64(table.expired)
-    writer.u64(table.adopted).u64(table.folded)
+    writer.u64(table.adopted).u64(table.folded).u64(table.drained)
     live = sorted(table, key=lambda record: record.flow_id)
     writer.u32(len(live))
     for record in live:
@@ -386,16 +386,18 @@ def _decode_flow_state(reader: ByteReader, version: int) -> FlowStateTable:
     timeout_us = reader.f64()
     created, updated, expired = reader.u64(), reader.u64(), reader.u64()
     adopted, folded = reader.u64(), reader.u64()
+    # Version 1 predates the NetFlow export drain (PR 5): no drained counter.
+    drained = reader.u64() if version >= 2 else 0
     records = [_read_record(reader) for _ in range(reader.u32())]
     exported = [_read_record(reader) for _ in range(reader.u32())]
     return FlowStateTable.from_state(
         timeout_us=timeout_us, records=records, exported=exported,
         created=created, updated=updated, expired=expired,
-        adopted=adopted, folded=folded,
+        adopted=adopted, folded=folded, drained=drained,
     )
 
 
-_register(MAGIC_FLOW_STATE, 1, FlowStateTable)((_encode_flow_state, _decode_flow_state))
+_register(MAGIC_FLOW_STATE, 2, FlowStateTable)((_encode_flow_state, _decode_flow_state))
 
 
 # --------------------------------------------------------------------------- #

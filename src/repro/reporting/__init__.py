@@ -8,6 +8,7 @@ notebooks.
 """
 
 from repro.reporting.experiments import (
+    exact_top_k,
     merged_top_k,
     run_cluster_scaling,
     run_durability_comparison,
@@ -19,6 +20,7 @@ from repro.reporting.experiments import (
     run_table2a_load_balance,
     run_table2b_miss_rate,
     run_telemetry_scenarios,
+    run_trace_replay,
 )
 from repro.reporting.paper import PAPER_FIG3, PAPER_FIG6, PAPER_TABLE2A, PAPER_TABLE2B
 from repro.reporting.tables import format_comparison, format_table
@@ -28,6 +30,7 @@ __all__ = [
     "PAPER_FIG6",
     "PAPER_TABLE2A",
     "PAPER_TABLE2B",
+    "exact_top_k",
     "format_comparison",
     "format_table",
     "merged_top_k",
@@ -41,4 +44,5 @@ __all__ = [
     "run_table2a_load_balance",
     "run_table2b_miss_rate",
     "run_telemetry_scenarios",
+    "run_trace_replay",
 ]

@@ -415,6 +415,18 @@ def run_cluster_scaling(
     }
 
 
+def exact_top_k(packets: Iterable, top_k: int = 10) -> List[tuple]:
+    """The exact per-flow byte tally's top-k as ``(packed_key, bytes)``
+    pairs, ordered (count descending, then key) exactly like
+    :func:`merged_top_k` — the two sides of every top-k fidelity
+    assertion must share one tie-break or the comparison can flake."""
+    totals: dict = {}
+    for packet in packets:
+        key = packet.key.pack()
+        totals[key] = totals.get(key, 0) + packet.length_bytes
+    return sorted(totals.items(), key=lambda item: (-item[1], item[0]))[:top_k]
+
+
 def merged_top_k(coordinator: ClusterCoordinator, top_k: int = 10) -> List[tuple]:
     """The cluster-wide heavy-hitter top-k, deterministically ordered
     (count descending, then key — so ties cannot flake a comparison).
@@ -546,6 +558,144 @@ def run_durability_comparison(
         "top_k": top_k,
         "rows": rows,
     }
+
+
+def run_trace_replay(
+    scenario: str = "zipf_mix",
+    packet_count: int = 3000,
+    trace_path: Optional[str] = None,
+    shards: int = 4,
+    nodes: int = 3,
+    seed: int = 31,
+    config: Optional[FlowLUTConfig] = None,
+    batch_size: int = 512,
+    top_k: int = 10,
+    byte_order: str = "little",
+    resolution: str = "us",
+) -> dict:
+    """Record a scenario to pcap, replay the capture through all three
+    engine paths, and export the flow state as NetFlow v5.
+
+    The recorded capture becomes a ``trace:<path>`` scenario, so the
+    single-LUT, sharded and cluster paths replay it through exactly the
+    machinery that replays the synthetic original — one row per path,
+    each checked against the synthetic run's outcome totals (pcap stores
+    microsecond timestamps, but flow identity, packet order, lengths and
+    flags survive recording, so the books must match exactly).  The
+    cluster row also reports the merged heavy-hitter top-``top_k`` versus
+    the replayed stream's exact tally, and the NetFlow round trip: every
+    record the cluster exported, re-decoded from the spec-layout
+    datagrams.  Pass ``trace_path`` to replay an existing capture instead
+    of recording one (the synthetic-equivalence column then compares the
+    trace against itself and is trivially true).  There is no paper
+    reference — this is the interchange tier above the cluster layer.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.trace import NetFlowV5Exporter, decode_netflow_v5, read_pcap, write_pcap
+    from repro.trace.scenarios import PCAP_SUFFIXES, trace_packets
+    from repro.telemetry import TelemetryConfig
+
+    if packet_count <= 0:
+        raise ValueError("packet_count must be positive")
+    scratch: Optional[tempfile.TemporaryDirectory] = None
+    if trace_path is None:
+        scratch = tempfile.TemporaryDirectory(prefix="trace_replay_")
+    try:
+        if scratch is not None:
+            trace_path = f"{scratch.name}/{scenario}.pcap"
+            write_pcap(
+                trace_path,
+                generate_scenario(scenario, packet_count, seed=seed),
+                byte_order=byte_order,
+                resolution=resolution,
+            )
+            baseline = run_scenario_single(scenario, packet_count, seed=seed, config=config)
+        # pcap traces carry skip accounting; CSV traces (also valid
+        # trace:<path> inputs) just report their packet count.
+        if Path(trace_path).suffix.lower() in PCAP_SUFFIXES:
+            capture_stats = read_pcap(trace_path).stats()
+        else:
+            capture_stats = {"frames": len(trace_packets(trace_path)),
+                             "converted": len(trace_packets(trace_path))}
+        trace_name = f"trace:{trace_path}"
+
+        rows = []
+        single = run_scenario_single(trace_name, packet_count, config=config)
+        if scratch is None:
+            # Replaying an existing capture: the trace itself is the
+            # baseline, and the single-path replay already is that run.
+            baseline = single
+        rows.append(
+            {
+                "path": "single",
+                **single.totals(),
+                "throughput_mdesc_s": round(single.throughput_mdesc_s, 2),
+                "matches_synthetic": single.totals() == baseline.totals(),
+            }
+        )
+        sharded = run_scenario_sharded(
+            trace_name, packet_count, shards=shards, config=config, batch_size=batch_size
+        )
+        rows.append(
+            {
+                "path": f"sharded x{shards}",
+                **sharded.totals(),
+                "throughput_mdesc_s": round(sharded.throughput_mdesc_s, 2),
+                "matches_synthetic": sharded.totals() == baseline.totals(),
+            }
+        )
+
+        telemetry_config = TelemetryConfig(heavy_hitter_capacity=max(1024, 2 * packet_count))
+        coordinator = ClusterCoordinator(
+            nodes=nodes,
+            config=config,
+            telemetry_config=telemetry_config,
+            telemetry_seed=seed,
+            batch_size=batch_size,
+        )
+        replayed = generate_scenario(trace_name, packet_count)
+        coordinator.ingest(DescriptorExtractor().extract_many(replayed))
+        totals = coordinator.cluster_totals()
+
+        exact_top = exact_top_k(replayed, top_k)
+
+        # Close the window, expire everything, and round-trip the export
+        # stream through spec-layout NetFlow v5 datagrams.
+        any_node = next(iter(coordinator.nodes.values()))
+        coordinator.run_housekeeping(
+            replayed[-1].timestamp_ps + any_node.engine.shards[0].flow_state.timeout_ps + 1
+        )
+        exported = coordinator.drain_exported()
+        datagrams = NetFlowV5Exporter().export(exported)
+        decoded = decode_netflow_v5(datagrams)
+        netflow_ok = [
+            (record.key.pack(), record.packets, record.bytes) for record in exported
+        ] == [(record.key.pack(), record.packets, record.octets) for record in decoded]
+
+        rows.append(
+            {
+                "path": f"cluster x{nodes}",
+                **{k: totals[k] for k in ("completed", "hits", "misses", "new_flows")},
+                "throughput_mdesc_s": round(coordinator.throughput_mdesc_s, 2),
+                "matches_synthetic": totals == baseline.totals(),
+                f"top{top_k}_match": merged_top_k(coordinator, top_k) == exact_top,
+                "netflow_records": len(decoded),
+                "netflow_roundtrip": netflow_ok,
+            }
+        )
+        return {
+            "scenario": scenario,
+            "packet_count": packet_count,
+            "seed": seed,
+            "pcap": capture_stats,
+            "netflow_datagrams": len(datagrams),
+            "rows": rows,
+        }
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
 
 
 def run_sharded_scaling(

@@ -1,0 +1,86 @@
+"""Trace interchange: pcap-subset ingest, NetFlow-v5 export, trace replay.
+
+The reproduction's workloads were all synthetic until this package; now it
+speaks the two formats real flow-measurement deployments live on:
+
+* :mod:`repro.trace.pcap` — classic libpcap captures (both byte orders,
+  microsecond and nanosecond variants) converted to and from the internal
+  :class:`~repro.net.packet.Packet` stream.  Frames outside the
+  Ethernet → IPv4 → TCP/UDP subset are counted and skipped, never crashed
+  on.
+* :mod:`repro.trace.netflow` — spec-layout NetFlow version 5 datagrams
+  draining :attr:`FlowStateTable.exported
+  <repro.core.flow_state.FlowStateTable>` (and the cluster-wide merged
+  stream via :meth:`ClusterCoordinator.drain_exported
+  <repro.cluster.ClusterCoordinator.drain_exported>`), plus the matching
+  decoder for round-tripping.
+* :mod:`repro.trace.scenarios` — recorded captures as named workloads
+  (:func:`register_trace_scenario`) or ad-hoc ``trace:<path>`` scenario
+  descriptors, replayable through the single-LUT, sharded and cluster
+  engines interchangeably.
+
+Malformed input anywhere raises :class:`TraceFormatError` naming the
+offending offset or row; see :mod:`repro.trace.errors`.
+"""
+
+from repro.trace.errors import TraceFormatError
+from repro.trace.netflow import (
+    DEFAULT_RECORDS_PER_DATAGRAM,
+    HEADER_BYTES as NETFLOW_V5_HEADER_BYTES,
+    MAX_RECORDS_PER_DATAGRAM,
+    NETFLOW_V5_VERSION,
+    NetFlowV5Exporter,
+    NetFlowV5Record,
+    RECORD_BYTES as NETFLOW_V5_RECORD_BYTES,
+    decode_netflow_v5,
+    encode_netflow_v5,
+    parse_datagram,
+)
+from repro.trace.pcap import (
+    LINKTYPE_ETHERNET,
+    PCAP_MAGIC_NS,
+    PCAP_MAGIC_US,
+    PcapTrace,
+    build_pcap,
+    load_pcap_packets,
+    parse_pcap,
+    read_pcap,
+    snap_timestamps,
+    write_pcap,
+)
+from repro.trace.scenarios import (
+    TRACE_PREFIX,
+    clear_trace_cache,
+    register_trace_scenario,
+    trace_packets,
+    trace_scenario_spec,
+)
+
+__all__ = [
+    "DEFAULT_RECORDS_PER_DATAGRAM",
+    "LINKTYPE_ETHERNET",
+    "MAX_RECORDS_PER_DATAGRAM",
+    "NETFLOW_V5_HEADER_BYTES",
+    "NETFLOW_V5_RECORD_BYTES",
+    "NETFLOW_V5_VERSION",
+    "NetFlowV5Exporter",
+    "NetFlowV5Record",
+    "PCAP_MAGIC_NS",
+    "PCAP_MAGIC_US",
+    "PcapTrace",
+    "TRACE_PREFIX",
+    "TraceFormatError",
+    "build_pcap",
+    "clear_trace_cache",
+    "decode_netflow_v5",
+    "encode_netflow_v5",
+    "load_pcap_packets",
+    "parse_datagram",
+    "parse_pcap",
+    "read_pcap",
+    "register_trace_scenario",
+    "snap_timestamps",
+    "trace_packets",
+    "trace_scenario_spec",
+    "write_pcap",
+]

@@ -1,0 +1,22 @@
+"""The trace-interchange failure surface.
+
+Every reader and writer in :mod:`repro.trace` — and the CSV trace I/O in
+:mod:`repro.traffic.trace` — reports malformed input through one exception
+type, :class:`TraceFormatError`, with a message that names *where* the
+input went wrong (a byte offset for binary formats, a row number for CSV)
+instead of surfacing a bare ``struct.error`` or ``ValueError`` from the
+guts of the decoder.
+"""
+
+from __future__ import annotations
+
+
+class TraceFormatError(ValueError):
+    """A trace file or datagram cannot be read or produced.
+
+    Raised for structural problems — truncated headers, bad magics,
+    unsupported link types, counter overflow on export, malformed CSV
+    rows — always naming the offending offset, row or field.  Content
+    that is merely outside the supported subset (non-IP frames, non-
+    TCP/UDP protocols) is *not* an error: readers count and skip it.
+    """

@@ -1,0 +1,381 @@
+"""Classic-libpcap capture I/O over the internal :class:`~repro.net.packet.Packet` stream.
+
+The reproduction's native packet representation carries picosecond
+timestamps and a bare 5-tuple; real collectors speak *pcap*.  This module
+converts between the two for the classic libpcap container:
+
+* magic ``0xa1b2c3d4`` (microsecond) and ``0xa1b23c4d`` (nanosecond
+  libpcap variant), each in **both byte orders** — a capture written on a
+  big-endian box reads identically;
+* link type Ethernet only, with the Ethernet → IPv4 → TCP/UDP subset
+  decoded into :class:`~repro.net.fivetuple.FlowKey` 5-tuples.  Frames
+  outside the subset (ARP, IPv6, ICMP, frames snapped too short to parse)
+  are **counted and skipped, never crashed on** — only structural damage
+  to the file itself (truncated headers, bodies shorter than their
+  declared capture length, unknown link types) raises
+  :class:`~repro.trace.errors.TraceFormatError`, always naming the byte
+  offset.
+
+Timestamps: pcap stores seconds plus a micro- or nanosecond fraction, so
+writing quantizes the internal picosecond clock to the file's resolution
+(floor).  :func:`snap_timestamps` applies the same quantization in memory
+— ``read_pcap(write_pcap(p)) == snap_timestamps(p)`` exactly, and a
+second write → read round trip is byte-identical.  Packet *lengths* are
+carried losslessly through the record header's ``orig_len`` field while
+the stored frame bytes stay snapped to the synthesized headers, which
+keeps captures tiny (the golden fixtures under ``tests/fixtures/`` stay
+below 10 KB).
+
+See :mod:`repro.traffic.trace` for the ad-hoc CSV sibling format and
+:mod:`repro.trace.scenarios` for replaying captures through the engines.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.net.fivetuple import FlowKey, PROTO_TCP, PROTO_UDP
+from repro.net.packet import Packet
+from repro.trace.errors import TraceFormatError
+
+PathLike = Union[str, Path]
+
+PCAP_MAGIC_US = 0xA1B2C3D4
+"""Classic libpcap magic: timestamp fractions are microseconds."""
+
+PCAP_MAGIC_NS = 0xA1B23C4D
+"""Nanosecond-resolution libpcap variant magic."""
+
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+DEFAULT_SNAPLEN = 65_535
+
+GLOBAL_HEADER_BYTES = 24
+RECORD_HEADER_BYTES = 16
+
+PS_PER_SECOND = 10**12
+_FRACTION_PS = {"us": 10**6, "ns": 10**3}
+
+ETHERTYPE_IPV4 = 0x0800
+_ETH_HEADER_BYTES = 14
+_ETH_TRAILER_BYTES = 4  # FCS, part of Packet.length_bytes but never captured
+_SRC_MAC = bytes.fromhex("020000000001")
+_DST_MAC = bytes.fromhex("020000000002")
+
+
+@dataclass
+class PcapTrace:
+    """One decoded capture: the converted packets plus the skip accounting.
+
+    ``frames`` counts every record in the file; ``packets`` holds the
+    frames inside the Ethernet → IPv4 → TCP/UDP subset.  The three skip
+    counters say where the rest went — they always satisfy
+    ``frames == len(packets) + skipped_non_ip + skipped_non_transport +
+    skipped_malformed``.
+    """
+
+    packets: List[Packet] = field(default_factory=list)
+    byte_order: str = "little"
+    resolution: str = "us"
+    linktype: int = LINKTYPE_ETHERNET
+    snaplen: int = DEFAULT_SNAPLEN
+    frames: int = 0
+    skipped_non_ip: int = 0
+    """Frames whose ethertype is not IPv4 (ARP, IPv6, VLAN, ...)."""
+    skipped_non_transport: int = 0
+    """IPv4 frames carrying a protocol other than TCP or UDP (ICMP, ...)."""
+    skipped_malformed: int = 0
+    """Frames snapped too short to parse, or with nonsensical headers."""
+
+    @property
+    def converted(self) -> int:
+        return len(self.packets)
+
+    def stats(self) -> dict:
+        return {
+            "frames": self.frames,
+            "converted": self.converted,
+            "skipped_non_ip": self.skipped_non_ip,
+            "skipped_non_transport": self.skipped_non_transport,
+            "skipped_malformed": self.skipped_malformed,
+            "byte_order": self.byte_order,
+            "resolution": self.resolution,
+            "linktype": self.linktype,
+        }
+
+
+def snap_timestamps(packets: Iterable[Packet], resolution: str = "us") -> List[Packet]:
+    """Quantize picosecond timestamps to what a pcap file can hold.
+
+    Flooring to the file resolution is exactly what :func:`write_pcap`
+    does, so ``read_pcap(write_pcap(packets)) == snap_timestamps(packets)``
+    field-for-field — the round-trip identity the test battery asserts.
+    """
+    unit = _fraction_ps(resolution)
+    return [
+        packet if packet.timestamp_ps % unit == 0
+        else replace(packet, timestamp_ps=(packet.timestamp_ps // unit) * unit)
+        for packet in packets
+    ]
+
+
+def _fraction_ps(resolution: str) -> int:
+    unit = _FRACTION_PS.get(resolution)
+    if unit is None:
+        raise TraceFormatError(
+            f"unknown pcap resolution {resolution!r}; use 'us' or 'ns'"
+        )
+    return unit
+
+
+def _struct_prefix(byte_order: str) -> str:
+    if byte_order == "little":
+        return "<"
+    if byte_order == "big":
+        return ">"
+    raise TraceFormatError(
+        f"unknown byte order {byte_order!r}; use 'little' or 'big'"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Writing
+# --------------------------------------------------------------------------- #
+
+
+def _ipv4_checksum(header: bytes) -> int:
+    total = 0
+    for index in range(0, len(header), 2):
+        total += (header[index] << 8) | header[index + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def _synthesize_frame(packet: Packet, index: int) -> bytes:
+    """The captured bytes for one packet: Ethernet → IPv4 → TCP/UDP headers.
+
+    Only the headers are stored (like a collector snapping at the L4
+    boundary); the packet's true on-wire length travels in ``orig_len``.
+    """
+    key = packet.key
+    if key.protocol == PROTO_TCP:
+        l4 = struct.pack(
+            ">HHIIBBHHH",
+            key.src_port, key.dst_port,
+            0, 0,                       # seq / ack: not modelled
+            5 << 4,                     # data offset 5 words
+            packet.tcp_flags,
+            0xFFFF, 0, 0,               # window, checksum (unused), urgent
+        )
+    elif key.protocol == PROTO_UDP:
+        payload = max(0, packet.length_bytes - _ETH_HEADER_BYTES - _ETH_TRAILER_BYTES - 28)
+        l4 = struct.pack(">HHHH", key.src_port, key.dst_port, min(0xFFFF, 8 + payload), 0)
+    else:
+        raise TraceFormatError(
+            f"packet {index}: protocol {key.protocol} is outside the "
+            "TCP/UDP subset the pcap writer synthesizes"
+        )
+    total_length = min(
+        0xFFFF,
+        max(20 + len(l4), packet.length_bytes - _ETH_HEADER_BYTES - _ETH_TRAILER_BYTES),
+    )
+    ip = bytearray(
+        struct.pack(
+            ">BBHHHBBHII",
+            0x45, 0,                    # version/IHL, TOS
+            total_length,
+            index & 0xFFFF, 0,          # identification, flags/fragment
+            64, key.protocol, 0,        # TTL, protocol, checksum placeholder
+            key.src_ip, key.dst_ip,
+        )
+    )
+    struct.pack_into(">H", ip, 10, _ipv4_checksum(bytes(ip)))
+    return _DST_MAC + _SRC_MAC + struct.pack(">H", ETHERTYPE_IPV4) + bytes(ip) + l4
+
+
+def build_pcap(
+    packets: Sequence[Packet],
+    byte_order: str = "little",
+    resolution: str = "us",
+    snaplen: int = DEFAULT_SNAPLEN,
+) -> bytes:
+    """Serialize packets to classic-pcap bytes (see :func:`write_pcap`)."""
+    prefix = _struct_prefix(byte_order)
+    unit = _fraction_ps(resolution)
+    if snaplen <= 0:
+        raise TraceFormatError(f"pcap snaplen must be positive, got {snaplen}")
+    magic = PCAP_MAGIC_US if resolution == "us" else PCAP_MAGIC_NS
+    out = bytearray(
+        struct.pack(
+            prefix + "IHHiIII",
+            magic, *PCAP_VERSION, 0, 0, snaplen, LINKTYPE_ETHERNET,
+        )
+    )
+    for index, packet in enumerate(packets):
+        seconds, remainder = divmod(packet.timestamp_ps, PS_PER_SECOND)
+        if not 0 <= seconds <= 0xFFFFFFFF:
+            raise TraceFormatError(
+                f"packet {index}: timestamp {packet.timestamp_ps} ps does not "
+                "fit the pcap 32-bit seconds field"
+            )
+        # Honour the declared snaplen, and never let the stored bytes
+        # exceed the on-wire length (incl_len <= orig_len is the classic
+        # pcap invariant real consumers enforce): frames snap to the
+        # smaller of the two, reading back as skipped_malformed when the
+        # cut lands inside the header chain.
+        frame = _synthesize_frame(packet, index)[: min(snaplen, packet.length_bytes)]
+        out += struct.pack(
+            prefix + "IIII",
+            seconds, remainder // unit, len(frame), packet.length_bytes,
+        )
+        out += frame
+    return bytes(out)
+
+
+def write_pcap(
+    path: PathLike,
+    packets: Sequence[Packet],
+    byte_order: str = "little",
+    resolution: str = "us",
+    snaplen: int = DEFAULT_SNAPLEN,
+) -> int:
+    """Write a classic-pcap capture of ``packets``; returns frames written.
+
+    ``byte_order`` picks the file's endianness (both read back
+    identically); ``resolution`` picks the microsecond (classic magic
+    ``0xa1b2c3d4``) or nanosecond (``0xa1b23c4d``) timestamp variant.
+    Timestamps are floored to that resolution — see :func:`snap_timestamps`.
+    """
+    data = build_pcap(packets, byte_order=byte_order, resolution=resolution, snaplen=snaplen)
+    Path(path).write_bytes(data)
+    return len(packets)
+
+
+# --------------------------------------------------------------------------- #
+# Reading
+# --------------------------------------------------------------------------- #
+
+
+def _decode_frame(frame: bytes, orig_len: int, timestamp_ps: int, trace: PcapTrace) -> None:
+    """Convert one captured frame, or count why it was skipped."""
+    if len(frame) < _ETH_HEADER_BYTES or orig_len <= 0:
+        trace.skipped_malformed += 1
+        return
+    ethertype = (frame[12] << 8) | frame[13]
+    if ethertype != ETHERTYPE_IPV4:
+        trace.skipped_non_ip += 1
+        return
+    if len(frame) < _ETH_HEADER_BYTES + 20:
+        trace.skipped_malformed += 1
+        return
+    ip = frame[_ETH_HEADER_BYTES:]
+    version, ihl = ip[0] >> 4, (ip[0] & 0x0F) * 4
+    if version != 4 or ihl < 20 or len(ip) < ihl:
+        trace.skipped_malformed += 1
+        return
+    protocol = ip[9]
+    src_ip = int.from_bytes(ip[12:16], "big")
+    dst_ip = int.from_bytes(ip[16:20], "big")
+    l4 = ip[ihl:]
+    if protocol == PROTO_TCP:
+        if len(l4) < 14:
+            trace.skipped_malformed += 1
+            return
+        src_port = (l4[0] << 8) | l4[1]
+        dst_port = (l4[2] << 8) | l4[3]
+        tcp_flags = l4[13]
+    elif protocol == PROTO_UDP:
+        if len(l4) < 8:
+            trace.skipped_malformed += 1
+            return
+        src_port = (l4[0] << 8) | l4[1]
+        dst_port = (l4[2] << 8) | l4[3]
+        tcp_flags = 0
+    else:
+        trace.skipped_non_transport += 1
+        return
+    trace.packets.append(
+        Packet(
+            key=FlowKey(
+                src_ip=src_ip, dst_ip=dst_ip,
+                src_port=src_port, dst_port=dst_port, protocol=protocol,
+            ),
+            length_bytes=orig_len,
+            timestamp_ps=timestamp_ps,
+            tcp_flags=tcp_flags,
+        )
+    )
+
+
+def parse_pcap(data: bytes) -> PcapTrace:
+    """Decode classic-pcap bytes into a :class:`PcapTrace` (see :func:`read_pcap`)."""
+    if len(data) < GLOBAL_HEADER_BYTES:
+        raise TraceFormatError(
+            f"pcap global header truncated: {len(data)} bytes, need {GLOBAL_HEADER_BYTES}"
+        )
+    raw_magic = data[:4]
+    candidates = {
+        struct.pack("<I", PCAP_MAGIC_US): ("little", "us"),
+        struct.pack(">I", PCAP_MAGIC_US): ("big", "us"),
+        struct.pack("<I", PCAP_MAGIC_NS): ("little", "ns"),
+        struct.pack(">I", PCAP_MAGIC_NS): ("big", "ns"),
+    }
+    if raw_magic not in candidates:
+        raise TraceFormatError(
+            f"unrecognised pcap magic {raw_magic.hex()} at offset 0; expected "
+            f"{PCAP_MAGIC_US:#010x} or {PCAP_MAGIC_NS:#010x} in either byte order"
+        )
+    byte_order, resolution = candidates[raw_magic]
+    prefix = _struct_prefix(byte_order)
+    unit = _fraction_ps(resolution)
+    _, _, _, _, _, snaplen, linktype = struct.unpack_from(prefix + "IHHiIII", data)
+    if linktype != LINKTYPE_ETHERNET:
+        raise TraceFormatError(
+            f"unsupported pcap link type {linktype} at offset 20; only "
+            f"Ethernet ({LINKTYPE_ETHERNET}) frames can be decoded"
+        )
+    trace = PcapTrace(
+        byte_order=byte_order, resolution=resolution, linktype=linktype, snaplen=snaplen
+    )
+    offset = GLOBAL_HEADER_BYTES
+    record = struct.Struct(prefix + "IIII")
+    while offset < len(data):
+        if offset + RECORD_HEADER_BYTES > len(data):
+            raise TraceFormatError(
+                f"pcap record header truncated at offset {offset} (frame "
+                f"{trace.frames}): {len(data) - offset} bytes of "
+                f"{RECORD_HEADER_BYTES} present"
+            )
+        seconds, fraction, incl_len, orig_len = record.unpack_from(data, offset)
+        offset += RECORD_HEADER_BYTES
+        if offset + incl_len > len(data):
+            raise TraceFormatError(
+                f"pcap frame {trace.frames} body truncated at offset {offset}: "
+                f"header declares {incl_len} bytes, {len(data) - offset} remain"
+            )
+        frame = data[offset : offset + incl_len]
+        offset += incl_len
+        trace.frames += 1
+        _decode_frame(frame, orig_len, seconds * PS_PER_SECOND + fraction * unit, trace)
+    return trace
+
+
+def read_pcap(path: PathLike) -> PcapTrace:
+    """Read a classic-pcap capture into packets plus skip accounting.
+
+    Both byte orders and both timestamp resolutions are auto-detected
+    from the magic.  Frames outside the Ethernet → IPv4 → TCP/UDP subset
+    are counted in the returned :class:`PcapTrace`, never raised on;
+    structural damage raises :class:`~repro.trace.errors.TraceFormatError`
+    naming the byte offset.
+    """
+    return parse_pcap(Path(path).read_bytes())
+
+
+def load_pcap_packets(path: PathLike) -> List[Packet]:
+    """Just the converted packets of a capture (skip accounting dropped)."""
+    return read_pcap(path).packets

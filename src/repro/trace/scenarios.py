@@ -1,0 +1,143 @@
+"""Trace-backed scenarios: recorded captures as first-class workloads.
+
+The scenario registry (:mod:`repro.traffic.scenarios`) catalogues
+*synthetic* workloads; this module lets any recorded capture join them, so
+the single-LUT, sharded and cluster paths can replay real traffic through
+exactly the machinery that replays ``zipf_mix``:
+
+* :func:`register_trace_scenario` registers a capture under a name —
+  ``generate_scenario(name, count)`` then replays it (cycling when the
+  request outruns the recording);
+* the ``trace:<path>`` descriptor form resolves a capture *without*
+  registration — ``run_scenario_single("trace:/tmp/capture.pcap", n)``
+  just works (:func:`~repro.traffic.scenarios.get_scenario` hands these
+  names to :func:`trace_scenario_spec`).
+
+Files ending in ``.pcap``/``.cap`` are read as classic libpcap
+(:mod:`repro.trace.pcap`); anything else as the CSV trace format
+(:mod:`repro.traffic.trace`).  Loaded captures are cached per
+``(path, size, mtime)``, so replaying one recording through three engine
+paths parses it once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.trace.errors import TraceFormatError
+from repro.trace.pcap import load_pcap_packets
+from repro.traffic.scenarios import ScenarioSpec, register_scenario
+from repro.traffic.scenarios import _MEAN_GAP_PS as _DEFAULT_CYCLE_GAP_PS
+
+TRACE_PREFIX = "trace:"
+PCAP_SUFFIXES = {".pcap", ".cap"}
+
+_CACHE_ENTRIES = 16
+_CACHE: "OrderedDict[Tuple[str, int, int], List[Packet]]" = OrderedDict()
+
+
+def trace_packets(path) -> List[Packet]:
+    """Load a capture (pcap by suffix, CSV otherwise), memoized per file state.
+
+    The memo is a small LRU keyed by ``(path, size, mtime)`` — enough that
+    replaying one recording through several engine paths parses it once,
+    bounded so sweeps over many ephemeral captures cannot grow it without
+    limit.
+    """
+    resolved = Path(path)
+    try:
+        stat = resolved.stat()
+    except OSError as error:
+        raise TraceFormatError(f"trace file {resolved} cannot be read: {error}") from error
+    cache_key = (str(resolved), stat.st_size, stat.st_mtime_ns)
+    packets = _CACHE.get(cache_key)
+    if packets is None:
+        if resolved.suffix.lower() in PCAP_SUFFIXES:
+            packets = load_pcap_packets(resolved)
+        else:
+            from repro.traffic.trace import load_trace
+
+            packets = load_trace(resolved)
+        _CACHE[cache_key] = packets
+        while len(_CACHE) > _CACHE_ENTRIES:
+            _CACHE.popitem(last=False)
+    else:
+        _CACHE.move_to_end(cache_key)
+    return packets
+
+
+def clear_trace_cache() -> None:
+    """Drop every memoized capture (tests that rewrite files in place)."""
+    _CACHE.clear()
+
+
+def _replay(packets: List[Packet], count: int, start_ps: int, source: str) -> List[Packet]:
+    """``count`` packets of a recording, rebased to ``start_ps``.
+
+    The recording's relative timeline is preserved — including any local
+    reordering a multi-queue capture recorded — but it is rebased off its
+    *earliest* timestamp, so the replayed clock never goes below
+    ``start_ps``, and when the request outruns the recording it loops
+    with each cycle shifted past the previous one by the recording's full
+    span plus its mean packet gap, so cycles never rewind the clock.
+    """
+    if count == 0:
+        return []
+    if not packets:
+        raise TraceFormatError(f"trace {source} holds no replayable packets")
+    base = min(packet.timestamp_ps for packet in packets)
+    duration = max(packet.timestamp_ps for packet in packets) - base
+    gap = duration // (len(packets) - 1) if len(packets) > 1 else _DEFAULT_CYCLE_GAP_PS
+    cycle_ps = duration + max(1, gap)
+    out: List[Packet] = []
+    for index in range(count):
+        cycle, position = divmod(index, len(packets))
+        packet = packets[position]
+        out.append(
+            replace(
+                packet,
+                timestamp_ps=start_ps + (packet.timestamp_ps - base) + cycle * cycle_ps,
+            )
+        )
+    return out
+
+
+def trace_scenario_spec(path, name: Optional[str] = None, description: Optional[str] = None) -> ScenarioSpec:
+    """An *unregistered* scenario spec replaying the capture at ``path``.
+
+    This is what ``trace:<path>`` descriptors resolve to: the spec behaves
+    exactly like a registered one (deterministic — the builder ignores the
+    RNG because the recording already fixes the stream) but does not enter
+    the registry, so ``list_scenarios()`` stays the curated catalogue.
+    """
+    source = str(path)
+
+    def builder(count: int, rng, start_ps: int) -> List[Packet]:
+        return _replay(trace_packets(source), count, start_ps, source)
+
+    return ScenarioSpec(
+        name=name or f"{TRACE_PREFIX}{source}",
+        description=description
+        or f"Replay of the recorded capture {source} (cycled when count exceeds it).",
+        builder=builder,
+    )
+
+
+def register_trace_scenario(name: str, path, description: Optional[str] = None) -> ScenarioSpec:
+    """Register the capture at ``path`` as the named scenario.
+
+    The file is parsed eagerly once (so a bad path or a corrupt capture
+    fails here, not inside a benchmark loop) and the resulting scenario
+    replays it like any synthetic workload.  Use
+    :func:`~repro.traffic.scenarios.unregister_scenario` to retire it.
+    """
+    packets = trace_packets(path)
+    if not packets:
+        raise TraceFormatError(f"trace {path} holds no replayable packets")
+    spec = trace_scenario_spec(path, name=name, description=description)
+    register_scenario(name, spec.description)(spec.builder)
+    return spec

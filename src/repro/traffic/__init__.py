@@ -40,8 +40,9 @@ from repro.traffic.scenarios import (
     register_scenario,
     scenario_descriptors,
     scenario_specs,
+    unregister_scenario,
 )
-from repro.traffic.trace import read_trace_csv, write_trace_csv
+from repro.traffic.trace import load_trace, read_trace_csv, write_trace_csv
 
 __all__ = [
     "PatternDescriptor",
@@ -55,6 +56,7 @@ __all__ = [
     "generate_scenario",
     "get_scenario",
     "list_scenarios",
+    "load_trace",
     "match_rate_workload",
     "random_flow_keys",
     "random_hash_patterns",
@@ -62,5 +64,6 @@ __all__ = [
     "register_scenario",
     "scenario_descriptors",
     "scenario_specs",
+    "unregister_scenario",
     "write_trace_csv",
 ]

@@ -21,6 +21,11 @@ deterministic packet stream for a given seed:
 Each scenario is a builder ``(count, rng, start_ps) -> packets`` registered
 with :func:`register_scenario`; :func:`generate_scenario` seeds the RNG so
 the same name and seed always reproduce the same stream.
+
+Recorded captures join the catalogue through :mod:`repro.trace.scenarios`:
+:func:`~repro.trace.scenarios.register_trace_scenario` registers a pcap or
+CSV trace under a name, and ``trace:<path>`` names resolve on the fly
+without registration.
 """
 
 from __future__ import annotations
@@ -62,6 +67,14 @@ def register_scenario(name: str, description: str):
     return decorator
 
 
+def unregister_scenario(name: str) -> None:
+    """Retire a registered scenario (trace-backed scenarios come and go
+    with their recordings; the built-in catalogue normally stays put)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"scenario {name!r} is not registered")
+    del _REGISTRY[name]
+
+
 def list_scenarios() -> List[str]:
     """All registered scenario names, in registration order."""
     return list(_REGISTRY)
@@ -73,6 +86,13 @@ def scenario_specs() -> List[ScenarioSpec]:
 
 def get_scenario(name: str) -> ScenarioSpec:
     spec = _REGISTRY.get(name)
+    if spec is None and name.startswith("trace:"):
+        # A ``trace:<path>`` descriptor resolves to an ephemeral spec
+        # replaying the capture at <path> — no registration needed, and
+        # an explicitly registered scenario of the same name wins above.
+        from repro.trace.scenarios import trace_scenario_spec
+
+        return trace_scenario_spec(name[len("trace:"):])
     if spec is None:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}")

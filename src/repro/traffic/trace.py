@@ -1,8 +1,16 @@
-"""Trace file I/O.
+"""Trace file I/O (the ad-hoc CSV interchange format).
 
 Experiments that want a fixed, shareable workload (rather than regenerating
 packets from a seed) can serialise packet streams to a simple CSV format:
 ``timestamp_ps,src_ip,dst_ip,src_port,dst_port,protocol,length,tcp_flags``.
+
+For interchange with real tooling use :mod:`repro.trace` instead: classic
+libpcap captures (:mod:`repro.trace.pcap`) and NetFlow v5 export
+(:mod:`repro.trace.netflow`).  Both formats — and this one — replay
+through the engines via :mod:`repro.trace.scenarios` (a ``trace:<path>``
+scenario name reads pcap or CSV by file suffix).  Malformed rows raise
+:class:`~repro.trace.errors.TraceFormatError` naming the row, matching
+the binary readers' failure surface.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Iterable, Iterator, List, Union
 
 from repro.net.fivetuple import FlowKey
 from repro.net.packet import Packet
+from repro.trace.errors import TraceFormatError
 
 PathLike = Union[str, Path]
 
@@ -53,26 +62,52 @@ def write_trace_csv(path: PathLike, packets: Iterable[Packet]) -> int:
 
 
 def read_trace_csv(path: PathLike) -> Iterator[Packet]:
-    """Stream packets back from a CSV trace written by :func:`write_trace_csv`."""
+    """Stream packets back from a CSV trace written by :func:`write_trace_csv`.
+
+    A row with a missing, non-integer or out-of-range field raises
+    :class:`~repro.trace.errors.TraceFormatError` naming the 1-based data
+    row and the offending field, instead of a bare ``ValueError`` from
+    ``int()`` or the :class:`~repro.net.packet.Packet` validators.
+    """
     with open(path, newline="") as handle:
         reader = csv.DictReader(handle)
         missing = [field for field in _FIELDS if field not in (reader.fieldnames or [])]
         if missing:
-            raise ValueError(f"trace file {path} is missing columns: {missing}")
-        for row in reader:
-            key = FlowKey(
-                src_ip=int(row["src_ip"]),
-                dst_ip=int(row["dst_ip"]),
-                src_port=int(row["src_port"]),
-                dst_port=int(row["dst_port"]),
-                protocol=int(row["protocol"]),
-            )
-            yield Packet(
-                key=key,
-                length_bytes=int(row["length_bytes"]),
-                timestamp_ps=int(row["timestamp_ps"]),
-                tcp_flags=int(row["tcp_flags"]),
-            )
+            raise TraceFormatError(f"trace file {path} is missing columns: {missing}")
+        for index, row in enumerate(reader, start=1):
+            values = {}
+            for field in _FIELDS:
+                cell = row.get(field)
+                if cell is None:
+                    raise TraceFormatError(
+                        f"trace file {path} row {index}: column {field!r} is missing"
+                    )
+                try:
+                    values[field] = int(cell)
+                except ValueError:
+                    raise TraceFormatError(
+                        f"trace file {path} row {index}: column {field!r} holds "
+                        f"{cell!r}, expected an integer"
+                    ) from None
+            try:
+                key = FlowKey(
+                    src_ip=values["src_ip"],
+                    dst_ip=values["dst_ip"],
+                    src_port=values["src_port"],
+                    dst_port=values["dst_port"],
+                    protocol=values["protocol"],
+                )
+                packet = Packet(
+                    key=key,
+                    length_bytes=values["length_bytes"],
+                    timestamp_ps=values["timestamp_ps"],
+                    tcp_flags=values["tcp_flags"],
+                )
+            except ValueError as error:
+                raise TraceFormatError(
+                    f"trace file {path} row {index}: {error}"
+                ) from None
+            yield packet
 
 
 def load_trace(path: PathLike) -> List[Packet]:

@@ -458,3 +458,136 @@ def test_fail_unknown_node_raises_keyerror():
     coordinator = ClusterCoordinator(nodes=2, config=CONFIG, telemetry=False)
     with pytest.raises(KeyError):
         coordinator.fail_node("ghost")
+
+
+# --------------------------------------------------------------------------- #
+# Disk-file checkpoints (``checkpoint_dir``)
+# --------------------------------------------------------------------------- #
+
+
+def test_checkpoint_dir_writes_loadable_frames(tmp_path):
+    coordinator = ClusterCoordinator(
+        nodes=3, config=CONFIG, telemetry_seed=11, checkpoint_dir=tmp_path
+    )
+    coordinator.ingest(scenario_descriptors("node_failover", 600, seed=11))
+    metas = coordinator.checkpoint_all()
+    files = sorted(tmp_path.glob("*.ckpt"))
+    assert [f.stem for f in files] == sorted(coordinator.nodes)
+    for meta, file in zip(metas, files):
+        assert meta["path"] == str(file)
+        # The file is byte-identical to the in-memory checkpoint and decodes
+        # to the same snapshot (a full pack_frame round trip through disk).
+        data = file.read_bytes()
+        assert data == coordinator.checkpoints[file.stem]
+        snapshot = load_node_snapshot(data)
+        assert snapshot.node_id == file.stem
+        assert snapshot.completed == meta["completed"]
+        assert len([r for _, r in snapshot.flows if r is not None]) == meta["flows"]
+    # No scratch files left behind by the write-then-rename.
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_checkpoint_files_are_consumed_with_their_nodes(tmp_path):
+    coordinator = ClusterCoordinator(
+        nodes=3, config=CONFIG, telemetry_seed=12, checkpoint_dir=tmp_path,
+        checkpoint_interval=100, batch_size=50,
+    )
+    descriptors = scenario_descriptors("zipf_mix", 600, seed=12)
+    coordinator.ingest(descriptors[:400])
+    coordinator.checkpoint_all()  # the interval may not have hit every node
+    assert sorted(f.stem for f in tmp_path.glob("*.ckpt")) == sorted(coordinator.nodes)
+    victim = _busiest(coordinator)
+    event = coordinator.fail_node(victim)
+    assert event["recovery"] == "checkpoint"
+    assert not (tmp_path / f"{victim}.ckpt").exists()  # replayed and consumed
+    survivor = sorted(coordinator.nodes)[0]
+    coordinator.remove_node(survivor)
+    assert not (tmp_path / f"{survivor}.ckpt").exists()  # retired with the leaver
+    coordinator.ingest(descriptors[400:])
+    _assert_balanced(coordinator, 600)
+
+
+def test_fresh_coordinator_warm_starts_from_disk_checkpoints(tmp_path):
+    descriptors = scenario_descriptors("node_failover", 800, seed=13)
+    first = ClusterCoordinator(
+        nodes=3, config=CONFIG, telemetry_seed=13, checkpoint_dir=tmp_path
+    )
+    first.ingest(descriptors[:400])
+    first.checkpoint_all()
+    # The process "crashes" here; a new incarnation points at the same dir.
+    second = ClusterCoordinator(
+        nodes=3, config=CONFIG, telemetry_seed=13, checkpoint_dir=tmp_path
+    )
+    assert sorted(second.checkpoints) == sorted(first.nodes)
+    second.ingest(descriptors[:400])  # re-learn the same stream segment
+    victim = _busiest(second)
+    at_risk = second.nodes[victim].active_flows
+    event = second.fail_node(victim)
+    assert event["recovery"] == "checkpoint"
+    assert event["restored"] > 0
+    assert event["lost"] < at_risk  # the disk checkpoint shrank the loss
+    second.ingest(descriptors[400:])
+    _assert_balanced(second, 800)
+
+
+def test_add_node_warm_starts_from_a_checkpoint_file(tmp_path):
+    descriptors = scenario_descriptors("node_failover", 600, seed=14)
+    first = ClusterCoordinator(
+        nodes=3, config=CONFIG, telemetry_seed=14, checkpoint_dir=tmp_path
+    )
+    first.ingest(descriptors)
+    first.checkpoint_all()
+    victim = _busiest(first)
+    saved_flows = first.nodes[victim].active_flows
+    assert saved_flows > 0
+    path = tmp_path / f"{victim}.ckpt"
+
+    # A different cluster (no checkpoint_dir of its own) imports the
+    # retained *file* directly through add_node's snapshot parameter.
+    second = ClusterCoordinator(nodes=2, config=CONFIG, telemetry_seed=14)
+    event = second.add_node("joiner", snapshot=path)
+    assert event["restored"] == saved_flows
+    assert second.flows_restored == saved_flows
+    assert second.active_flows == saved_flows
+    books = second.flow_books()
+    assert books["balanced"], books
+
+
+def test_corrupt_checkpoint_file_fails_construction_clearly(tmp_path):
+    (tmp_path / "node0.ckpt").write_bytes(b"not a frame")
+    with pytest.raises(ValueError, match="node0.ckpt is not a readable node snapshot"):
+        ClusterCoordinator(nodes=2, config=CONFIG, checkpoint_dir=tmp_path)
+
+
+def test_foreign_checkpoint_files_are_left_on_disk_not_adopted(tmp_path):
+    first = ClusterCoordinator(
+        nodes=["node0", "node1", "retired9"], config=CONFIG,
+        telemetry_seed=15, checkpoint_dir=tmp_path,
+    )
+    first.ingest(scenario_descriptors("zipf_mix", 300, seed=15))
+    first.checkpoint_all()
+    # A new incarnation with a smaller membership must not adopt the
+    # departed node's file: replaying it could resurrect state this
+    # cluster never lost.  It stays on disk for an explicit import.
+    second = ClusterCoordinator(
+        nodes=["node0", "node1"], config=CONFIG,
+        telemetry_seed=15, checkpoint_dir=tmp_path,
+    )
+    assert sorted(second.checkpoints) == ["node0", "node1"]
+    assert (tmp_path / "retired9.ckpt").exists()
+    event = second.add_node("joiner", snapshot=tmp_path / "retired9.ckpt")
+    assert event["restored"] > 0  # the explicit import path still works
+
+
+def test_misnamed_checkpoint_file_is_rejected_at_construction(tmp_path):
+    first = ClusterCoordinator(
+        nodes=2, config=CONFIG, telemetry_seed=16, checkpoint_dir=tmp_path
+    )
+    first.ingest(scenario_descriptors("zipf_mix", 200, seed=16))
+    first.checkpoint_all()
+    # Renaming a file to another member's name is the intuitive-but-wrong
+    # import; adopting it would silently degrade that node's protection.
+    (tmp_path / "node1.ckpt").unlink()
+    (tmp_path / "node0.ckpt").rename(tmp_path / "node1.ckpt")
+    with pytest.raises(ValueError, match="holds a snapshot of node 'node0', not 'node1'"):
+        ClusterCoordinator(nodes=2, config=CONFIG, checkpoint_dir=tmp_path)

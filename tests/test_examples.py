@@ -76,6 +76,15 @@ def test_cluster_demo_example(capsys):
     assert "cluster scaling — zipf_mix" in output
 
 
+def test_trace_replay_demo_example(capsys):
+    output = run_example("trace_replay_demo", capsys)
+    assert "recorded zipf_mix to pcap:" in output
+    assert "recorded replay vs synthetic" in output
+    assert "NetFlow v5 export:" in output
+    assert "largest exported flows (decoded from the datagrams):" in output
+    assert "False" not in output  # every path matches the synthetic run
+
+
 def test_ddr3_bandwidth_explorer_example(capsys):
     output = run_example("ddr3_bandwidth_explorer", capsys)
     assert "DDR3-1066" in output
