@@ -21,7 +21,7 @@ def _run(config, patterns):
     return run_lookup_experiment(FlowLUT(config), patterns, input_rate_hz=RATE)
 
 
-def test_ablation_bank_selector(benchmark):
+def test_ablation_bank_selector(benchmark, bench_emit):
     """Bank Selector on/off under random hash patterns (Section IV-A)."""
 
     def run():
@@ -41,9 +41,13 @@ def test_ablation_bank_selector(benchmark):
     ))
     assert rates["disabled"] <= rates["enabled"]
     benchmark.extra_info.update(rates)
+    bench_emit("ablations", {
+        "bank_selector_on_mdesc_s": rates["enabled"],
+        "bank_selector_off_mdesc_s": rates["disabled"],
+    })
 
 
-def test_ablation_burst_write_generator(benchmark):
+def test_ablation_burst_write_generator(benchmark, bench_emit):
     """Burst-write batching on/off under a 100% miss (insert-heavy) workload."""
 
     def run():
@@ -63,9 +67,13 @@ def test_ablation_burst_write_generator(benchmark):
     ))
     assert rates["immediate"] <= rates["batched"] * 1.05
     benchmark.extra_info.update(rates)
+    bench_emit("ablations", {
+        "burst_writes_batched_mdesc_s": rates["batched"],
+        "burst_writes_immediate_mdesc_s": rates["immediate"],
+    })
 
 
-def test_ablation_dual_path_vs_single_path(benchmark):
+def test_ablation_dual_path_vs_single_path(benchmark, bench_emit):
     """Dual-path lookup versus forcing every first lookup onto one path."""
 
     def run():
@@ -93,9 +101,13 @@ def test_ablation_dual_path_vs_single_path(benchmark):
     ))
     assert rates["single_path_first"] < rates["dual_path_hash_balanced"]
     benchmark.extra_info.update(rates)
+    bench_emit("ablations", {
+        "dual_path_mdesc_s": rates["dual_path_hash_balanced"],
+        "single_path_mdesc_s": rates["single_path_first"],
+    })
 
 
-def test_ablation_early_exit_pipeline_read_savings(benchmark):
+def test_ablation_early_exit_pipeline_read_savings(benchmark, bench_emit):
     """Early-exit (proposed) versus conventional simultaneous Hash-CAM search:
     DRAM reads per lookup on a hit-dominated workload."""
 
@@ -123,9 +135,10 @@ def test_ablation_early_exit_pipeline_read_savings(benchmark):
     ))
     assert reads["early_exit_reads_per_lookup"] < reads["conventional_reads_per_lookup"]
     benchmark.extra_info.update(reads)
+    bench_emit("ablations", reads)
 
 
-def test_ablation_cam_size_vs_insert_failures(benchmark):
+def test_ablation_cam_size_vs_insert_failures(benchmark, bench_emit):
     """Overflow CAM size versus insertion failures at high table load."""
 
     def run():
@@ -150,3 +163,6 @@ def test_ablation_cam_size_vs_insert_failures(benchmark):
     failures = [row["insert_failures"] for row in rows]
     assert failures == sorted(failures, reverse=True)
     benchmark.extra_info["rows"] = rows
+    bench_emit("ablations", {
+        f"cam_{row['cam_entries']}_insert_failures": row["insert_failures"] for row in rows
+    })

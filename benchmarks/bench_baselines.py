@@ -23,7 +23,7 @@ KEYS = [key.pack() for key in random_flow_keys(8000, seed=77)]
 LOAD_KEYS = KEYS[:6000]  # ~73% load on the 8192-entry structures below
 
 
-def test_baseline_overflow_comparison(benchmark):
+def test_baseline_overflow_comparison(benchmark, bench_emit):
     """Lost insertions at equal capacity and load: single hash vs d-left vs
     the paper's two-choice + CAM table."""
 
@@ -49,9 +49,14 @@ def test_baseline_overflow_comparison(benchmark):
     assert by_name["hash_cam (paper)"] < by_name["single_hash"]
     assert by_name["d_left"] < by_name["single_hash"]
     benchmark.extra_info["rows"] = rows
+    bench_emit("baselines", {
+        "single_hash_lost_insertions": by_name["single_hash"],
+        "d_left_lost_insertions": by_name["d_left"],
+        "hash_cam_lost_insertions": by_name["hash_cam (paper)"],
+    })
 
 
-def test_baseline_single_hash_insert_throughput(benchmark):
+def test_baseline_single_hash_insert_throughput(benchmark, bench_emit):
     def populate():
         table = SingleHashTable(buckets=8192, bucket_entries=2, seed=2)
         for key in LOAD_KEYS:
@@ -60,9 +65,11 @@ def test_baseline_single_hash_insert_throughput(benchmark):
 
     table = benchmark(populate)
     assert table.entries > 0
+    if benchmark.stats:
+        bench_emit("baselines", {"single_hash_insert_mean_s": benchmark.stats.stats.mean})
 
 
-def test_baseline_dleft_insert_throughput(benchmark):
+def test_baseline_dleft_insert_throughput(benchmark, bench_emit):
     def populate():
         table = DLeftHashTable(buckets_per_table=4096, choices=2, bucket_entries=2, seed=3)
         for key in LOAD_KEYS:
@@ -71,9 +78,11 @@ def test_baseline_dleft_insert_throughput(benchmark):
 
     table = benchmark(populate)
     assert table.entries > 0
+    if benchmark.stats:
+        bench_emit("baselines", {"d_left_insert_mean_s": benchmark.stats.stats.mean})
 
 
-def test_baseline_cuckoo_insert_throughput_and_kicks(benchmark):
+def test_baseline_cuckoo_insert_throughput_and_kicks(benchmark, bench_emit):
     def populate():
         table = CuckooHashTable(slots_per_table=8192, seed=4)
         for key in LOAD_KEYS:
@@ -84,9 +93,13 @@ def test_baseline_cuckoo_insert_throughput_and_kicks(benchmark):
     print(f"\ncuckoo: {table.total_kicks} kicks for {len(LOAD_KEYS)} insertions "
           f"(max chain {table.max_observed_kicks})")
     assert table.entries > 0
+    results = {"cuckoo_total_kicks": table.total_kicks}
+    if benchmark.stats:
+        results["cuckoo_insert_mean_s"] = benchmark.stats.stats.mean
+    bench_emit("baselines", results)
 
 
-def test_baseline_hashcam_insert_throughput(benchmark):
+def test_baseline_hashcam_insert_throughput(benchmark, bench_emit):
     def populate():
         table = HashCamTable(small_test_config(num_flows=16384, cam_entries=64))
         for key in LOAD_KEYS:
@@ -95,9 +108,11 @@ def test_baseline_hashcam_insert_throughput(benchmark):
 
     table = benchmark(populate)
     assert len(table) > 0
+    if benchmark.stats:
+        bench_emit("baselines", {"hash_cam_insert_mean_s": benchmark.stats.stats.mean})
 
 
-def test_baseline_hashcam_lookup_throughput(benchmark):
+def test_baseline_hashcam_lookup_throughput(benchmark, bench_emit):
     table = HashCamTable(small_test_config(num_flows=16384, cam_entries=64))
     for key in LOAD_KEYS:
         table.insert(key)
@@ -111,9 +126,11 @@ def test_baseline_hashcam_lookup_throughput(benchmark):
 
     hits = benchmark(lookup_all)
     assert hits == len(LOAD_KEYS) - table.insert_failures
+    if benchmark.stats:
+        bench_emit("baselines", {"hash_cam_lookup_mean_s": benchmark.stats.stats.mean})
 
 
-def test_baseline_bloom_false_positive_tradeoff(benchmark):
+def test_baseline_bloom_false_positive_tradeoff(benchmark, bench_emit):
     """Bloom filter: false-positive rate versus bits per entry — the reason a
     Bloom filter alone cannot serve as the flow table."""
 
@@ -140,3 +157,6 @@ def test_baseline_bloom_false_positive_tradeoff(benchmark):
     fprs = [row["measured_fpr"] for row in rows]
     assert fprs == sorted(fprs, reverse=True)
     benchmark.extra_info["rows"] = rows
+    bench_emit("baselines", {
+        f"bloom_{row['bits_per_key']}bpk_measured_fpr": row["measured_fpr"] for row in rows
+    })

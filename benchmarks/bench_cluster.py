@@ -34,7 +34,7 @@ NODE_COUNTS = (1, 2, 4)
 TOP_K = 10
 
 
-def test_cluster_throughput_scaling(benchmark):
+def test_cluster_throughput_scaling(benchmark, bench_emit):
     result = benchmark.pedantic(
         lambda: run_cluster_scaling(
             scenario="zipf_mix", packet_count=PACKETS, node_counts=NODE_COUNTS, seed=19
@@ -58,9 +58,13 @@ def test_cluster_throughput_scaling(benchmark):
     assert rates == sorted(rates)
     assert by_nodes[4]["throughput_mdesc_s"] >= 2.0 * by_nodes[1]["throughput_mdesc_s"]
     benchmark.extra_info["rows"] = rows
+    bench_emit("cluster", {
+        f"nodes_{nodes}_mdesc_s": by_nodes[nodes]["throughput_mdesc_s"]
+        for nodes in NODE_COUNTS
+    })
 
 
-def test_failover_accounting_is_exact():
+def test_failover_accounting_is_exact(bench_emit):
     packets = max(800, PACKETS // 2)
     descriptors = scenario_descriptors("node_failover", packets, seed=29)
     coordinator = ClusterCoordinator(nodes=4, telemetry_seed=29)
@@ -114,6 +118,11 @@ def test_failover_accounting_is_exact():
         ],
         title="fail-over accounting — node_failover",
     ))
+    bench_emit("cluster", {
+        "failover_migrated_flows": coordinator.flows_migrated,
+        "failover_lost_flows": coordinator.flows_lost,
+        "failover_relearned_flows": relearned,
+    })
 
 
 def test_merged_topk_matches_exact_on_every_scenario():

@@ -82,7 +82,7 @@ def _assert_books_balance(coordinator: ClusterCoordinator):
     return books
 
 
-def test_k2_replication_makes_failover_lossless():
+def test_k2_replication_makes_failover_lossless(bench_emit):
     # Two anchors: a no-failure run for the top-k reference, and an
     # unprotected run with the *same* failure for the wall-clock
     # denominator (so the ratio isolates replication's overhead).
@@ -124,9 +124,14 @@ def test_k2_replication_makes_failover_lossless():
         ],
         title="k=2 replication — lossless failover and its cost (node_failover)",
     ))
+    bench_emit("durability", {
+        "k2_flows_restored": replicated.flows_restored,
+        "k2_replica_memory_bytes": memory_overhead,
+        "k2_ingest_slowdown": round(slowdown, 3),
+    })
 
 
-def test_checkpoint_interval_bounds_the_loss_window():
+def test_checkpoint_interval_bounds_the_loss_window(bench_emit):
     interval = CHECKPOINT_INTERVAL
     coordinator = _build(checkpoint_interval=interval)
     event, live_at_failure, _ = _run_with_failure(coordinator)
@@ -160,9 +165,16 @@ def test_checkpoint_interval_bounds_the_loss_window():
         ],
         title="checkpointing — loss window vs interval (node_failover)",
     ))
+    bench_emit("durability", {
+        "checkpoint_interval": interval,
+        "checkpoints_taken": coordinator.checkpoints_taken,
+        "checkpoint_bytes": coordinator.checkpoint_bytes,
+        "checkpoint_flows_lost": coordinator.flows_lost,
+        "checkpoint_tel_pkts_lost": coordinator.telemetry_packets_lost,
+    })
 
 
-def test_durability_comparison_experiment(benchmark):
+def test_durability_comparison_experiment(benchmark, bench_emit):
     intervals = (CHECKPOINT_INTERVAL, 4 * CHECKPOINT_INTERVAL)
     result = benchmark.pedantic(
         lambda: run_durability_comparison(
@@ -189,3 +201,7 @@ def test_durability_comparison_experiment(benchmark):
             interval = int(row["mode"].split("@", 1)[1])
             assert row["telemetry_pkts_lost"] <= interval
     benchmark.extra_info["rows"] = rows
+    bench_emit("durability", {
+        f"{row['scenario']}_{row['mode']}_ingest_slowdown": row["ingest_slowdown"]
+        for row in rows
+    })

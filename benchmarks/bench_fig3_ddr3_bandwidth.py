@@ -15,7 +15,7 @@ from repro.reporting import format_table, run_fig3_bandwidth
 FULL_SWEEP = (1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32, 35)
 
 
-def test_fig3_ddr3_1066_utilisation_curve(benchmark):
+def test_fig3_ddr3_1066_utilisation_curve(benchmark, bench_emit):
     result = benchmark.pedantic(
         lambda: run_fig3_bandwidth(burst_counts=FULL_SWEEP, timing=DDR3_1066_187E, groups=48),
         rounds=1,
@@ -31,10 +31,14 @@ def test_fig3_ddr3_1066_utilisation_curve(benchmark):
     assert by_bursts[35]["utilisation_analytic"] == pytest.approx(0.90, abs=0.03)
     benchmark.extra_info["utilisation_at_1"] = by_bursts[1]["utilisation_analytic"]
     benchmark.extra_info["utilisation_at_35"] = by_bursts[35]["utilisation_analytic"]
+    bench_emit("fig3_ddr3_bandwidth", {
+        "ddr3_1066_utilisation_at_1": by_bursts[1]["utilisation_analytic"],
+        "ddr3_1066_utilisation_at_35": by_bursts[35]["utilisation_analytic"],
+    })
 
 
 @pytest.mark.parametrize("timing", [DDR3_1333, DDR3_1600], ids=lambda t: t.name)
-def test_fig3_other_speed_grades(benchmark, timing):
+def test_fig3_other_speed_grades(benchmark, timing, bench_emit):
     """Sensitivity study: the same curve for faster speed grades."""
     result = benchmark.pedantic(
         lambda: run_fig3_bandwidth(burst_counts=(1, 8, 35), timing=timing, groups=32),
@@ -45,3 +49,5 @@ def test_fig3_other_speed_grades(benchmark, timing):
     print(format_table(result["rows"], title=f"Figure 3 variant — {timing.name}", float_digits=3))
     utilisations = [row["utilisation_analytic"] for row in result["rows"]]
     assert utilisations == sorted(utilisations)
+    grade = timing.name.lower().replace("-", "_").replace(" ", "_")
+    bench_emit("fig3_ddr3_bandwidth", {f"{grade}_utilisation_at_35": utilisations[-1]})

@@ -14,7 +14,7 @@ from repro.reporting import PAPER_FIG6, format_table, run_fig6_flow_ratio
 CHECKPOINTS = (1_000, 10_000, 100_000, 300_000)
 
 
-def test_fig6_new_flow_ratio_curve(benchmark):
+def test_fig6_new_flow_ratio_curve(benchmark, bench_emit):
     result = benchmark.pedantic(
         lambda: run_fig6_flow_ratio(checkpoints=CHECKPOINTS),
         rounds=1,
@@ -33,9 +33,12 @@ def test_fig6_new_flow_ratio_curve(benchmark):
     assert ratios[10_000] == pytest.approx(0.3381, abs=0.08)
     assert ratios[CHECKPOINTS[-1]] < ratios[1_000] / 2
     benchmark.extra_info["rows"] = rows
+    bench_emit("fig6_flow_ratio", {
+        f"new_flow_ratio_at_{packets}": ratio for packets, ratio in ratios.items()
+    })
 
 
-def test_fig6_warm_table_miss_rate_with_flow_lut(benchmark):
+def test_fig6_warm_table_miss_rate_with_flow_lut(benchmark, bench_emit):
     """Companion measurement: drive a Flow LUT with the trace and confirm the
     lookup miss rate equals the new-flow ratio (only first packets miss)."""
     from repro.core.config import small_test_config
@@ -61,3 +64,7 @@ def test_fig6_warm_table_miss_rate_with_flow_lut(benchmark):
           f"measured Flow LUT miss rate {result.miss_rate:.3f}, "
           f"throughput {result.throughput_mdesc_s:.1f} Mdesc/s")
     assert result.miss_rate == pytest.approx(expected_ratio, abs=0.02)
+    bench_emit("fig6_flow_ratio", {
+        "flow_lut_miss_rate": result.miss_rate,
+        "flow_lut_throughput_mdesc_s": result.throughput_mdesc_s,
+    })

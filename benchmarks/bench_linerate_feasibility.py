@@ -11,7 +11,7 @@ import pytest
 from repro.reporting import format_table, run_linerate_feasibility, run_table2b_miss_rate
 
 
-def test_linerate_feasibility_40gbe(benchmark):
+def test_linerate_feasibility_40gbe(benchmark, bench_emit):
     def run():
         table2b = run_table2b_miss_rate(table_entries=8000, query_count=2500, miss_rates=(0.5, 0.0))
         return run_linerate_feasibility(table2b=table2b)
@@ -26,6 +26,12 @@ def test_linerate_feasibility_40gbe(benchmark):
     assert by_quantity["rate at <=50% miss (Mdesc/s)"]["measured"] > 59.52
     assert by_quantity["achievable Gbps at warm-table rate (72 B frames)"]["measured"] > 50.0
     benchmark.extra_info["rows"] = result["rows"]
+    bench_emit("linerate_feasibility", {
+        "rate_at_50pct_miss_mdesc_s": by_quantity["rate at <=50% miss (Mdesc/s)"]["measured"],
+        "achievable_gbps_warm_table": by_quantity[
+            "achievable Gbps at warm-table rate (72 B frames)"
+        ]["measured"],
+    })
 
 
 def test_competitor_capacity_comparison(benchmark):

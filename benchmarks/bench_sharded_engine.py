@@ -13,15 +13,17 @@ use a small value).
 
 import os
 
-from repro.engine import sharded_vs_single
+from repro.core.config import small_test_config
+from repro.engine import ShardedFlowLUT, sharded_vs_single
+from repro.obs import MetricsRegistry, Stopwatch
 from repro.reporting import format_table, run_sharded_scaling
-from repro.traffic import list_scenarios
+from repro.traffic import list_scenarios, scenario_descriptors
 
 PACKETS = int(os.environ.get("SHARDED_BENCH_PACKETS", "4000"))
 SHARD_COUNTS = (1, 2, 4, 8)
 
 
-def test_sharded_throughput_scaling(benchmark):
+def test_sharded_throughput_scaling(benchmark, bench_emit):
     result = benchmark.pedantic(
         lambda: run_sharded_scaling(
             scenario="zipf_mix", packet_count=PACKETS, shard_counts=SHARD_COUNTS, seed=17
@@ -46,6 +48,10 @@ def test_sharded_throughput_scaling(benchmark):
     assert rates == sorted(rates)
     assert by_shards[4]["throughput_mdesc_s"] >= 2.0 * by_shards[1]["throughput_mdesc_s"]
     benchmark.extra_info["rows"] = rows
+    bench_emit("sharded_engine", {
+        f"shards_{shards}_mdesc_s": by_shards[shards]["throughput_mdesc_s"]
+        for shards in SHARD_COUNTS
+    })
 
 
 def test_sharded_matches_single_path_on_every_scenario():
@@ -68,3 +74,73 @@ def test_sharded_matches_single_path_on_every_scenario():
         assert comparison["equivalent"], (name, sharded.totals(), single.totals())
     print()
     print(format_table(rows, title=f"sharded vs single-LUT totals ({packets} packets each)"))
+
+
+def _drive(descriptors, obs, batch_size=256):
+    """One sharded run over ``descriptors``; returns (engine, host wall s)."""
+    engine = ShardedFlowLUT(shards=4, config=small_test_config(), obs=obs)
+    watch = Stopwatch()
+    for offset in range(0, len(descriptors), batch_size):
+        engine.process_batch(descriptors[offset : offset + batch_size])
+    return engine, watch.elapsed_s
+
+
+def test_obs_instrumentation_overhead_smoke(bench_emit):
+    """The observability overhead gate (ISSUE 6 acceptance).
+
+    Simulated throughput — the figure every benchmark reports — must be
+    unchanged by instrumentation (the obs plane reads the host clock, not
+    the simulated one), and the host-side wall-clock cost of the enabled
+    path must stay small.  Wall-clock is compared best-of-3 so a CI
+    scheduler hiccup cannot flip the gate; the bound is deliberately
+    loose (1.5x) because the acceptance threshold (<= 5%) is asserted on
+    the simulated figure and the measured host ratio is *reported* in
+    BENCH_sharded_engine.json where the trajectory can be watched.
+    """
+    packets = max(800, PACKETS // 2)
+    descriptors = scenario_descriptors("zipf_mix", packets, seed=17)
+
+    runs = [_drive(descriptors, obs=None) for _ in range(3)]
+    plain_engine, plain_wall = runs[0][0], min(wall for _, wall in runs)
+    instrumented = [_drive(descriptors, obs=MetricsRegistry()) for _ in range(3)]
+    obs_engine, obs_wall = instrumented[0][0], min(wall for _, wall in instrumented)
+
+    # Simulated results are bit-identical: same totals, same elapsed ps.
+    assert obs_engine.completed == plain_engine.completed == packets
+    assert (obs_engine.hits, obs_engine.misses, obs_engine.new_flows) == (
+        plain_engine.hits, plain_engine.misses, plain_engine.new_flows
+    )
+    assert obs_engine.elapsed_ps == plain_engine.elapsed_ps
+    ratio = obs_engine.throughput_mdesc_s / plain_engine.throughput_mdesc_s
+    assert abs(ratio - 1.0) <= 0.05
+
+    # Host-side cost of the instrumented twin stays bounded.
+    wall_ratio = obs_wall / plain_wall if plain_wall > 0 else 1.0
+    assert wall_ratio <= 1.5, (obs_wall, plain_wall)
+
+    registry = obs_engine.obs
+    stage_count = registry.histogram(
+        "repro_engine_stage_ns",
+        "Host-side duration of each batch stage (steer/probe/drain/telemetry)",
+        labels=("stage",),
+    )
+    samples = {labels["stage"]: child.count for labels, child in stage_count.samples()}
+    assert samples["steer"] == samples["probe"] == obs_engine.batches
+
+    print()
+    print(format_table(
+        [
+            {
+                "packets": packets,
+                "plain_wall_ms": round(plain_wall * 1e3, 1),
+                "obs_wall_ms": round(obs_wall * 1e3, 1),
+                "host_wall_ratio": round(wall_ratio, 3),
+                "sim_throughput_ratio": round(ratio, 4),
+            }
+        ],
+        title="observability overhead — instrumented vs plain sharded engine",
+    ))
+    bench_emit("sharded_engine", {
+        "obs_host_wall_ratio": round(wall_ratio, 3),
+        "obs_sim_throughput_ratio": round(ratio, 4),
+    })

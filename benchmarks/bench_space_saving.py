@@ -75,7 +75,7 @@ def _measure(make_tracker, updates: int, repeats: int = 3):
     return best_s, tracker
 
 
-def test_eviction_is_no_longer_linear_in_capacity(benchmark):
+def test_eviction_is_no_longer_linear_in_capacity(benchmark, bench_emit):
     def run():
         rows = []
         for capacity in CAPACITIES:
@@ -106,3 +106,9 @@ def test_eviction_is_no_longer_linear_in_capacity(benchmark):
     assert rows[-1]["naive_kups"] < rows[0]["naive_kups"] / 2, rows  # naive degrades
     assert rows[-1]["heap_kups"] > rows[0]["heap_kups"] / 10, rows  # heap stays flat-ish
     benchmark.extra_info["rows"] = rows
+    bench_emit("space_saving", {
+        f"capacity_{row['capacity']}_speedup": row["speedup"] for row in rows
+    })
+    bench_emit("space_saving", {
+        f"capacity_{row['capacity']}_heap_kups": row["heap_kups"] for row in rows
+    })

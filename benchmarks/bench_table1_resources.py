@@ -10,7 +10,7 @@ from repro.core.config import PROTOTYPE_CONFIG, small_test_config
 from repro.reporting import format_table, run_table1_resources
 
 
-def test_table1_prototype_resource_budget(benchmark):
+def test_table1_prototype_resource_budget(benchmark, bench_emit):
     result = benchmark(run_table1_resources, PROTOTYPE_CONFIG)
     print()
     print(format_table(result["rows"], title="Table I — resources (measured vs paper)"))
@@ -22,6 +22,10 @@ def test_table1_prototype_resource_budget(benchmark):
     assert measured > 0
     benchmark.extra_info["block_memory_bits"] = measured
     benchmark.extra_info["paper_block_memory_bits"] = result["paper"]["block_memory_bits"]
+    bench_emit("table1_resources", {
+        "block_memory_bits": measured,
+        "paper_block_memory_bits": result["paper"]["block_memory_bits"],
+    })
 
 
 def test_table1_resource_scaling_with_cam_size(benchmark):

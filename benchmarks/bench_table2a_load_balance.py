@@ -14,7 +14,7 @@ from repro.reporting import PAPER_TABLE2A, format_table, run_table2a_load_balanc
 DESCRIPTORS = 4000
 
 
-def test_table2a_hash_patterns_and_load_balance(benchmark):
+def test_table2a_hash_patterns_and_load_balance(benchmark, bench_emit):
     result = benchmark.pedantic(
         lambda: run_table2a_load_balance(descriptor_count=DESCRIPTORS),
         rounds=1,
@@ -44,3 +44,8 @@ def test_table2a_hash_patterns_and_load_balance(benchmark):
     assert by_load[0.0] / by_load[0.5] > 0.6
     assert random_rate / by_load[0.5] > 0.8
     benchmark.extra_info["rows"] = merged
+    bench_emit("table2a_load_balance", {
+        "bank_increment_50pct_mdesc_s": by_load[0.5],
+        "bank_increment_0pct_mdesc_s": by_load[0.0],
+        "random_pattern_mdesc_s": random_rate,
+    })

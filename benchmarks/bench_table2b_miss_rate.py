@@ -14,7 +14,7 @@ from repro.reporting import PAPER_TABLE2B, format_table, run_table2b_miss_rate
 QUERIES = 3000
 
 
-def test_table2b_rate_vs_miss_rate(benchmark):
+def test_table2b_rate_vs_miss_rate(benchmark, bench_emit):
     result = benchmark.pedantic(
         lambda: run_table2b_miss_rate(table_entries=10_000, query_count=QUERIES),
         rounds=1,
@@ -45,3 +45,6 @@ def test_table2b_rate_vs_miss_rate(benchmark):
     for row in merged:
         assert row["measured/paper"] == pytest.approx(1.0, abs=0.16)
     benchmark.extra_info["rows"] = merged
+    bench_emit("table2b_miss_rate", {
+        f"miss_{int(miss * 100)}pct_mdesc_s": rate for miss, rate in by_miss.items()
+    })

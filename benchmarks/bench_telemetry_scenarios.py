@@ -18,7 +18,7 @@ from repro.traffic import list_scenarios
 PACKETS = int(os.environ.get("TELEMETRY_BENCH_PACKETS", "8000"))
 
 
-def test_telemetry_scenario_sweep(benchmark):
+def test_telemetry_scenario_sweep(benchmark, bench_emit):
     result = benchmark.pedantic(
         lambda: run_telemetry_scenarios(packet_count=PACKETS, seed=11),
         rounds=1,
@@ -51,3 +51,10 @@ def test_telemetry_scenario_sweep(benchmark):
     # Sketch memory is fixed; exact state grows with the flow count.
     assert len({row["sketch_kB"] for row in rows}) == 1
     benchmark.extra_info["rows"] = rows
+    bench_emit("telemetry_scenarios", {
+        f"{row['scenario']}_kpps": row["kpps"] for row in rows
+    })
+    bench_emit("telemetry_scenarios", {
+        "zipf_mix_hh_recall_at_10": by_name["zipf_mix"]["hh_recall@10"],
+        "churn_hh_recall_at_10": by_name["churn"]["hh_recall@10"],
+    })

@@ -38,7 +38,7 @@ def _fingerprint(packets):
     return [(p.key, p.length_bytes, p.timestamp_ps, p.tcp_flags) for p in packets]
 
 
-def test_pcap_io_throughput(tmp_path, benchmark):
+def test_pcap_io_throughput(tmp_path, benchmark, bench_emit):
     packets = snap_timestamps(generate_scenario("zipf_mix", PACKETS, seed=23))
     rows = []
     for order in ("little", "big"):
@@ -67,9 +67,15 @@ def test_pcap_io_throughput(tmp_path, benchmark):
         )
     print()
     print(format_table(rows, title=f"pcap ingest/export — zipf_mix ({PACKETS} packets)"))
+    bench_emit("trace_io", {
+        f"pcap_{row['byte_order']}_read_kpps": row["read_kpps"] for row in rows
+    })
+    bench_emit("trace_io", {
+        f"pcap_{row['byte_order']}_write_kpps": row["write_kpps"] for row in rows
+    })
 
 
-def test_netflow_export_throughput():
+def test_netflow_export_throughput(bench_emit):
     table = FlowStateTable(timeout_us=50.0)
     flow_ids = {}
     for packet in generate_scenario("churn", PACKETS, seed=29):
@@ -105,6 +111,10 @@ def test_netflow_export_throughput():
         ],
         title=f"NetFlow v5 export — churn ({PACKETS} packets)",
     ))
+    bench_emit("trace_io", {
+        "netflow_encode_krec_s": round(len(exported) / encode_s / 1e3, 1),
+        "netflow_decode_krec_s": round(len(decoded) / decode_s / 1e3, 1),
+    })
 
 
 def test_trace_replay_equivalence_end_to_end():

@@ -1,12 +1,40 @@
-"""Benchmark-suite bootstrap: reuse the repository-root conftest path setup."""
+"""Benchmark-suite bootstrap: path setup plus the shared BENCH emitter.
+
+Every benchmark module takes the session-scoped ``bench_emit`` fixture
+and calls it with its area name and a dict of named figures; the call
+merges into ``BENCH_<area>.json`` at the repository root (see
+:mod:`repro.obs.bench`).  Checked-in BENCH files are the machine-readable
+perf trajectory: CI validates them against the ``repro.obs.bench/v1``
+schema and uploads them as artifacts.
+"""
 
 import sys
 from pathlib import Path
 
-_SRC = Path(__file__).resolve().parent.parent / "src"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
 
 try:
     import repro  # noqa: F401
 except ImportError:
     if str(_SRC) not in sys.path:
         sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.obs.bench import emit_bench_result
+
+
+@pytest.fixture(scope="session")
+def bench_emit():
+    """Callable ``(area, results, metrics=None) -> Path`` writing BENCH files.
+
+    Results merge by key into ``BENCH_<area>.json`` at the repository
+    root, so every test of one area contributes to one document.  Set
+    ``REPRO_BENCH_DIR`` to redirect the output (tests use a tmp dir).
+    """
+
+    def _emit(area, results, metrics=None):
+        return emit_bench_result(area, results, directory=_REPO_ROOT, metrics=metrics)
+
+    return _emit

@@ -27,6 +27,11 @@ The package is organised as the paper's system is:
   (both byte orders, Ethernet → IPv4 → TCP/UDP subset), spec-layout
   NetFlow v5 export of the flow-state streams, and trace-backed
   scenarios replaying any recording through every engine path.
+* :mod:`repro.obs` — the unified observability plane: mergeable labeled
+  metrics (:class:`~repro.obs.MetricsRegistry`), the cluster lifecycle
+  :class:`~repro.obs.EventJournal`, Prometheus/JSON exporters and the
+  ``BENCH_<area>.json`` benchmark-trajectory emitter; every layer above
+  accepts ``obs=`` to opt in.
 * :mod:`repro.reporting` — experiment tables and paper reference values.
 
 Quick start::
@@ -51,6 +56,7 @@ from repro.engine import ShardedFlowLUT
 from repro.net.fivetuple import FlowKey
 from repro.net.packet import Packet
 from repro.net.parser import DescriptorExtractor, PacketDescriptor
+from repro.obs import EventJournal, MetricsRegistry, Observability, Stopwatch
 from repro.sim.engine import Simulator
 from repro.telemetry import TelemetryConfig, TelemetryPipeline
 
@@ -61,6 +67,7 @@ __all__ = [
     "ClusterNode",
     "DescriptorExtractor",
     "DescriptorSource",
+    "EventJournal",
     "ExperimentResult",
     "FlowKey",
     "FlowLUT",
@@ -71,10 +78,13 @@ __all__ = [
     "HashRing",
     "LookupOutcome",
     "LookupStage",
+    "MetricsRegistry",
+    "Observability",
     "PROTOTYPE_CONFIG",
     "Packet",
     "PacketDescriptor",
     "ShardedFlowLUT",
+    "Stopwatch",
     "Simulator",
     "TelemetryConfig",
     "TelemetryPipeline",

@@ -40,6 +40,8 @@ from repro.core.flow_lut import LookupOutcome
 from repro.core.flow_state import FlowRecord
 from repro.cluster.node import ClusterNode
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.obs.export import registry_snapshot, to_prometheus_text
+from repro.obs.plane import Observability
 from repro.persist import (
     NodeSnapshot,
     dump_node_snapshot,
@@ -97,6 +99,16 @@ class ClusterCoordinator:
         in-memory copies; files for node IDs outside the membership are
         left on disk untouched (import them explicitly via
         ``add_node(snapshot=<path>)``).
+    obs: the unified observability plane — ``True`` builds a fresh
+        :class:`~repro.obs.plane.Observability`, or pass one to share a
+        registry/journal across coordinators.  When enabled, every node's
+        engine writes per-batch stage timings and per-shard counters into
+        the shared registry (labeled ``node=...``), checkpoint encode/
+        decode cost lands under ``repro_persist_*``, membership and
+        recovery actions are journaled with monotonic sequence numbers,
+        and :meth:`metrics_snapshot` / :meth:`prometheus_text` export the
+        fleet view.  The default (``False``/``None``) keeps the whole
+        plane off the hot path.
     """
 
     def __init__(
@@ -113,6 +125,7 @@ class ClusterCoordinator:
         replication: int = 1,
         checkpoint_interval: Optional[int] = None,
         checkpoint_dir: Optional[Union[str, Path]] = None,
+        obs: Union[None, bool, Observability] = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -141,6 +154,7 @@ class ClusterCoordinator:
         self.telemetry_seed = telemetry_seed
         self.flow_timeout_us = flow_timeout_us
         self.batch_size = batch_size
+        self.obs = Observability.coerce(obs)
 
         self.ring = HashRing(vnodes=vnodes)
         self.nodes: Dict[str, ClusterNode] = {}
@@ -179,7 +193,9 @@ class ClusterCoordinator:
                     continue
                 data = file.read_bytes()
                 try:
-                    snapshot = load_node_snapshot(data)
+                    snapshot = load_node_snapshot(
+                        data, obs=self.obs.metrics if self.obs is not None else None
+                    )
                 except Exception as error:
                     raise ValueError(
                         f"checkpoint file {file} is not a readable node "
@@ -192,6 +208,13 @@ class ClusterCoordinator:
                         "another node's state use add_node(snapshot=<path>)"
                     )
                 self.checkpoints[file.stem] = data
+                if self.obs is not None:
+                    self.obs.record(
+                        "checkpoint_load",
+                        node=file.stem,
+                        source="disk",
+                        size_bytes=len(data),
+                    )
         # Export records handed over by graceful leavers, awaiting the next
         # cluster-wide drain (a failed node's undrained exports die with it).
         self._pending_exports: List[FlowRecord] = []
@@ -212,6 +235,7 @@ class ClusterCoordinator:
             telemetry_config=self.telemetry_config,
             telemetry_seed=self.telemetry_seed,
             flow_timeout_us=self.flow_timeout_us,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------ #
@@ -259,6 +283,10 @@ class ClusterCoordinator:
             per_node[node_id] = len(group)
             self.routed[node_id] = self.routed.get(node_id, 0) + len(group)
         self.ingested += len(descriptors)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_cluster_ingested_total", "Descriptors steered into the fleet"
+            ).inc(len(descriptors))
         return {"packets": len(descriptors), "per_node": per_node}
 
     def _replicate(self, primary_id: str, outcomes: Sequence[LookupOutcome]) -> None:
@@ -362,7 +390,9 @@ class ClusterCoordinator:
         node = self.nodes.get(node_id)
         if node is None:
             raise KeyError(f"node {node_id!r} is not a member")
-        data = dump_node_snapshot(node)
+        data = dump_node_snapshot(
+            node, obs=self.obs.metrics if self.obs is not None else None
+        )
         self.checkpoints[node_id] = data
         if self.checkpoint_dir is not None:
             # Write-then-rename so a crash mid-write never leaves a torn
@@ -385,6 +415,14 @@ class ClusterCoordinator:
         if self.checkpoint_dir is not None:
             meta["path"] = str(self.checkpoint_dir / f"{node_id}.ckpt")
         self._checkpoint_meta[node_id] = meta
+        if self.obs is not None:
+            self.obs.record(
+                "checkpoint_write",
+                node=node_id,
+                size_bytes=len(data),
+                flows=meta["flows"],
+                completed=meta["completed"],
+            )
         return meta
 
     def checkpoint_all(self) -> List[dict]:
@@ -429,6 +467,8 @@ class ClusterCoordinator:
             lost += failed
         self.flows_migrated += migrated
         self.flows_lost += lost
+        if self.obs is not None and (migrated or lost):
+            self.obs.record("migration", migrated=migrated, lost=lost)
         return {"migrated": migrated, "lost": lost}
 
     def _restore_flows(self, flows: Iterable[Tuple[bytes, Optional[FlowRecord]]]) -> int:
@@ -505,17 +545,31 @@ class ClusterCoordinator:
             if isinstance(snapshot, (str, Path)):
                 snapshot = Path(snapshot).read_bytes()
             if not isinstance(snapshot, NodeSnapshot):
-                snapshot = load_node_snapshot(snapshot)
+                snapshot = load_node_snapshot(
+                    snapshot, obs=self.obs.metrics if self.obs is not None else None
+                )
+                if self.obs is not None:
+                    self.obs.record("checkpoint_load", node=node_id, source="import")
             restored = self._restore_flows(snapshot.flows)
             self.flows_restored += restored
             self.flows_lost -= restored
             if snapshot.pipeline is not None and node.pipeline is not None:
                 node.pipeline.merge(snapshot.pipeline)
                 self.telemetry_packets_lost -= snapshot.pipeline.packets
+            if self.obs is not None and restored:
+                self.obs.record("restore", node=node_id, flows=restored, source="import")
         self._resync_replication_plane()
         self.joins += 1
         event = {"event": "join", "node": node_id, **outcome, "restored": restored}
         self.events.append(event)
+        if self.obs is not None:
+            self.obs.record(
+                "join",
+                node=node_id,
+                migrated=outcome["migrated"],
+                lost=outcome["lost"],
+                restored=restored,
+            )
         return event
 
     def remove_node(self, node_id: str) -> dict:
@@ -542,6 +596,10 @@ class ClusterCoordinator:
         self.leaves += 1
         event = {"event": "leave", "node": node_id, **outcome}
         self.events.append(event)
+        if self.obs is not None:
+            self.obs.record(
+                "leave", node=node_id, migrated=outcome["migrated"], lost=outcome["lost"]
+            )
         return event
 
     def fail_node(self, node_id: str) -> dict:
@@ -607,7 +665,9 @@ class ClusterCoordinator:
                 # are exact lower bounds on each flow): recover each flow
                 # from whichever saw more of it, and take the pipeline
                 # with the wider packet coverage.
-                snapshot = load_node_snapshot(checkpoint_data)
+                snapshot = load_node_snapshot(
+                    checkpoint_data, obs=self.obs.metrics if self.obs is not None else None
+                )
                 used_checkpoint = False
                 for key, record in snapshot.flows:
                     if key not in live_keys:
@@ -634,7 +694,10 @@ class ClusterCoordinator:
             recovered_flows = list(merged.items())
         elif node_id in self.checkpoints:
             recovery = "checkpoint"
-            snapshot = load_node_snapshot(self._take_checkpoint(node_id))
+            snapshot = load_node_snapshot(
+                self._take_checkpoint(node_id),
+                obs=self.obs.metrics if self.obs is not None else None,
+            )
             recovered_flows = [
                 (key, record) for key, record in snapshot.flows if key in live_keys
             ]
@@ -669,6 +732,26 @@ class ClusterCoordinator:
             "telemetry_packets_lost": pipeline_packets - recovered_packets,
         }
         self.events.append(event)
+        if self.obs is not None:
+            self.obs.record(
+                "failure",
+                node=node_id,
+                lost=event["lost"],
+                restored=restored,
+                recovery=recovery,
+                telemetry_packets_lost=event["telemetry_packets_lost"],
+            )
+            if recovery.startswith("replicas"):
+                self.obs.record(
+                    "replica_promotion",
+                    node=node_id,
+                    flows=restored,
+                    telemetry_packets=recovered_packets,
+                )
+            if "checkpoint" in recovery:
+                self.obs.record("checkpoint_load", node=node_id, source="failover")
+            if restored:
+                self.obs.record("restore", node=node_id, flows=restored, source=recovery)
         return event
 
     def _resync_replication_plane(self) -> None:
@@ -890,6 +973,12 @@ class ClusterCoordinator:
             drained.extend(self.nodes[node_id].drain_exported())
         drained.sort(key=lambda r: (r.last_seen_ps, r.first_seen_ps, r.key.pack()))
         self.exports_drained += len(drained)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_cluster_exports_drained_total",
+                "Flow records handed to the cluster-wide export stream",
+            ).inc(len(drained))
+            self.obs.record("drain", records=len(drained))
         return drained
 
     # ------------------------------------------------------------------ #
@@ -914,6 +1003,64 @@ class ClusterCoordinator:
             for pipeline in self._retired_pipelines:
                 merged.merge(pipeline)
         return merged
+
+    # ------------------------------------------------------------------ #
+    # Observability exports
+    # ------------------------------------------------------------------ #
+
+    def _require_obs(self) -> Observability:
+        if self.obs is None:
+            raise RuntimeError("cluster was built with obs disabled (pass obs=True)")
+        return self.obs
+
+    @property
+    def journal(self):
+        """The cluster's event journal (requires ``obs``)."""
+        return self._require_obs().journal
+
+    def observe_fleet(self) -> None:
+        """Refresh the point-in-time fleet gauges from current state.
+
+        Counters and timings accumulate inline on the hot path; gauges
+        (live flows, loss books, retained checkpoint bytes, sketch
+        occupancy) describe *now* and are sampled here — called by
+        :meth:`metrics_snapshot` / :meth:`prometheus_text`, or directly
+        before scraping a shared registry.
+        """
+        obs = self._require_obs()
+        metrics = obs.metrics
+        fleet = metrics.gauge(
+            "repro_cluster_fleet",
+            "Point-in-time fleet state (see the 'figure' label)",
+            labels=("figure",),
+        )
+        fleet.set(len(self.nodes), figure="nodes_alive")
+        fleet.set(self.active_flows, figure="active_flows")
+        fleet.set(self.flows_migrated, figure="flows_migrated")
+        fleet.set(self.flows_lost, figure="flows_lost")
+        fleet.set(self.flows_restored, figure="flows_restored")
+        fleet.set(self.telemetry_packets_lost, figure="telemetry_packets_lost")
+        fleet.set(self.checkpoint_bytes, figure="checkpoint_bytes")
+        fleet.set(self.replica_memory_bytes, figure="replica_memory_bytes")
+        fleet.set(len(self._pending_exports), figure="exports_pending")
+        node_flows = metrics.gauge(
+            "repro_node_active_flows", "Live flow records per node", labels=("node",)
+        )
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            node_flows.set(node.active_flows, node=node_id)
+            if node.pipeline is not None:
+                node.pipeline.record_occupancy(metrics, node=node_id)
+
+    def metrics_snapshot(self) -> dict:
+        """The ``repro.obs/v1`` JSON view of the fleet registry (gauges fresh)."""
+        self.observe_fleet()
+        return registry_snapshot(self._require_obs().metrics)
+
+    def prometheus_text(self) -> str:
+        """Prometheus text exposition of the fleet registry (gauges fresh)."""
+        self.observe_fleet()
+        return to_prometheus_text(self._require_obs().metrics)
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -19,6 +19,8 @@ from repro.core.config import FlowLUTConfig
 from repro.core.flow_lut import LookupOutcome
 from repro.core.flow_state import FlowRecord
 from repro.engine.sharded import ShardedFlowLUT
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.plane import Observability
 from repro.sim.rng import SeedLike
 from repro.telemetry.pipeline import TelemetryConfig, TelemetryPipeline
 
@@ -36,6 +38,11 @@ class ClusterNode:
         outcome batches.  All nodes of a cluster share ``telemetry_config``
         and ``telemetry_seed`` so their pipelines are mergeable.
     flow_timeout_us: housekeeping timeout for the per-shard flow state.
+    obs: a shared :class:`~repro.obs.plane.Observability` (or bare
+        :class:`~repro.obs.metrics.MetricsRegistry`): the node labels
+        every engine metric with its ``node_id`` and counts its own
+        migration traffic (``repro_node_flows_moved_total``).  ``None``
+        disables instrumentation.
     """
 
     def __init__(
@@ -48,12 +55,34 @@ class ClusterNode:
         telemetry_seed: SeedLike = 0,
         flow_timeout_us: Optional[float] = None,
         input_queue_depth: int = 32,
+        obs: Optional[object] = None,
     ) -> None:
         if not node_id:
             raise ValueError("node_id must be non-empty")
         self.node_id = node_id
         self.telemetry_config = telemetry_config
         self.telemetry_seed = telemetry_seed
+        metrics: Optional[MetricsRegistry]
+        if isinstance(obs, Observability):
+            metrics = obs.metrics
+        elif obs is None or isinstance(obs, MetricsRegistry):
+            metrics = obs
+        else:
+            raise TypeError(
+                "obs must be an Observability, MetricsRegistry or None, "
+                f"not {type(obs).__name__}"
+            )
+        self.obs = metrics
+        if metrics is not None:
+            moved = metrics.counter(
+                "repro_node_flows_moved_total",
+                "Flow records migrated or restored per node and direction",
+                labels=("node", "direction"),
+            )
+            self._obs_moved = {
+                direction: moved.labels(node=node_id, direction=direction)
+                for direction in ("in", "out", "restored")
+            }
         self.pipeline: Optional[TelemetryPipeline] = (
             TelemetryPipeline(telemetry_config, seed=telemetry_seed) if telemetry else None
         )
@@ -68,6 +97,8 @@ class ClusterNode:
             config=config,
             on_batch=self.pipeline.observe_outcomes if self.pipeline is not None else None,
             input_queue_depth=input_queue_depth,
+            obs=metrics,
+            obs_labels={"node": node_id} if metrics is not None else None,
         )
         self.engine.attach_flow_state(timeout_us=flow_timeout_us)
         self.alive = True
@@ -182,6 +213,8 @@ class ClusterNode:
                 extracted.append((key_bytes, record))
         if extracted:
             self.flows_migrated_out += len(extracted)
+            if self.obs is not None:
+                self._obs_moved["out"].inc(len(extracted))
             self.engine.drain()  # retire the deletion writes before handoff
         return extracted
 
@@ -199,6 +232,8 @@ class ClusterNode:
             else:
                 failed += 1
         self.flows_migrated_in += restored
+        if restored and self.obs is not None:
+            self._obs_moved["in"].inc(restored)
         return restored, failed
 
     def restore_flow(self, key_bytes: bytes, record: FlowRecord) -> bool:
@@ -210,6 +245,8 @@ class ClusterNode:
         """
         if self.engine.restore_flow(record, key_bytes):
             self.flows_restored_in += 1
+            if self.obs is not None:
+                self._obs_moved["restored"].inc()
             return True
         return False
 

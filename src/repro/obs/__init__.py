@@ -1,0 +1,67 @@
+"""repro.obs — the unified observability plane.
+
+One dependency-free instrumentation layer for every tier of the
+reproduction, replacing the pile of disconnected ``stats()`` /
+``report()`` dicts with consistent, exportable, diffable numbers:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with labeled
+  :class:`Counter` / :class:`Gauge` / log-bucketed :class:`Histogram`
+  families, mergeable across shards and nodes like the telemetry
+  sketches, on an injectable ns clock.
+* :mod:`repro.obs.journal` — :class:`EventJournal`: cluster lifecycle
+  events with monotonic sequence numbers and JSONL round-tripping.
+* :mod:`repro.obs.export` — Prometheus text exposition and the stable
+  ``repro.obs/v1`` JSON snapshot.
+* :mod:`repro.obs.plane` — :class:`Observability`, the registry+journal
+  bundle instrumented constructors accept as ``obs=``.
+* :mod:`repro.obs.bench` — the ``BENCH_<area>.json`` emitter and schema
+  validator behind the checked-in benchmark trajectory.
+
+Everything is opt-in: the instrumented hot paths take ``obs=None`` and
+pay one ``is not None`` branch when disabled.
+"""
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchSchemaError,
+    emit_bench_result,
+    load_bench_result,
+    validate_bench_result,
+)
+from repro.obs.export import SNAPSHOT_SCHEMA, registry_snapshot, to_prometheus_text
+from repro.obs.journal import MEMBERSHIP_KINDS, EventJournal, JournalError, ObsEvent
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    Stopwatch,
+    default_ns_buckets,
+    log_buckets,
+)
+from repro.obs.plane import Observability
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
+    "Counter",
+    "EventJournal",
+    "Gauge",
+    "Histogram",
+    "JournalError",
+    "MEMBERSHIP_KINDS",
+    "MetricError",
+    "MetricsRegistry",
+    "ObsEvent",
+    "Observability",
+    "SNAPSHOT_SCHEMA",
+    "Stopwatch",
+    "default_ns_buckets",
+    "emit_bench_result",
+    "load_bench_result",
+    "log_buckets",
+    "registry_snapshot",
+    "to_prometheus_text",
+    "validate_bench_result",
+]

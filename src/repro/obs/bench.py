@@ -1,0 +1,206 @@
+"""Machine-readable benchmark trajectory: the ``BENCH_<area>.json`` emitter.
+
+The ROADMAP's trajectory-tracking gap was that benchmark numbers lived
+only in CI logs and README prose; this module closes it.  Every
+benchmark calls :func:`emit_bench_result` (via the ``bench_emit``
+fixture in ``benchmarks/conftest.py``) with its area name and a dict of
+named results, and the emitter writes — or merges into — one
+``BENCH_<area>.json`` at the repository root, carrying:
+
+* ``schema`` — the document schema tag (``repro.obs.bench/v1``),
+* ``area`` — the benchmark area (``sharded_engine``, ``cluster``, ...),
+* ``created_unix`` — emission time (seconds since the epoch),
+* ``git_rev`` — the commit the numbers were measured at,
+* ``quick_mode`` — every ``*_BENCH_*`` environment override in effect,
+  so a quick-mode CI number is never mistaken for a full run,
+* ``results`` — the benchmark's own named figures (merged by key across
+  the tests of one area, so a file accumulates its whole suite),
+* ``metrics`` — optionally, a ``repro.obs/v1`` registry snapshot.
+
+Files validate against :data:`BENCH_SCHEMA` via
+:func:`validate_bench_result` — a dependency-free structural check CI
+runs over every checked-in file (``python -m repro.obs.bench validate
+BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
+    "bench_path",
+    "emit_bench_result",
+    "load_bench_result",
+    "validate_bench_result",
+]
+
+SCHEMA_TAG = "repro.obs.bench/v1"
+
+#: Structural schema (JSON-Schema-like, enforced by
+#: :func:`validate_bench_result` without external dependencies).
+BENCH_SCHEMA = {
+    "$id": SCHEMA_TAG,
+    "type": "object",
+    "required": ["schema", "area", "created_unix", "git_rev", "quick_mode", "results"],
+    "properties": {
+        "schema": {"const": SCHEMA_TAG},
+        "area": {"type": "string", "pattern": "^[a-z0-9_]+$"},
+        "created_unix": {"type": "number"},
+        "git_rev": {"type": "string"},
+        "quick_mode": {"type": "object", "values": {"type": "string"}},
+        "results": {"type": "object", "minProperties": 1},
+        "metrics": {"type": "object"},
+    },
+}
+
+
+class BenchSchemaError(ValueError):
+    """A benchmark result document does not match ``repro.obs.bench/v1``."""
+
+
+def validate_bench_result(doc: object) -> dict:
+    """Validate one document against :data:`BENCH_SCHEMA`; returns it.
+
+    Raises :class:`BenchSchemaError` naming the offending key, so a CI
+    failure says what is wrong with the file rather than just that
+    something is.
+    """
+    if not isinstance(doc, dict):
+        raise BenchSchemaError("benchmark result must be a JSON object")
+    for key in BENCH_SCHEMA["required"]:
+        if key not in doc:
+            raise BenchSchemaError(f"missing required key {key!r}")
+    if doc["schema"] != SCHEMA_TAG:
+        raise BenchSchemaError(f"schema must be {SCHEMA_TAG!r}, got {doc['schema']!r}")
+    area = doc["area"]
+    if not isinstance(area, str) or not area or not all(
+        c.islower() or c.isdigit() or c == "_" for c in area
+    ):
+        raise BenchSchemaError(f"area must match ^[a-z0-9_]+$, got {area!r}")
+    if not isinstance(doc["created_unix"], (int, float)) or isinstance(
+        doc["created_unix"], bool
+    ):
+        raise BenchSchemaError("created_unix must be a number")
+    if not isinstance(doc["git_rev"], str) or not doc["git_rev"]:
+        raise BenchSchemaError("git_rev must be a non-empty string")
+    quick = doc["quick_mode"]
+    if not isinstance(quick, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in quick.items()
+    ):
+        raise BenchSchemaError("quick_mode must map env-var names to string values")
+    results = doc["results"]
+    if not isinstance(results, dict) or not results:
+        raise BenchSchemaError("results must be a non-empty object")
+    if not all(isinstance(k, str) for k in results):
+        raise BenchSchemaError("results keys must be strings")
+    metrics = doc.get("metrics")
+    if metrics is not None and not isinstance(metrics, dict):
+        raise BenchSchemaError("metrics, when present, must be an object")
+    return doc
+
+
+def _git_rev(directory: Path) -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=directory,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except Exception:
+        return "unknown"
+
+
+def _quick_mode_env() -> Dict[str, str]:
+    """Every ``*_BENCH_*`` environment override currently in effect."""
+    return {
+        name: value for name, value in sorted(os.environ.items()) if "_BENCH_" in name
+    }
+
+
+def bench_path(area: str, directory: Union[str, Path, None] = None) -> Path:
+    """Where ``BENCH_<area>.json`` lives: ``REPRO_BENCH_DIR``, else ``directory``/cwd."""
+    base = os.environ.get("REPRO_BENCH_DIR") or directory or Path.cwd()
+    return Path(base) / f"BENCH_{area}.json"
+
+
+def emit_bench_result(
+    area: str,
+    results: Dict[str, object],
+    *,
+    directory: Union[str, Path, None] = None,
+    metrics: Optional[dict] = None,
+) -> Path:
+    """Write (or merge into) ``BENCH_<area>.json``; returns the path.
+
+    Results merge by key with whatever a schema-valid existing file holds
+    — the tests of one benchmark area each contribute their own named
+    figures to one shared document.  The envelope (timestamp, git rev,
+    quick-mode flags) is refreshed on every emission; ``metrics`` (a
+    ``repro.obs/v1`` snapshot) replaces the previous one when given.
+    The document is validated before it is written, so an emitter bug
+    cannot check in an invalid file.
+    """
+    path = bench_path(area, directory)
+    merged_results: Dict[str, object] = {}
+    merged_metrics = metrics
+    if path.exists():
+        try:
+            previous = validate_bench_result(json.loads(path.read_text(encoding="utf-8")))
+            merged_results.update(previous["results"])
+            if merged_metrics is None:
+                merged_metrics = previous.get("metrics")
+        except (BenchSchemaError, json.JSONDecodeError, OSError):
+            pass  # an unreadable predecessor is replaced, not merged with
+    merged_results.update(results)
+    doc = {
+        "schema": SCHEMA_TAG,
+        "area": area,
+        "created_unix": round(time.time(), 3),
+        "git_rev": _git_rev(path.parent),
+        "quick_mode": _quick_mode_env(),
+        "results": merged_results,
+    }
+    if merged_metrics is not None:
+        doc["metrics"] = merged_metrics
+    validate_bench_result(doc)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_bench_result(path: Union[str, Path]) -> dict:
+    """Read and validate one ``BENCH_*.json`` file."""
+    return validate_bench_result(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def _main(argv) -> int:
+    if len(argv) >= 2 and argv[0] == "validate":
+        failures = 0
+        for name in argv[1:]:
+            try:
+                doc = load_bench_result(name)
+            except (BenchSchemaError, json.JSONDecodeError, OSError) as error:
+                print(f"FAIL {name}: {error}")
+                failures += 1
+            else:
+                print(f"ok   {name} (area={doc['area']}, {len(doc['results'])} results)")
+        return 1 if failures else 0
+    print("usage: python -m repro.obs.bench validate BENCH_*.json", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(_main(sys.argv[1:]))

@@ -1,0 +1,101 @@
+"""Exporters: Prometheus text exposition and a stable JSON snapshot.
+
+Two consumers, two formats:
+
+* :func:`to_prometheus_text` renders a :class:`~repro.obs.metrics.
+  MetricsRegistry` in the Prometheus text exposition format (version
+  0.0.4): ``# HELP`` / ``# TYPE`` headers, escaped label values,
+  cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count`` for
+  histograms.  The output is deterministic — families and label sets are
+  sorted — so goldens can assert on it line by line.
+* :func:`registry_snapshot` produces the stable JSON schema
+  (``repro.obs/v1``) that the benchmark emitter embeds and dashboards
+  diff: one entry per family with ``name`` / ``type`` / ``help`` and a
+  sorted ``samples`` list; histogram samples carry raw (non-cumulative)
+  bucket counts next to their boundaries, plus ``sum`` and ``count``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["registry_snapshot", "to_prometheus_text", "SNAPSHOT_SCHEMA"]
+
+SNAPSHOT_SCHEMA = "repro.obs/v1"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{name}="{_escape_label_value(value)}"' for name, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _bound_text(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else _format_value(float(bound))
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4."""
+    lines: List[str] = []
+    for family in registry:
+        help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, (Counter, Gauge)):
+            for labels, value in family.samples():
+                lines.append(f"{family.name}{_format_labels(labels)} {_format_value(value)}")
+        elif isinstance(family, Histogram):
+            for labels, child in family.samples():
+                cumulative = 0
+                for bound, bucket_count in zip(
+                    list(family.bounds) + [float("inf")], child.buckets
+                ):
+                    cumulative += bucket_count
+                    le = f'le="{_bound_text(bound)}"'
+                    lines.append(
+                        f"{family.name}_bucket{_format_labels(labels, le)} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(labels)} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{_format_labels(labels)} {child.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_snapshot(registry: MetricsRegistry) -> dict:
+    """The stable JSON view of a registry (schema ``repro.obs/v1``)."""
+    metrics = []
+    for family in registry:
+        entry: dict = {"name": family.name, "type": family.kind, "help": family.help}
+        if isinstance(family, (Counter, Gauge)):
+            entry["samples"] = [
+                {"labels": labels, "value": value} for labels, value in family.samples()
+            ]
+        elif isinstance(family, Histogram):
+            entry["buckets"] = list(family.bounds)
+            entry["samples"] = [
+                {
+                    "labels": labels,
+                    "counts": list(child.buckets),
+                    "sum": child.sum,
+                    "count": child.count,
+                }
+                for labels, child in family.samples()
+            ]
+        metrics.append(entry)
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": metrics}

@@ -1,0 +1,493 @@
+"""Labeled metric primitives and the registry that owns them.
+
+The observability plane's core is a :class:`MetricsRegistry`: a named
+collection of :class:`Counter`\\ s, :class:`Gauge`\\ s and log-bucketed
+:class:`Histogram`\\ s, every one labeled, mergeable across shards and
+nodes exactly like the telemetry sketches (sum counters, sum gauges,
+add histograms bucket-wise — with the same fail-before-mutate geometry
+guards the sketch merges apply).
+
+Design constraints, in order:
+
+* **Near-zero disabled cost** — instrumented modules take an ``obs=None``
+  parameter and guard every metric touch with one ``is not None`` check;
+  nothing here is ever constructed on the disabled path.
+* **Cheap enabled hot path** — ``family.labels(...)`` returns a *bound*
+  child (cached per label combination) whose ``inc``/``observe`` is a
+  couple of attribute accesses, so per-batch instrumentation can bind
+  its children once at construction time.
+* **Determinism for tests** — the registry clock is injectable
+  (``clock=``, defaulting to :func:`time.perf_counter_ns`), so timing
+  histograms are exactly reproducible under a fake clock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Stopwatch",
+    "default_ns_buckets",
+    "log_buckets",
+]
+
+LabelValues = Tuple[str, ...]
+
+
+class MetricError(ValueError):
+    """A metric was registered, labeled or merged inconsistently."""
+
+
+def log_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """Geometric bucket upper bounds: ``start * factor**i`` for ``count`` terms.
+
+    The returned boundaries are *inclusive upper bounds* (Prometheus ``le``
+    semantics); every histogram implicitly appends a ``+Inf`` bucket.
+    """
+    if start <= 0:
+        raise MetricError("bucket start must be positive")
+    if factor <= 1.0:
+        raise MetricError("bucket factor must exceed 1.0")
+    if count <= 0:
+        raise MetricError("bucket count must be positive")
+    return tuple(start * factor**index for index in range(count))
+
+
+def default_ns_buckets() -> Tuple[float, ...]:
+    """The default latency geometry: powers of 4 from 256 ns to ~4.6 s.
+
+    Log-bucketed so one geometry spans sub-microsecond stage timings and
+    multi-second checkpoint writes with bounded relative error (a factor
+    of 4 per bucket, 19 buckets + ``+Inf``).
+    """
+    return log_buckets(256.0, 4.0, 19)
+
+
+class _Family:
+    """Shared plumbing of a labeled metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]) -> None:
+        if not name or not name.replace("_", "a").replace(":", "a").isalnum():
+            raise MetricError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names: LabelValues = tuple(label_names)
+        if len(set(self.label_names)) != len(self.label_names):
+            raise MetricError(f"duplicate label names on metric {name!r}")
+
+    def _label_values(self, labels: Dict[str, object]) -> LabelValues:
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise MetricError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _check_mergeable(self, other: "_Family") -> None:
+        if type(other) is not type(self):
+            raise MetricError(
+                f"cannot merge {self.kind} {self.name!r} with "
+                f"{other.kind} {other.name!r}"
+            )
+        if other.name != self.name:
+            raise MetricError(f"cannot merge {self.name!r} with {other.name!r}")
+        if other.label_names != self.label_names:
+            raise MetricError(
+                f"metric {self.name!r} label sets differ: "
+                f"{self.label_names} vs {other.label_names}"
+            )
+
+
+class _BoundCounter:
+    """One label combination of a counter; ``inc`` is the hot-path call."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Counter(_Family):
+    """A monotonically increasing labeled count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self._children: Dict[LabelValues, _BoundCounter] = {}
+
+    def labels(self, **labels: object) -> _BoundCounter:
+        values = self._label_values(labels)
+        child = self._children.get(values)
+        if child is None:
+            child = self._children[values] = _BoundCounter()
+        return child
+
+    def inc(self, amount: int = 1, **labels: object) -> None:
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels: object) -> int:
+        return self.labels(**labels).value
+
+    def samples(self) -> List[Tuple[Dict[str, str], int]]:
+        return [
+            (dict(zip(self.label_names, values)), child.value)
+            for values, child in sorted(self._children.items())
+        ]
+
+    def merge(self, other: "Counter") -> None:
+        self._check_mergeable(other)
+        for values, child in other._children.items():
+            mine = self._children.get(values)
+            if mine is None:
+                mine = self._children[values] = _BoundCounter()
+            mine.value += child.value
+
+
+class _BoundGauge:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Gauge(_Family):
+    """A labeled point-in-time value.
+
+    Merging gauges *sums* them: every gauge in this system is an additive
+    occupancy or size figure (live flows, sketch fill, retained bytes), so
+    the fleet-wide value of a per-node gauge is the sum over nodes —
+    matching how the telemetry sketches merge.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self._children: Dict[LabelValues, _BoundGauge] = {}
+
+    def labels(self, **labels: object) -> _BoundGauge:
+        values = self._label_values(labels)
+        child = self._children.get(values)
+        if child is None:
+            child = self._children[values] = _BoundGauge()
+        return child
+
+    def set(self, value: float, **labels: object) -> None:
+        self.labels(**labels).set(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels: object) -> float:
+        return self.labels(**labels).value
+
+    def samples(self) -> List[Tuple[Dict[str, str], float]]:
+        return [
+            (dict(zip(self.label_names, values)), child.value)
+            for values, child in sorted(self._children.items())
+        ]
+
+    def merge(self, other: "Gauge") -> None:
+        self._check_mergeable(other)
+        for values, child in other._children.items():
+            mine = self._children.get(values)
+            if mine is None:
+                mine = self._children[values] = _BoundGauge()
+            mine.value += child.value
+
+
+class _BoundHistogram:
+    """One label combination of a histogram: bucket counts, sum and count."""
+
+    __slots__ = ("bounds", "buckets", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # ``le`` semantics: the first bound >= value owns the observation.
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class Histogram(_Family):
+    """A labeled log-bucketed value distribution (latency, sizes).
+
+    ``buckets`` is the inclusive-upper-bound boundary list (default
+    :func:`default_ns_buckets`); an implicit ``+Inf`` bucket catches the
+    tail.  Two histograms merge only when their boundaries are identical
+    — checked before any state mutates, like the sketch geometry guards.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(buckets) if buckets is not None else default_ns_buckets()
+        if not bounds:
+            raise MetricError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise MetricError("histogram bucket bounds must strictly increase")
+        self.bounds = bounds
+        self._children: Dict[LabelValues, _BoundHistogram] = {}
+
+    def labels(self, **labels: object) -> _BoundHistogram:
+        values = self._label_values(labels)
+        child = self._children.get(values)
+        if child is None:
+            child = self._children[values] = _BoundHistogram(self.bounds)
+        return child
+
+    def observe(self, value: float, **labels: object) -> None:
+        self.labels(**labels).observe(value)
+
+    def samples(self) -> List[Tuple[Dict[str, str], _BoundHistogram]]:
+        return [
+            (dict(zip(self.label_names, values)), child)
+            for values, child in sorted(self._children.items())
+        ]
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket).
+
+        Good enough for reports — the log geometry bounds the relative
+        error by one bucket factor.  Returns 0.0 with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError("quantile must be in [0, 1]")
+        child = self.labels(**labels)
+        if child.count == 0:
+            return 0.0
+        rank = q * child.count
+        seen = 0
+        for index, bucket_count in enumerate(child.buckets):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return float("inf")
+        return float("inf")
+
+    def merge(self, other: "Histogram") -> None:
+        self._check_mergeable(other)
+        if other.bounds != self.bounds:
+            raise MetricError(
+                f"histogram {self.name!r} bucket boundaries differ; refusing "
+                "to merge incompatible geometries"
+            )
+        for values, child in other._children.items():
+            mine = self._children.get(values)
+            if mine is None:
+                mine = self._children[values] = _BoundHistogram(self.bounds)
+            for index, bucket_count in enumerate(child.buckets):
+                mine.buckets[index] += bucket_count
+            mine.sum += child.sum
+            mine.count += child.count
+
+
+class Stopwatch:
+    """A tiny perf_counter_ns span, the one elapsed-time primitive.
+
+    Both the registry's :meth:`MetricsRegistry.timer` spans and the
+    experiment reports (:mod:`repro.reporting.experiments`) measure
+    through this class, so "elapsed time" means the same thing — one
+    monotonic ns clock, floored to ns — everywhere a number is reported.
+    """
+
+    __slots__ = ("_clock", "_start")
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self._clock = clock
+        self._start = clock()
+
+    def restart(self) -> None:
+        self._start = self._clock()
+
+    @property
+    def elapsed_ns(self) -> int:
+        return self._clock() - self._start
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_ns / 1e9
+
+
+class _TimerSpan:
+    """Context manager observing its span into a bound histogram."""
+
+    __slots__ = ("_clock", "_child", "_start", "elapsed_ns")
+
+    def __init__(self, clock: Callable[[], int], child: _BoundHistogram) -> None:
+        self._clock = clock
+        self._child = child
+        self._start = 0
+        self.elapsed_ns = 0
+
+    def __enter__(self) -> "_TimerSpan":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_ns = self._clock() - self._start
+        self._child.observe(self.elapsed_ns)
+
+
+class MetricsRegistry:
+    """The named collection of metric families one process (or node) keeps.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    an existing name returns the existing family, and asking with a
+    different type or label set raises :class:`MetricError` — a name means
+    one thing.  :meth:`merge` folds another registry in (union of
+    families, per-family merge) and validates *every* shared family before
+    mutating anything, mirroring the telemetry merge guards.
+    """
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self.clock = clock
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def _get_or_create(self, cls, name: str, help: str, labels: Sequence[str], **kwargs):
+        family = self._families.get(name)
+        if family is not None:
+            if type(family) is not cls:
+                raise MetricError(
+                    f"metric {name!r} is already registered as a {family.kind}"
+                )
+            if family.label_names != tuple(labels):
+                raise MetricError(
+                    f"metric {name!r} is already registered with labels "
+                    f"{family.label_names}"
+                )
+            if kwargs.get("buckets") is not None and tuple(kwargs["buckets"]) != family.bounds:
+                raise MetricError(
+                    f"histogram {name!r} is already registered with different buckets"
+                )
+            return family
+        family = cls(name, help, labels, **kwargs) if kwargs else cls(name, help, labels)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    def get(self, name: str) -> Optional[_Family]:
+        return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __iter__(self) -> Iterator[_Family]:
+        return iter(sorted(self._families.values(), key=lambda f: f.name))
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # ------------------------------------------------------------------ #
+    # Timing
+    # ------------------------------------------------------------------ #
+
+    def timer(self, name: str, help: str = "", **labels: object) -> _TimerSpan:
+        """A ``with`` span recording its duration (ns) into histogram ``name``.
+
+        The histogram is auto-created with the default ns log buckets and
+        the span's label names; durations come from the registry clock, so
+        a fake clock makes timing tests exact.
+        """
+        histogram = self.histogram(name, help, labels=tuple(sorted(labels)))
+        return _TimerSpan(self.clock, histogram.labels(**labels))
+
+    def stopwatch(self) -> Stopwatch:
+        """A free-running :class:`Stopwatch` on the registry clock."""
+        return Stopwatch(self.clock)
+
+    # ------------------------------------------------------------------ #
+    # Merging
+    # ------------------------------------------------------------------ #
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in; fleet aggregation over per-node planes.
+
+        Every family name present in both registries is validated first
+        (type, label set, histogram geometry) and only then merged — an
+        incompatible pair raises with *nothing* combined, so a failed
+        fleet merge never leaves a half-summed plane behind.
+        """
+        shared = [
+            (self._families[name], family)
+            for name, family in other._families.items()
+            if name in self._families
+        ]
+        for mine, theirs in shared:
+            mine._check_mergeable(theirs)
+            if isinstance(mine, Histogram) and mine.bounds != theirs.bounds:
+                raise MetricError(
+                    f"histogram {mine.name!r} bucket boundaries differ; refusing "
+                    "to merge incompatible geometries"
+                )
+        for name, family in sorted(other._families.items()):
+            mine = self._families.get(name)
+            if mine is None:
+                # Adopt a copy via an empty family + merge, keeping the
+                # source registry independent of this one afterwards.
+                if isinstance(family, Histogram):
+                    mine = Histogram(family.name, family.help, family.label_names, family.bounds)
+                else:
+                    mine = type(family)(family.name, family.help, family.label_names)
+                self._families[name] = mine
+            mine.merge(family)
+        return self

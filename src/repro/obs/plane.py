@@ -1,0 +1,60 @@
+"""The bundled observability plane: one registry plus one journal.
+
+:class:`Observability` is what instrumented control planes (the cluster
+coordinator foremost) accept via their ``obs=`` parameter: a
+:class:`~repro.obs.metrics.MetricsRegistry` and an
+:class:`~repro.obs.journal.EventJournal` sharing one injectable clock,
+with the two export formats hanging off it.  ``Observability.coerce``
+normalises the flag forms instrumented constructors take:
+
+* ``None`` / ``False`` — observability disabled (near-zero cost),
+* ``True`` — build a fresh plane on the default clock,
+* an :class:`Observability` — share an existing plane (how a coordinator
+  and its nodes end up writing into one registry).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Union
+
+from repro.obs.export import registry_snapshot, to_prometheus_text
+from repro.obs.journal import EventJournal
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """A metrics registry and event journal on one shared clock."""
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self.clock = clock
+        self.metrics = MetricsRegistry(clock=clock)
+        self.journal = EventJournal(clock=clock)
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, bool, "Observability"]
+    ) -> Optional["Observability"]:
+        """Normalise an ``obs=`` argument; see the module docstring."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, Observability):
+            return value
+        raise TypeError(
+            f"obs must be True/False/None or an Observability, not {type(value).__name__}"
+        )
+
+    # Convenience pass-throughs so call sites read naturally.
+
+    def record(self, kind: str, node: Optional[str] = None, **fields: object):
+        return self.journal.record(kind, node=node, **fields)
+
+    def snapshot(self) -> dict:
+        return registry_snapshot(self.metrics)
+
+    def prometheus_text(self) -> str:
+        return to_prometheus_text(self.metrics)

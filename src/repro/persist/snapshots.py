@@ -577,14 +577,42 @@ def _install_entries(entries, restore_flow, preload) -> int:
 # --------------------------------------------------------------------------- #
 
 
-def dump_node_snapshot(node) -> bytes:
+def _record_persist_obs(obs, op: str, kind: str, elapsed_ns: int, size: int) -> None:
+    """Account one codec operation on a metrics registry (never on the
+    disabled path — callers guard with ``obs is not None``)."""
+    obs.histogram(
+        "repro_persist_ns",
+        "Host-side duration of snapshot encode/decode operations",
+        labels=("kind", "op"),
+    ).observe(elapsed_ns, kind=kind, op=op)
+    obs.histogram(
+        "repro_persist_bytes",
+        "Snapshot frame sizes",
+        labels=("kind", "op"),
+        buckets=_SIZE_BUCKETS,
+    ).observe(size, kind=kind, op=op)
+    obs.counter(
+        "repro_persist_frames_total",
+        "Snapshot frames encoded/decoded",
+        labels=("kind", "op"),
+    ).inc(1, kind=kind, op=op)
+
+
+_SIZE_BUCKETS = tuple(float(64 << (2 * index)) for index in range(16))
+
+
+def dump_node_snapshot(node, obs=None) -> bytes:
     """Checkpoint one cluster node: its live flows and telemetry pipeline.
 
     ``node`` is a :class:`~repro.cluster.node.ClusterNode` (duck-typed:
     anything with ``node_id`` / ``engine`` / ``pipeline`` / ``completed``
     works).  The checkpoint is self-contained — restoring needs no access
     to the node that produced it, which is the point: the node may be gone.
+
+    ``obs`` (a :class:`~repro.obs.metrics.MetricsRegistry`) records the
+    encode duration and frame size under ``repro_persist_*``.
     """
+    start = obs.clock() if obs is not None else 0
     writer = ByteWriter()
     writer.text(node.node_id)
     writer.u64(node.completed)
@@ -595,7 +623,10 @@ def dump_node_snapshot(node) -> bytes:
         writer.u8(1)
         writer.blob(dumps(pipeline))
     _write_entries(writer, node.engine.live_flow_pairs())
-    return pack_frame(MAGIC_NODE, 1, writer.getvalue())
+    frame = pack_frame(MAGIC_NODE, 1, writer.getvalue())
+    if obs is not None:
+        _record_persist_obs(obs, "dump", "node", obs.clock() - start, len(frame))
+    return frame
 
 
 def _decode_node(reader: ByteReader, version: int) -> NodeSnapshot:
@@ -611,9 +642,16 @@ def _decode_node(reader: ByteReader, version: int) -> NodeSnapshot:
 _register(MAGIC_NODE, 1, None)((None, _decode_node))
 
 
-def load_node_snapshot(data: bytes) -> NodeSnapshot:
-    """Decode a node checkpoint produced by :func:`dump_node_snapshot`."""
+def load_node_snapshot(data: bytes, obs=None) -> NodeSnapshot:
+    """Decode a node checkpoint produced by :func:`dump_node_snapshot`.
+
+    ``obs`` (a :class:`~repro.obs.metrics.MetricsRegistry`) records the
+    decode duration and frame size under ``repro_persist_*``.
+    """
+    start = obs.clock() if obs is not None else 0
     snapshot = loads(data)
     if not isinstance(snapshot, NodeSnapshot):
         raise SnapshotError(f"not a node checkpoint: {type(snapshot).__name__!r}")
+    if obs is not None:
+        _record_persist_obs(obs, "load", "node", obs.clock() - start, len(data))
     return snapshot

@@ -8,7 +8,6 @@ side-by-side comparison; EXPERIMENTS.md records a captured run.
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, List, Optional, Sequence
 
 from repro.core.config import FlowLUTConfig, PROTOTYPE_CONFIG, small_test_config
@@ -32,6 +31,7 @@ from repro.cluster import ClusterCoordinator
 from repro.core.resources import PAPER_TABLE1
 from repro.engine import run_scenario_sharded, run_scenario_single
 from repro.net.parser import DescriptorExtractor
+from repro.obs import Stopwatch
 from repro.traffic.scenarios import scenario_descriptors
 from repro.telemetry import TelemetryConfig, TelemetryPipeline
 from repro.traffic.flows import SyntheticTraceGenerator, analyze_new_flow_ratio
@@ -309,9 +309,9 @@ def run_telemetry_scenarios(
     for name in names:
         packets = generate_scenario(name, packet_count, seed=seed)
         pipeline = TelemetryPipeline(telemetry_config, seed=seed)
-        started = time.perf_counter()
+        watch = Stopwatch()
         pipeline.observe_packets(packets)
-        elapsed = time.perf_counter() - started
+        elapsed = watch.elapsed_s
 
         exact: dict = {}
         for packet in packets:
@@ -487,7 +487,7 @@ def run_durability_comparison(
         )
 
     def run(coordinator: ClusterCoordinator, descriptors: Sequence, fail: bool) -> dict:
-        started = time.perf_counter()
+        watch = Stopwatch()
         coordinator.ingest(descriptors[: packet_count // 2])
         victim = None
         if fail:
@@ -496,8 +496,7 @@ def run_durability_comparison(
             )
             coordinator.fail_node(victim)
         coordinator.ingest(descriptors[packet_count // 2 :])
-        elapsed = time.perf_counter() - started
-        return {"victim": victim, "wall_s": elapsed}
+        return {"victim": victim, "wall_s": watch.elapsed_s}
 
     rows = []
     for scenario in scenario_names:

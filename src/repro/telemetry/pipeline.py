@@ -346,6 +346,45 @@ class TelemetryPipeline:
         hh_bytes = self.heavy_hitters.capacity * (13 + 8 + 8)
         return (bits + 7) // 8 + hh_bytes
 
+    def record_occupancy(self, metrics, **labels: object) -> None:
+        """Export the sketches' fill state as gauges on ``metrics``.
+
+        ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry`;
+        ``labels`` (typically ``node=<id>``) distinguish pipelines sharing
+        one registry.  Occupancy is a *now* figure, so this samples rather
+        than accumulates: Count-Min non-zero-counter fraction per sketch,
+        Space-Saving monitored-entry fill, detector source-table fill, and
+        the packet total the pipeline has absorbed.  Walking the Count-Min
+        grids is O(width × depth) — scrape-path cost, never hot-path.
+        """
+        label_names = tuple(sorted(labels))
+        occupancy = metrics.gauge(
+            "repro_telemetry_occupancy",
+            "Fill fraction of each bounded telemetry structure",
+            labels=(*label_names, "structure"),
+        )
+        occupancy.set(self.packet_counts.occupancy, **labels, structure="cm_packets")
+        occupancy.set(self.byte_counts.occupancy, **labels, structure="cm_bytes")
+        occupancy.set(
+            len(self.heavy_hitters) / self.heavy_hitters.capacity,
+            **labels,
+            structure="heavy_hitters",
+        )
+        for detector, structure in (
+            (self.spreaders, "spreaders"),
+            (self.port_scanners, "port_scanners"),
+        ):
+            occupancy.set(
+                detector.stats()["monitored_sources"] / detector.max_sources,
+                **labels,
+                structure=structure,
+            )
+        metrics.gauge(
+            "repro_telemetry_packets",
+            "Packets absorbed by each telemetry pipeline",
+            labels=label_names,
+        ).set(self.packets, **labels)
+
     # ------------------------------------------------------------------ #
     # Head-to-head against the exact path
     # ------------------------------------------------------------------ #

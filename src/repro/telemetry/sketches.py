@@ -195,12 +195,25 @@ class CountMinSketch:
     def memory_bytes(self) -> int:
         return (self.memory_bits + 7) // 8
 
+    @property
+    def occupancy(self) -> float:
+        """Fraction of non-zero counters — the sketch-saturation gauge.
+
+        As occupancy approaches 1.0 every estimate collides with other
+        flows and the error bound degrades towards ``epsilon * total``;
+        the observability plane exports this so an operator sees a sketch
+        running out of headroom before the accuracy numbers say so.
+        """
+        occupied = sum(1 for row in self._rows for cell in row if cell)
+        return occupied / (self.width * self.depth)
+
     def stats(self) -> dict:
         return {
             "width": self.width,
             "depth": self.depth,
             "total": self.total,
             "epsilon": self.epsilon,
+            "occupancy": self.occupancy,
             "memory_bytes": self.memory_bytes,
         }
 

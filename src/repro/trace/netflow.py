@@ -127,6 +127,7 @@ class NetFlowV5Exporter:
         engine_id: int = 0,
         sampling_interval: int = 0,
         boot_unix_s: int = 0,
+        obs=None,
     ) -> None:
         if not 1 <= records_per_datagram <= MAX_RECORDS_PER_DATAGRAM:
             raise TraceFormatError(
@@ -140,6 +141,31 @@ class NetFlowV5Exporter:
         self.boot_unix_s = boot_unix_s
         self.flow_sequence = 0
         self.datagrams_built = 0
+        # Export-rate instrumentation (a repro.obs MetricsRegistry): bound
+        # children are cached here so export() pays attribute access, not
+        # family lookups.
+        self.obs = obs
+        if obs is not None:
+            engine = str(engine_id)
+            self._obs_records = obs.counter(
+                "repro_netflow_records_total",
+                "Flow records packed into NetFlow v5 datagrams",
+                labels=("engine",),
+            ).labels(engine=engine)
+            self._obs_datagrams = obs.counter(
+                "repro_netflow_datagrams_total",
+                "NetFlow v5 datagrams built",
+                labels=("engine",),
+            ).labels(engine=engine)
+            self._obs_bytes = obs.counter(
+                "repro_netflow_bytes_total",
+                "NetFlow v5 wire bytes built",
+                labels=("engine",),
+            ).labels(engine=engine)
+            self._obs_export_ns = obs.histogram(
+                "repro_netflow_export_ns",
+                "Host-side duration of NetFlow v5 export calls",
+            )
 
     def export(self, records: Sequence[FlowRecord], now_ps: Optional[int] = None) -> List[bytes]:
         """Pack flow records into v5 datagrams (empty input → no datagrams).
@@ -151,6 +177,7 @@ class NetFlowV5Exporter:
         records = list(records)
         if not records:
             return []
+        start_ns = self.obs.clock() if self.obs is not None else 0
         if now_ps is None:
             now_ps = max(record.last_seen_ps for record in records)
         uptime_ms = now_ps // PS_PER_MS
@@ -200,6 +227,11 @@ class NetFlowV5Exporter:
             self.flow_sequence = (self.flow_sequence + len(chunk)) & U32
             self.datagrams_built += 1
             datagrams.append(bytes(out))
+        if self.obs is not None:
+            self._obs_records.inc(len(records))
+            self._obs_datagrams.inc(len(datagrams))
+            self._obs_bytes.inc(sum(len(datagram) for datagram in datagrams))
+            self._obs_export_ns.observe(self.obs.clock() - start_ns)
         return datagrams
 
     def drain(self, table: FlowStateTable, now_ps: Optional[int] = None) -> List[bytes]:

@@ -311,8 +311,41 @@ def _decode_frame(frame: bytes, orig_len: int, timestamp_ps: int, trace: PcapTra
     )
 
 
-def parse_pcap(data: bytes) -> PcapTrace:
-    """Decode classic-pcap bytes into a :class:`PcapTrace` (see :func:`read_pcap`)."""
+def parse_pcap(data: bytes, obs=None) -> PcapTrace:
+    """Decode classic-pcap bytes into a :class:`PcapTrace` (see :func:`read_pcap`).
+
+    ``obs`` (a :class:`~repro.obs.metrics.MetricsRegistry`) records the
+    ingest rate: per-result frame counters
+    (``repro_trace_frames_total{result=...}``) and the decode duration
+    (``repro_trace_parse_ns``).
+    """
+    start = obs.clock() if obs is not None else 0
+    trace = _parse_pcap(data)
+    if obs is not None:
+        elapsed = obs.clock() - start
+        frames = obs.counter(
+            "repro_trace_frames_total",
+            "Pcap frames ingested, by decode result",
+            labels=("result",),
+        )
+        frames.inc(trace.converted, result="converted")
+        for result, count in (
+            ("skipped_non_ip", trace.skipped_non_ip),
+            ("skipped_non_transport", trace.skipped_non_transport),
+            ("skipped_malformed", trace.skipped_malformed),
+        ):
+            if count:
+                frames.inc(count, result=result)
+        obs.histogram(
+            "repro_trace_parse_ns", "Host-side duration of pcap decodes"
+        ).observe(elapsed)
+        obs.counter(
+            "repro_trace_bytes_total", "Pcap bytes ingested"
+        ).inc(len(data))
+    return trace
+
+
+def _parse_pcap(data: bytes) -> PcapTrace:
     if len(data) < GLOBAL_HEADER_BYTES:
         raise TraceFormatError(
             f"pcap global header truncated: {len(data)} bytes, need {GLOBAL_HEADER_BYTES}"
@@ -364,16 +397,17 @@ def parse_pcap(data: bytes) -> PcapTrace:
     return trace
 
 
-def read_pcap(path: PathLike) -> PcapTrace:
+def read_pcap(path: PathLike, obs=None) -> PcapTrace:
     """Read a classic-pcap capture into packets plus skip accounting.
 
     Both byte orders and both timestamp resolutions are auto-detected
     from the magic.  Frames outside the Ethernet → IPv4 → TCP/UDP subset
     are counted in the returned :class:`PcapTrace`, never raised on;
     structural damage raises :class:`~repro.trace.errors.TraceFormatError`
-    naming the byte offset.
+    naming the byte offset.  ``obs`` instruments the decode — see
+    :func:`parse_pcap`.
     """
-    return parse_pcap(Path(path).read_bytes())
+    return parse_pcap(Path(path).read_bytes(), obs=obs)
 
 
 def load_pcap_packets(path: PathLike) -> List[Packet]:

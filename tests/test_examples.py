@@ -85,6 +85,17 @@ def test_trace_replay_demo_example(capsys):
     assert "False" not in output  # every path matches the synthetic run
 
 
+def test_observability_demo_example(capsys):
+    output = run_example("observability_demo", capsys)
+    assert "obs-enabled cluster" in output
+    assert "membership history" in output
+    assert '"kind":"failure"' in output  # the journal's JSONL failure record
+    assert 'repro_cluster_fleet{figure="nodes_alive"}' in output
+    assert "repro_telemetry_occupancy" in output
+    assert "sharded engine stage timings" in output
+    assert "schema repro.obs/v1" in output
+
+
 def test_ddr3_bandwidth_explorer_example(capsys):
     output = run_example("ddr3_bandwidth_explorer", capsys)
     assert "DDR3-1066" in output
@@ -109,4 +120,5 @@ def test_examples_directory_contains_expected_scripts():
         "sharded_engine_demo",
         "telemetry_demo",
         "cluster_demo",
+        "observability_demo",
     } <= names
