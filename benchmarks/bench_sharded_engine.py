@@ -17,7 +17,7 @@ from repro.core.config import small_test_config
 from repro.engine import ShardedFlowLUT, sharded_vs_single
 from repro.obs import MetricsRegistry, Stopwatch
 from repro.reporting import format_table, run_sharded_scaling
-from repro.traffic import list_scenarios, scenario_descriptors
+from repro.traffic import list_scenarios, scenario_block, scenario_descriptors
 
 PACKETS = int(os.environ.get("SHARDED_BENCH_PACKETS", "4000"))
 SHARD_COUNTS = (1, 2, 4, 8)
@@ -76,6 +76,70 @@ def test_sharded_matches_single_path_on_every_scenario():
     print(format_table(rows, title=f"sharded vs single-LUT totals ({packets} packets each)"))
 
 
+def test_columnar_ingest_speedup_gate(bench_emit):
+    """Columnar hot-path acceptance: >= 3x faster host-side ingest.
+
+    The same workload is driven through ``process_batch`` twice — once as
+    descriptor lists (before), once as ``DescriptorBlock`` slices (after) —
+    and the host wall clock is compared best-of-3.  Outcome totals must be
+    identical; the per-path rates land in ``BENCH_sharded_engine.json`` next
+    to the simulated-throughput trajectory.  (The per-shard-count breakdown
+    lives in ``bench_columnar_hot_path.py`` / ``BENCH_columnar.json``.)
+    """
+    packets = max(800, PACKETS // 2)
+    batch = 256
+    descriptors = scenario_descriptors("zipf_mix", packets, seed=17)
+    block = scenario_block("zipf_mix", packets, seed=17)
+
+    def drive_objects():
+        engine = ShardedFlowLUT(shards=4, config=small_test_config())
+        watch = Stopwatch()
+        for offset in range(0, packets, batch):
+            engine.process_batch(descriptors[offset : offset + batch])
+        return engine, watch.elapsed_s
+
+    def drive_block():
+        engine = ShardedFlowLUT(shards=4, config=small_test_config())
+        watch = Stopwatch()
+        for offset in range(0, packets, batch):
+            engine.process_batch(block.take(range(offset, min(offset + batch, packets))))
+        return engine, watch.elapsed_s
+
+    # Interleaved pairs: drift across the window hits both paths alike.
+    object_runs, block_runs = [], []
+    for _ in range(3):
+        object_runs.append(drive_objects())
+        block_runs.append(drive_block())
+    object_engine, object_wall = object_runs[0][0], min(w for _, w in object_runs)
+    block_engine, block_wall = block_runs[0][0], min(w for _, w in block_runs)
+
+    assert (block_engine.completed, block_engine.hits, block_engine.new_flows) == (
+        object_engine.completed, object_engine.hits, object_engine.new_flows
+    )
+    speedup = object_wall / block_wall
+    assert speedup >= 3.0, (object_wall, block_wall)
+
+    object_rate = packets / object_wall / 1e6
+    columnar_rate = packets / block_wall / 1e6
+    print()
+    print(format_table(
+        [
+            {
+                "packets": packets,
+                "object_mdesc_s": round(object_rate, 3),
+                "columnar_mdesc_s": round(columnar_rate, 3),
+                "speedup": round(speedup, 2),
+            }
+        ],
+        title="columnar vs object host-side ingest — acceptance gate (4 shards)",
+    ))
+    bench_emit("sharded_engine", {
+        "ingest_object_mdesc_s": round(object_rate, 4),
+        "ingest_columnar_mdesc_s": round(columnar_rate, 4),
+        "ingest_columnar_speedup": round(speedup, 2),
+    })
+
+
 def _drive(descriptors, obs, batch_size=256):
     """One sharded run over ``descriptors``; returns (engine, host wall s)."""
     engine = ShardedFlowLUT(shards=4, config=small_test_config(), obs=obs)
@@ -121,7 +185,7 @@ def test_obs_instrumentation_overhead_smoke(bench_emit):
     registry = obs_engine.obs
     stage_count = registry.histogram(
         "repro_engine_stage_ns",
-        "Host-side duration of each batch stage (steer/probe/drain/telemetry)",
+        "Host-side duration of each batch stage (hash/steer/probe/drain/pack/telemetry)",
         labels=("stage",),
     )
     samples = {labels["stage"]: child.count for labels, child in stage_count.samples()}

@@ -35,6 +35,7 @@ import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.columns.block import DescriptorBlock
 from repro.core.config import FlowLUTConfig, small_test_config
 from repro.core.flow_lut import LookupOutcome
 from repro.core.flow_state import FlowRecord
@@ -253,17 +254,24 @@ class ClusterCoordinator:
             groups[self.ring.lookup(descriptor.key_bytes)].append(descriptor)
         return groups
 
-    def ingest(self, descriptors: Sequence, batch_size: Optional[int] = None) -> dict:
+    def ingest(self, descriptors, batch_size: Optional[int] = None) -> dict:
         """Steer one stream segment across the fleet in per-node batches.
 
         Every descriptor is routed to exactly one alive node and processed
         there in sub-batches of ``batch_size``; nodes are independent
         devices, so the wall-clock cost of a segment is the slowest node's
-        simulated time.  Returns the per-node packet counts of this call.
+        simulated time.  Accepts either a descriptor sequence (timed
+        reference path) or a :class:`~repro.columns.DescriptorBlock` —
+        blocks are steered with one vectorised ring pass
+        (:meth:`~repro.cluster.ring.HashRing.lookup_column`) and each node
+        bulk-probes its slice.  Returns the per-node packet counts of this
+        call.
         """
         size = self.batch_size if batch_size is None else batch_size
         if size <= 0:
             raise ValueError("batch_size must be positive")
+        if isinstance(descriptors, DescriptorBlock):
+            return self._ingest_block(descriptors, size)
         groups = self.route(descriptors)
         per_node: Dict[str, int] = {}
         for node_id, group in groups.items():
@@ -288,6 +296,43 @@ class ClusterCoordinator:
                 "repro_cluster_ingested_total", "Descriptors steered into the fleet"
             ).inc(len(descriptors))
         return {"packets": len(descriptors), "per_node": per_node}
+
+    def _ingest_block(self, block: DescriptorBlock, size: int) -> dict:
+        """Columnar twin of :meth:`ingest`: one ring pass, per-node slices.
+
+        Ownership of every row is resolved with a single vectorised ring
+        lookup over the packed key column; rows are then sliced per owner
+        (original order kept) and bulk-probed in sub-blocks of ``size``.
+        Replication — when enabled — materialises the per-object outcomes,
+        since the replica stores mirror individual flow records.
+        """
+        count = len(block)
+        owners = self.ring.lookup_column(block.key_data, count, block.key_width)
+        groups: Dict[str, List[int]] = {}
+        for row, owner in enumerate(owners):
+            groups.setdefault(owner, []).append(row)
+        per_node: Dict[str, int] = {}
+        for node_id, indices in groups.items():
+            node = self.nodes[node_id]
+            for offset in range(0, len(indices), size):
+                piece = block.take(indices[offset : offset + size])
+                outcomes = node.process_batch(piece)
+                if self.replication > 1:
+                    self._replicate(node_id, outcomes.to_outcomes())
+                if (
+                    self.checkpoint_interval is not None
+                    and node.completed - self._checkpointed_at.get(node_id, 0)
+                    >= self.checkpoint_interval
+                ):
+                    self.checkpoint_node(node_id)
+            per_node[node_id] = len(indices)
+            self.routed[node_id] = self.routed.get(node_id, 0) + len(indices)
+        self.ingested += count
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_cluster_ingested_total", "Descriptors steered into the fleet"
+            ).inc(count)
+        return {"packets": count, "per_node": per_node}
 
     def _replicate(self, primary_id: str, outcomes: Sequence[LookupOutcome]) -> None:
         """Mirror a primary's outcome batch onto its keys' backup nodes.

@@ -12,10 +12,10 @@ owns the flow.  Adding or removing one node therefore only remaps the keys
 in the arcs that node's vnodes cover — about ``1/N`` of the keyspace —
 which is exactly the flow state the cluster migrates.
 
-The hash is the repository's table-driven IEEE CRC-32
-(:data:`repro.hashing.crc.CRC32`), a different family from both the
-per-shard CRC used inside :class:`~repro.engine.sharded.ShardedFlowLUT`
-(zlib's, over the raw key) and the per-node H3 bucket hashing, so placement
+The hash is the repository's IEEE CRC-32 (:data:`repro.hashing.crc.CRC32`)
+— the same implementation :class:`~repro.engine.sharded.ShardedFlowLUT`
+steers shards with, but over salted vnode labels rather than raw keys, and
+a different family from the per-node H3 bucket hashing, so placement
 decisions at the three levels stay uncorrelated.
 """
 
@@ -24,6 +24,8 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Sequence, Tuple
 
+from repro.columns import backend as col_backend
+from repro.columns.hashing import crc32_column
 from repro.hashing.crc import CRC32
 
 RING_BITS = 32
@@ -53,6 +55,7 @@ class HashRing:
         # the tie deterministically, which is all lookup needs.
         self._tokens: List[int] = []
         self._owners: List[str] = []
+        self._np_tokens = None  # lazy numpy copy of _tokens for lookup_column
 
     # ------------------------------------------------------------------ #
     # Membership
@@ -82,6 +85,7 @@ class HashRing:
         points.sort()
         self._tokens = [token for token, _ in points]
         self._owners = [node_id for _, node_id in points]
+        self._np_tokens = None
 
     def add_node(self, node_id: str, weight: int = 1) -> None:
         """Add a member with ``vnodes * weight`` ring points."""
@@ -117,6 +121,33 @@ class HashRing:
         if index == len(self._tokens):  # wrap past the top of the ring
             index = 0
         return self._owners[index]
+
+    def lookup_column(self, key_data, count: int, width: int) -> List[str]:
+        """Owners of every fixed-width key in a packed column.
+
+        The vectorised twin of :meth:`lookup`: the whole column is CRC-32
+        hashed in one pass (:func:`repro.columns.hashing.crc32_column`) and
+        steered with a single ``searchsorted`` over the token array.  The
+        returned owner list equals ``[self.lookup(k) for k in keys]``.
+        """
+        if not self._tokens:
+            raise LookupError("cannot look up a key on an empty ring")
+        np = col_backend.np
+        tokens = crc32_column(key_data, count, width)
+        owners = self._owners
+        if np is not None:
+            if self._np_tokens is None:
+                self._np_tokens = np.asarray(self._tokens, dtype=np.int64)
+            indices = np.searchsorted(self._np_tokens, tokens.astype(np.int64), side="left")
+            indices[indices == len(owners)] = 0  # wrap past the top of the ring
+            return [owners[i] for i in indices]
+        ring_tokens = self._tokens
+        size = len(ring_tokens)
+        result = []
+        for token in tokens:
+            index = bisect.bisect_left(ring_tokens, token)
+            result.append(owners[0 if index == size else index])
+        return result
 
     def lookup_n(self, key_bytes: bytes, count: int = 2) -> List[str]:
         """The key's replica set: the first ``count`` *distinct* nodes clockwise.

@@ -1,0 +1,33 @@
+"""Array backend selection for the columnar batch path.
+
+The columnar structures run on two backends:
+
+* **numpy** — whole-column vector arithmetic (the fast path);
+* **stdlib** — ``array.array`` / ``memoryview`` loops, so the package works
+  on any Python installation with no third-party dependency at all.
+
+The backend is chosen once at import: numpy is used when importable unless
+``REPRO_NO_NUMPY`` is set in the environment (the CI fallback leg sets it to
+prove the stdlib path stays green).  Code that branches per call reads
+``backend.np`` at runtime rather than caching it, so tests can also
+monkeypatch ``np``/``HAVE_NUMPY`` to exercise the fallback in-process.
+"""
+
+from __future__ import annotations
+
+import os
+
+if os.environ.get("REPRO_NO_NUMPY"):
+    np = None
+else:
+    try:
+        import numpy as np  # type: ignore[no-redef]
+    except ImportError:  # pragma: no cover - depends on the environment
+        np = None
+
+HAVE_NUMPY = np is not None
+
+
+def using_numpy() -> bool:
+    """Whether the vectorised numpy backend is active right now."""
+    return np is not None

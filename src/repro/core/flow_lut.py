@@ -241,6 +241,159 @@ class FlowLUT:
         return inserted
 
     # ------------------------------------------------------------------ #
+    # Columnar bulk probe
+    # ------------------------------------------------------------------ #
+
+    def process_block(self, block, hash_columns=None):
+        """Bulk-probe every row of a :class:`~repro.columns.DescriptorBlock`.
+
+        The *functional* hot path: rows resolve strictly in order against
+        the same three-stage table the timed path uses (CAM first, then
+        each memory's bucket), and misses insert exactly as
+        :meth:`_handle_full_miss` does — so totals, flow state, live keys
+        and table contents match a ``submit_blocking``/``drain`` loop over
+        the same descriptors.  What it skips is the cycle-accurate
+        machinery: per-descriptor FIFO/DLU/DRAM events, the rate/latency
+        meters, ``self.results`` and the ``on_result`` callback.
+        Completion times follow the sequencer's steady-state envelope (two
+        dispatches per system cycle), advancing ``elapsed_ps`` the way a
+        saturated timed run would.
+
+        ``hash_columns`` optionally supplies precomputed
+        ``(index1, index2)`` bucket-index columns — the sharded engine
+        hashes the full batch once and slices per shard.  Returns an
+        :class:`~repro.columns.OutcomeBlock`.
+        """
+        from array import array
+
+        from repro.columns import backend
+        from repro.columns.block import STAGE_CODES, OutcomeBlock
+
+        count = len(block)
+        table = self.table
+        if hash_columns is None:
+            idx1_col, idx2_col = table.column_hash_indices(
+                block.key_data, count, block.key_width
+            )
+        else:
+            idx1_col, idx2_col = hash_columns
+
+        base = max(self._last_complete_ps, self.sim.now)
+        period = self._sys_period
+        if count and self._first_submit_ps is None:
+            self._first_submit_ps = base
+
+        keys = block.keys()
+        flow_state = self.flow_state
+        flow_keys = block.flow_keys() if flow_state is not None else None
+        lengths = block.lengths
+        timestamps = block.timestamps
+        flags = block.flags
+
+        cam = table.cam
+        memories = table._memories
+        live_keys = self._live_keys
+        insert_on_miss = self.config.insert_on_miss
+        code_cam = STAGE_CODES[LookupStage.CAM]
+        code_mem = (STAGE_CODES[LookupStage.MEM1], STAGE_CODES[LookupStage.MEM2])
+        code_miss = STAGE_CODES[LookupStage.MISS]
+
+        flow_ids: List[int] = []
+        hits = bytearray(count)
+        new_flows = bytearray(count)
+        stages = bytearray(count)
+        hit_total = 0
+        new_total = 0
+
+        for i in range(count):
+            key = keys[i]
+            flow_id = -1
+            cam_value = cam.lookup(key)
+            if cam_value is not None:
+                flow_id = int(cam_value)
+                hits[i] = 1
+                stages[i] = code_cam
+                hit_total += 1
+            else:
+                index1 = int(idx1_col[i])
+                index2 = int(idx2_col[i])
+                found = False
+                for memory, bucket in ((0, index1), (1, index2)):
+                    entries = memories[memory].get(bucket)
+                    if entries:
+                        for entry in entries:
+                            if entry.key == key:
+                                flow_id = entry.flow_id
+                                hits[i] = 1
+                                stages[i] = code_mem[memory]
+                                hit_total += 1
+                                found = True
+                                break
+                    if found:
+                        break
+                if not found:
+                    if not insert_on_miss:
+                        stages[i] = code_miss
+                    else:
+                        insert = table.insert(key, indices=(index1, index2))
+                        if insert.already_present:
+                            flow_id = insert.flow_id
+                            hits[i] = 1
+                            stages[i] = STAGE_CODES[insert.stage]
+                            hit_total += 1
+                        elif not insert.inserted:
+                            self.insert_failures += 1
+                            stages[i] = code_miss
+                        else:
+                            new_flows[i] = 1
+                            stages[i] = STAGE_CODES[insert.stage]
+                            new_total += 1
+                            if insert.flow_id is not None:
+                                flow_id = insert.flow_id
+                                live_keys[insert.flow_id] = key
+            flow_ids.append(flow_id)
+            if flow_state is not None and flow_id >= 0:
+                flow_state.update(
+                    flow_id,
+                    flow_keys[i],
+                    length_bytes=int(lengths[i]),
+                    timestamp_ps=int(timestamps[i]),
+                    tcp_flags=int(flags[i]),
+                )
+
+        self.submitted += count
+        self.completed += count
+        self.hits += hit_total
+        self.misses += count - hit_total
+        self.new_flows += new_total
+        if count:
+            self._last_complete_ps = base + ((count - 1) // 2 + 1) * period
+
+        np = backend.np
+        if np is not None:
+            complete_col = base + (np.arange(count, dtype=np.int64) // 2 + 1) * period
+            return OutcomeBlock(
+                block,
+                np.array(flow_ids, dtype=np.int64),
+                np.frombuffer(bytes(hits), dtype=np.uint8),
+                np.frombuffer(bytes(new_flows), dtype=np.uint8),
+                np.frombuffer(bytes(stages), dtype=np.uint8),
+                np.full(count, -1, dtype=np.int8),
+                np.full(count, base, dtype=np.int64),
+                complete_col,
+            )
+        return OutcomeBlock(
+            block,
+            array("q", flow_ids),
+            hits,
+            new_flows,
+            stages,
+            array("b", [-1]) * count,
+            array("q", [base]) * count,
+            array("q", (base + (i // 2 + 1) * period for i in range(count))),
+        )
+
+    # ------------------------------------------------------------------ #
     # Dispatch (sequencer + CAM stage)
     # ------------------------------------------------------------------ #
 

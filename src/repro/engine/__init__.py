@@ -6,15 +6,20 @@ package scales the reproduction out the way deployments do:
 * :mod:`repro.engine.sharded` — :class:`ShardedFlowLUT`, hash-partitioning
   flow keys across ``N`` independent Flow LUT instances behind a batched
   ``process_batch`` API that merges outcome streams and per-shard stats.
+  ``process_batch`` accepts either descriptor lists (the timed reference
+  path) or :class:`~repro.columns.DescriptorBlock` columnar batches (the
+  vectorised hot path).
 * :mod:`repro.engine.runner` — replay any named workload scenario
-  (:mod:`repro.traffic.scenarios`) through the sharded engine or the
-  single-LUT baseline, with scenario-scoped descriptor extraction and an
-  optional telemetry pipeline riding the outcome batches.
+  (:mod:`repro.traffic.scenarios`) through the sharded engine (object or
+  columnar representation) or the single-LUT baseline, with
+  scenario-scoped descriptor extraction and an optional telemetry
+  pipeline riding the outcome batches.
 """
 
 from repro.engine.runner import (
     ScenarioRunResult,
     run_all_scenarios_sharded,
+    run_scenario_columnar,
     run_scenario_sharded,
     run_scenario_single,
     sharded_vs_single,
@@ -25,6 +30,7 @@ __all__ = [
     "ScenarioRunResult",
     "ShardedFlowLUT",
     "run_all_scenarios_sharded",
+    "run_scenario_columnar",
     "run_scenario_sharded",
     "run_scenario_single",
     "sharded_vs_single",

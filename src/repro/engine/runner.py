@@ -17,7 +17,7 @@ from repro.core.config import FlowLUTConfig, small_test_config
 from repro.core.flow_lut import FlowLUT
 from repro.engine.sharded import ShardedFlowLUT
 from repro.net.parser import DescriptorExtractor
-from repro.traffic.scenarios import list_scenarios, scenario_descriptors
+from repro.traffic.scenarios import list_scenarios, scenario_block, scenario_descriptors
 
 DEFAULT_BATCH_SIZE = 512
 
@@ -92,6 +92,53 @@ def run_scenario_sharded(
         shards=shards,
         packets=len(descriptors),
         packets_parsed=extractor.packets_parsed,
+        completed=engine.completed,
+        hits=engine.hits,
+        misses=engine.misses,
+        new_flows=engine.new_flows,
+        insert_failures=engine.insert_failures,
+        elapsed_ps=engine.elapsed_ps,
+        throughput_mdesc_s=engine.throughput_mdesc_s,
+        shard_completed=tuple(engine.shard_completed),
+        load_imbalance=engine.load_imbalance,
+    )
+
+
+def run_scenario_columnar(
+    name: str,
+    packet_count: int,
+    shards: int = 4,
+    seed: int = 0,
+    config: Optional[FlowLUTConfig] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    telemetry=None,
+) -> ScenarioRunResult:
+    """Replay a named scenario through the sharded engine's columnar hot path.
+
+    The twin of :func:`run_scenario_sharded` on the block representation: the
+    scenario is built as one :class:`~repro.columns.DescriptorBlock`
+    (:func:`~repro.traffic.scenarios.scenario_block`), sliced into batch-sized
+    sub-blocks and steered through :meth:`ShardedFlowLUT.process_batch`'s bulk
+    path.  No per-packet descriptor objects are created, so
+    ``packets_parsed`` is reported as 0; every outcome total matches the
+    object path exactly.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    config = config or small_test_config()
+    block = scenario_block(name, packet_count, seed=seed)
+    on_batch = telemetry.observe_outcomes if telemetry is not None else None
+    engine = ShardedFlowLUT(shards=shards, config=config, on_batch=on_batch)
+    count = len(block)
+    for offset in range(0, count, batch_size):
+        end = min(offset + batch_size, count)
+        piece = block if count <= batch_size else block.take(range(offset, end))
+        engine.process_batch(piece)
+    return ScenarioRunResult(
+        scenario=name,
+        shards=shards,
+        packets=count,
+        packets_parsed=0,
         completed=engine.completed,
         hits=engine.hits,
         misses=engine.misses,

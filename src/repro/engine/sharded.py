@@ -19,14 +19,25 @@ which is what :attr:`ShardedFlowLUT.throughput_mdesc_s` reports.
 from __future__ import annotations
 
 import heapq
-import zlib
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.columns import backend as col_backend
+from repro.columns.block import DescriptorBlock, OutcomeBlock
+from repro.columns.hashing import crc32_partition
 from repro.core.config import FlowLUTConfig
 from repro.core.flow_lut import FlowLUT, LookupOutcome
 from repro.core.flow_state import FlowRecord, FlowStateTable
+from repro.hashing.crc import CRC32
 from repro.net.parser import PacketDescriptor
 from repro.obs.metrics import MetricsRegistry
+
+
+def _slice_column(column, indices):
+    """Rows ``indices`` of a hash column (fancy-index or list fallback)."""
+    np = col_backend.np
+    if np is not None:
+        return np.asarray(column)[np.asarray(indices, dtype=np.int64)]
+    return [column[i] for i in indices]
 
 
 class ShardedFlowLUT:
@@ -42,8 +53,9 @@ class ShardedFlowLUT:
         :class:`LookupOutcome` objects (the telemetry plane rides this).
     input_queue_depth: per-shard descriptor FIFO depth.
     obs: a :class:`~repro.obs.metrics.MetricsRegistry` to instrument the
-        batch path with — per-batch stage timings (steer → probe →
-        telemetry → drain, ``repro_engine_stage_ns``) and per-shard
+        batch path with — per-batch stage timings (``repro_engine_stage_ns``:
+        steer → probe → drain → telemetry on object batches, hash → steer →
+        probe → pack → telemetry on columnar blocks) and per-shard
         ingest counters (``repro_engine_shard_descriptors_total``).
         ``None`` (the default) disables instrumentation; the disabled
         path pays one ``is None`` branch per batch.
@@ -77,14 +89,16 @@ class ShardedFlowLUT:
             label_names = tuple(labels)
             stage_hist = obs.histogram(
                 "repro_engine_stage_ns",
-                "Host-side duration of each batch stage (steer/probe/drain/telemetry)",
+                "Host-side duration of each batch stage (hash/steer/probe/drain/pack/telemetry)",
                 labels=(*label_names, "stage"),
             )
             # Children are bound once here so the per-batch cost is a few
-            # attribute accesses, not label-dict hashing.
+            # attribute accesses, not label-dict hashing.  Object batches
+            # time steer/probe/drain/telemetry; columnar batches time
+            # hash/steer/probe/pack/telemetry.
             self._obs_stages = {
                 stage: stage_hist.labels(**labels, stage=stage)
-                for stage in ("steer", "probe", "drain", "telemetry")
+                for stage in ("hash", "steer", "probe", "drain", "pack", "telemetry")
             }
             shard_counter = obs.counter(
                 "repro_engine_shard_descriptors_total",
@@ -111,9 +125,12 @@ class ShardedFlowLUT:
 
         CRC-32 is deliberately a different hash family from the per-shard H3
         bucket hashing, so shard placement does not correlate with bucket
-        placement inside a shard.
+        placement inside a shard.  The hash is the repo-wide
+        :data:`repro.hashing.crc.CRC32` — the same implementation the
+        cluster ring and the vectorised column partitioner use, so all
+        three steering layers provably agree.
         """
-        return zlib.crc32(key_bytes) % self.num_shards
+        return CRC32.hash(key_bytes) % self.num_shards
 
     def partition(self, descriptors: Sequence) -> List[List]:
         """Split a descriptor batch into per-shard sub-batches (order kept)."""
@@ -134,15 +151,27 @@ class ShardedFlowLUT:
             groups[self.shard_of(key_bytes)].append(key_bytes)
         return sum(shard.preload(group) for shard, group in zip(self.shards, groups))
 
-    def process_batch(self, descriptors: Sequence) -> List[LookupOutcome]:
-        """Run one descriptor batch through all shards and merge the outcomes.
+    def process_batch(self, descriptors):
+        """Run one batch through all shards and merge the outcomes.
 
-        The batch is partitioned once, each shard is driven through its whole
+        Accepts either a ``Sequence[PacketDescriptor]`` (the timed
+        reference path) or a :class:`~repro.columns.DescriptorBlock` (the
+        columnar hot path, returning an
+        :class:`~repro.columns.OutcomeBlock`).
+
+        The object path partitions once, drives each shard through its
         sub-batch (submitting under backpressure, then draining in-flight
-        lookups and batched updates), and the per-shard outcome streams are
-        merged in completion-time order.  Dispatch cost is paid per batch,
-        not per packet.
+        lookups and batched updates), and merges the per-shard outcome
+        streams in completion-time order.  The columnar path hashes the
+        whole block once (CRC-32 steering tokens plus both H3 bucket
+        columns — every shard shares the same seed, so the bucket columns
+        are computed once and sliced per shard), steers rows with the
+        vectorised partitioner, bulk-probes each shard, and scatters the
+        per-shard outcomes back into original row order.  Either way,
+        dispatch cost is paid per batch, not per packet.
         """
+        if isinstance(descriptors, DescriptorBlock):
+            return self._process_block(descriptors)
         if not descriptors:
             return []
         if self.obs is None:
@@ -205,6 +234,95 @@ class ShardedFlowLUT:
             t4 = clock()
             self.on_batch(merged)
             stages["telemetry"].observe(clock() - t4)
+        return merged
+
+    def _steer_block(self, block: DescriptorBlock):
+        """Hash once, partition rows, and slice per-shard sub-blocks.
+
+        Returns ``(hash_ns_marker, parts)`` where ``parts`` pairs each
+        non-empty shard with ``(indices, sub_block, hash_columns)``.
+        """
+        count = len(block)
+        idx1_col, idx2_col = self.shards[0].table.column_hash_indices(
+            block.key_data, count, block.key_width
+        )
+        if self.num_shards == 1:
+            return [(0, range(count), block, (idx1_col, idx2_col))]
+        groups = crc32_partition(block.key_data, count, block.key_width, self.num_shards)
+        parts = []
+        for shard_index, indices in enumerate(groups):
+            if len(indices) == 0:
+                continue
+            sub = block.take(indices)
+            columns = (_slice_column(idx1_col, indices), _slice_column(idx2_col, indices))
+            parts.append((shard_index, indices, sub, columns))
+        return parts
+
+    def _process_block(self, block: DescriptorBlock) -> OutcomeBlock:
+        if self.obs is not None:
+            return self._process_block_instrumented(block)
+        parts = self._steer_block(block)
+        outcomes = [
+            (indices, self.shards[shard_index].process_block(sub, hash_columns=columns))
+            for shard_index, indices, sub, columns in parts
+        ]
+        if len(outcomes) == 1 and len(outcomes[0][1]) == len(block):
+            merged = outcomes[0][1]
+        else:
+            merged = OutcomeBlock.merge_scatter(block, outcomes)
+        self.batches += 1
+        if self.on_batch is not None:
+            self.on_batch(merged)
+        return merged
+
+    def _process_block_instrumented(self, block: DescriptorBlock) -> OutcomeBlock:
+        # Columnar twin of the instrumented object path: identical work,
+        # with the hash / steer / probe / pack stages timed with raw clock
+        # reads (drain has no columnar counterpart — the bulk probe is
+        # functional, nothing stays in flight).
+        clock = self._obs_clock
+        stages = self._obs_stages
+        count = len(block)
+        t0 = clock()
+        idx1_col, idx2_col = self.shards[0].table.column_hash_indices(
+            block.key_data, count, block.key_width
+        )
+        t1 = clock()
+        stages["hash"].observe(t1 - t0)
+        if self.num_shards == 1:
+            parts = [(0, range(count), block, (idx1_col, idx2_col))]
+        else:
+            groups = crc32_partition(block.key_data, count, block.key_width, self.num_shards)
+            parts = []
+            for shard_index, indices in enumerate(groups):
+                if len(indices) == 0:
+                    continue
+                sub = block.take(indices)
+                columns = (_slice_column(idx1_col, indices), _slice_column(idx2_col, indices))
+                parts.append((shard_index, indices, sub, columns))
+        t2 = clock()
+        stages["steer"].observe(t2 - t1)
+        outcomes = []
+        probe_ns = 0
+        for shard_index, indices, sub, columns in parts:
+            t3 = clock()
+            outcome = self.shards[shard_index].process_block(sub, hash_columns=columns)
+            probe_ns += clock() - t3
+            outcomes.append((indices, outcome))
+            self._obs_shards[shard_index].inc(len(sub))
+        stages["probe"].observe(probe_ns)
+        t4 = clock()
+        if len(outcomes) == 1 and len(outcomes[0][1]) == len(block):
+            merged = outcomes[0][1]
+        else:
+            merged = OutcomeBlock.merge_scatter(block, outcomes)
+        stages["pack"].observe(clock() - t4)
+        self.batches += 1
+        self._obs_batches.inc()
+        if self.on_batch is not None:
+            t5 = clock()
+            self.on_batch(merged)
+            stages["telemetry"].observe(clock() - t5)
         return merged
 
     def drain(self) -> None:

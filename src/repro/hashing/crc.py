@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import zlib
 from typing import List, Union
 
 KeyLike = Union[bytes, bytearray, int]
+
+_IEEE_PARAMS = (0x04C11DB7, 32, 0xFFFFFFFF, 0xFFFFFFFF, True)
+"""(polynomial, width, initial, final_xor, reflected) of IEEE 802.3 CRC-32 —
+the parameter set :func:`zlib.crc32` implements in C."""
 
 
 def _reflect_bits(value: int, width: int) -> int:
@@ -78,9 +83,14 @@ class CRCHash:
             _build_reflected_table(polynomial, width) if reflected else _build_table(polynomial, width)
         )
         self._mask = (1 << width) - 1
+        # Exactly the IEEE 802.3 parameter set is what zlib.crc32 computes;
+        # byte keys then take the C implementation instead of the Python
+        # table loop.  The table stays available either way — the columnar
+        # hot path (repro.columns.hashing) vectorises over it directly.
+        self._is_ieee = (polynomial, width, initial, final_xor, reflected) == _IEEE_PARAMS
 
     def _normalise(self, key: KeyLike) -> bytes:
-        if isinstance(key, (bytes, bytearray)):
+        if isinstance(key, (bytes, bytearray, memoryview)):
             return bytes(key)
         if isinstance(key, int):
             if key < 0:
@@ -94,6 +104,10 @@ class CRCHash:
 
     def hash(self, key: KeyLike) -> int:
         """CRC of ``key`` (bytes, bytearray, or non-negative int)."""
+        if self._is_ieee:
+            if isinstance(key, (bytes, bytearray, memoryview)):
+                return zlib.crc32(key)
+            return zlib.crc32(self._normalise(key))
         data = self._normalise(key)
         remainder = self.initial
         if self.reflected:
@@ -112,6 +126,16 @@ class CRCHash:
         if table_size <= 0:
             raise ValueError("table_size must be positive")
         return self.hash(key) % table_size
+
+    @property
+    def remainder_table(self) -> List[int]:
+        """The 256-entry remainder table (copy).
+
+        The columnar hot path (:mod:`repro.columns.hashing`) gathers through
+        this table to hash a whole key column per byte position instead of
+        per key.
+        """
+        return list(self._table)
 
 
 CRC32 = CRCHash(

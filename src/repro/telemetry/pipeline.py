@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analyzer.event_engine import FlowEvent, FlowEventType
+from repro.columns.block import OutcomeBlock
 from repro.net.fivetuple import FlowKey, PROTO_TCP
 from repro.net.packet import Packet, TCP_FLAGS
 from repro.sim.rng import SeedLike, make_rng
@@ -195,17 +196,66 @@ class TelemetryPipeline:
             getattr(descriptor, "tcp_flags", 0),
         )
 
-    def observe_outcomes(self, outcomes: Iterable) -> int:
+    def observe_outcomes(self, outcomes) -> int:
         """Batch mode: account a whole batch of lookup outcomes at once.
 
         This is the callback the sharded engine and the batched analyzer
-        invoke — one call per batch rather than one per packet.  Returns the
-        number of outcomes observed.
+        invoke — one call per batch rather than one per packet.  Accepts
+        either an iterable of :class:`LookupOutcome` objects or a columnar
+        :class:`~repro.columns.OutcomeBlock` (measured straight off its
+        columns, with no descriptor or :class:`FlowKey` materialisation).
+        Returns the number of outcomes observed.
         """
+        if isinstance(outcomes, OutcomeBlock):
+            return self._observe_block(outcomes)
         count = 0
         for outcome in outcomes:
             self.observe_outcome(outcome)
             count += 1
+        return count
+
+    def _observe_block(self, outcomes: OutcomeBlock) -> int:
+        """Columnar twin of :meth:`_observe`, row by row over block columns.
+
+        The update sequence per row is identical to the object path —
+        packet sketch, then (for non-empty packets) byte sketch and heavy
+        hitters, then the two spreader detectors, then SYN accounting — so
+        a columnar run leaves every sketch in the same state the outcome
+        loop would.
+        """
+        block = outcomes.block
+        count = len(block)
+        packed = block.packed_keys()
+        lengths = block.lengths.tolist()
+        flags = block.flags.tolist()
+        src_ips = block.src_ips()
+        dst_ips = block.dst_ips()
+        dst_ports = block.dst_ports()
+        protocols = block.protocols()
+        syn_flag = TCP_FLAGS["SYN"]
+        ack_flag = TCP_FLAGS["ACK"]
+        packet_counts = self.packet_counts
+        byte_counts = self.byte_counts
+        heavy_hitters = self.heavy_hitters
+        spreaders = self.spreaders
+        port_scanners = self.port_scanners
+        self.packets += count
+        total_bytes = 0
+        syn_packets = 0
+        for i in range(count):
+            key_bytes = packed[i]
+            length = lengths[i]
+            total_bytes += length
+            packet_counts.update(key_bytes)
+            if length > 0:  # descriptors, unlike packets, may carry no length
+                byte_counts.update(key_bytes, length)
+                heavy_hitters.update(key_bytes, length)
+            spreaders.update(src_ips[i], dst_ips[i])
+            port_scanners.update(src_ips[i], (dst_ips[i] << 16) | dst_ports[i])
+            if protocols[i] == PROTO_TCP and flags[i] & syn_flag and not flags[i] & ack_flag:
+                syn_packets += 1
+        self.bytes += total_bytes
+        self.syn_packets += syn_packets
         return count
 
     def observe_event(self, event: FlowEvent) -> None:

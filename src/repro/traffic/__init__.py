@@ -38,6 +38,7 @@ from repro.traffic.scenarios import (
     get_scenario,
     list_scenarios,
     register_scenario,
+    scenario_block,
     scenario_descriptors,
     scenario_specs,
     unregister_scenario,
@@ -62,6 +63,7 @@ __all__ = [
     "random_hash_patterns",
     "read_trace_csv",
     "register_scenario",
+    "scenario_block",
     "scenario_descriptors",
     "scenario_specs",
     "unregister_scenario",

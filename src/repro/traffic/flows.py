@@ -137,8 +137,16 @@ class SyntheticTraceGenerator:
             cfg.max_packet_bytes - cfg.min_packet_bytes + 1
         )
 
-    def packets(self, count: int, start_ps: int = 0) -> Iterator[Packet]:
-        """Generate ``count`` packets with increasing timestamps."""
+    def rows(self, count: int, start_ps: int = 0) -> Iterator[Tuple[FlowKey, int, int, int]]:
+        """The packet stream as raw ``(key, length, timestamp_ps, flags)`` rows.
+
+        This is the single sampling loop behind both representations:
+        :meth:`packets` wraps each row in a :class:`Packet` and
+        :meth:`descriptor_block` packs the rows straight into a columnar
+        :class:`~repro.columns.DescriptorBlock`.  The RNG draw order is the
+        generator's contract — identical seeds yield identical streams on
+        either path.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
         rng = self._rng
@@ -159,19 +167,37 @@ class SyntheticTraceGenerator:
                     flags |= TCP_FLAGS["SYN"]
                 elif rng.random() < 0.03:
                     flags |= TCP_FLAGS["FIN"]
-            packet = Packet(
-                key=key,
-                length_bytes=self._sample_length(),
-                timestamp_ps=int(timestamp),
-                tcp_flags=flags,
-            )
+            length = self._sample_length()
+            row = (key, length, int(timestamp), flags)
             timestamp += rng.expovariate(1.0) * mean_gap_ps
             self.packets_generated += 1
-            yield packet
+            yield row
+
+    def packets(self, count: int, start_ps: int = 0) -> Iterator[Packet]:
+        """Generate ``count`` packets with increasing timestamps."""
+        for key, length, timestamp_ps, flags in self.rows(count, start_ps=start_ps):
+            yield Packet(
+                key=key,
+                length_bytes=length,
+                timestamp_ps=timestamp_ps,
+                tcp_flags=flags,
+            )
 
     def packet_list(self, count: int, start_ps: int = 0) -> List[Packet]:
         """Materialised :meth:`packets` (convenient for small experiments)."""
         return list(self.packets(count, start_ps=start_ps))
+
+    def descriptor_block(self, count: int, start_ps: int = 0):
+        """The next ``count`` packets as a columnar descriptor block.
+
+        Emits the exact stream :meth:`packets` would (same RNG draws, same
+        flow keys) with no per-packet :class:`Packet` or descriptor objects
+        — rows are packed directly into a
+        :class:`~repro.columns.DescriptorBlock`.
+        """
+        from repro.columns.block import DescriptorBlock
+
+        return DescriptorBlock.from_rows(self.rows(count, start_ps=start_ps))
 
 
 def analyze_new_flow_ratio(

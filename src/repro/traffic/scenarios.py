@@ -128,6 +128,33 @@ def scenario_descriptors(
     return extractor.extract_many(generate_scenario(name, count, seed=seed, start_ps=start_ps))
 
 
+# Packet builders with a column-native twin: the block builder must reproduce
+# the packet builder's stream exactly (same RNG draw order) without creating
+# per-packet objects.  Keyed by the packet builder function so a re-registered
+# scenario of the same name automatically falls back to the generic path.
+_NATIVE_BLOCK_BUILDERS: Dict[Callable, Callable] = {}
+
+
+def scenario_block(name: str, count: int, seed: SeedLike = None, start_ps: int = 0):
+    """The named scenario as a columnar :class:`~repro.columns.DescriptorBlock`.
+
+    The columnar entry point of the batch execution path.  Scenarios with a
+    column-native builder (``zipf_mix``) pack rows straight into the block
+    with no per-packet objects; the rest build their packet list once and
+    convert.  Either way the block's rows equal
+    ``scenario_descriptors(name, count, seed, start_ps)`` field for field.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    spec = get_scenario(name)
+    native = _NATIVE_BLOCK_BUILDERS.get(spec.builder)
+    if native is not None:
+        return native(count, make_rng(seed), start_ps)
+    from repro.columns.block import DescriptorBlock
+
+    return DescriptorBlock.from_packets(spec.builder(count, make_rng(seed), start_ps))
+
+
 # --------------------------------------------------------------------------- #
 # Builders
 # --------------------------------------------------------------------------- #
@@ -147,6 +174,14 @@ def _advance(rng: random.Random, timestamp: float) -> float:
 def _zipf_mix(count: int, rng: random.Random, start_ps: int) -> List[Packet]:
     config = SyntheticTraceConfig(zipf_exponent=1.2, mice_fraction=0.05)
     return SyntheticTraceGenerator(config, seed=rng).packet_list(count, start_ps=start_ps)
+
+
+def _zipf_mix_block(count: int, rng: random.Random, start_ps: int):
+    config = SyntheticTraceConfig(zipf_exponent=1.2, mice_fraction=0.05)
+    return SyntheticTraceGenerator(config, seed=rng).descriptor_block(count, start_ps=start_ps)
+
+
+_NATIVE_BLOCK_BUILDERS[_zipf_mix] = _zipf_mix_block
 
 
 @register_scenario(
