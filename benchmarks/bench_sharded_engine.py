@@ -15,7 +15,7 @@ import os
 
 from repro.core.config import small_test_config
 from repro.engine import ShardedFlowLUT, sharded_vs_single
-from repro.obs import MetricsRegistry, Stopwatch
+from repro.obs import Observability, Stopwatch
 from repro.reporting import format_table, run_sharded_scaling
 from repro.traffic import list_scenarios, scenario_block, scenario_descriptors
 
@@ -150,23 +150,33 @@ def _drive(descriptors, obs, batch_size=256):
 
 
 def test_obs_instrumentation_overhead_smoke(bench_emit):
-    """The observability overhead gate (ISSUE 6 acceptance).
+    """The observability overhead gate (ISSUE 6 + ISSUE 8 acceptance).
 
     Simulated throughput — the figure every benchmark reports — must be
     unchanged by instrumentation (the obs plane reads the host clock, not
     the simulated one), and the host-side wall-clock cost of the enabled
-    path must stay small.  Wall-clock is compared best-of-3 so a CI
-    scheduler hiccup cannot flip the gate; the bound is deliberately
-    loose (1.5x) because the acceptance threshold (<= 5%) is asserted on
-    the simulated figure and the measured host ratio is *reported* in
-    BENCH_sharded_engine.json where the trajectory can be watched.
+    path must stay small.  Since ISSUE 8 the instrumented twin runs the
+    *full* time-resolved plane — metrics plus tumbling windows plus span
+    tracing at the default 1-in-16 sampling — so the gate covers what a
+    production run would actually enable.  Wall-clock is compared
+    best-of-3 so a CI scheduler hiccup cannot flip the gate; the bound is
+    deliberately loose (1.5x) because the acceptance threshold (<= 5%) is
+    asserted on the simulated figure and the measured host ratio is
+    *reported* in BENCH_sharded_engine.json where the trajectory can be
+    watched.
     """
     packets = max(800, PACKETS // 2)
     descriptors = scenario_descriptors("zipf_mix", packets, seed=17)
+    duration_ps = descriptors[-1].timestamp_ps - descriptors[0].timestamp_ps
+
+    planes = [
+        Observability(window_ps=max(1, duration_ps // 8), spans=True)
+        for _ in range(3)
+    ]
 
     runs = [_drive(descriptors, obs=None) for _ in range(3)]
     plain_engine, plain_wall = runs[0][0], min(wall for _, wall in runs)
-    instrumented = [_drive(descriptors, obs=MetricsRegistry()) for _ in range(3)]
+    instrumented = [_drive(descriptors, obs=obs_plane) for obs_plane in planes]
     obs_engine, obs_wall = instrumented[0][0], min(wall for _, wall in instrumented)
 
     # Simulated results are bit-identical: same totals, same elapsed ps.
@@ -190,6 +200,19 @@ def test_obs_instrumentation_overhead_smoke(bench_emit):
     )
     samples = {labels["stage"]: child.count for labels, child in stage_count.samples()}
     assert samples["steer"] == samples["probe"] == obs_engine.batches
+
+    # The time-resolved layers actually ran: windows closed on the
+    # simulated clock, spans were sampled at the default 1-in-16 rate.
+    obs_plane = planes[0]
+    obs_plane.flush_windows()
+    windowed_total = sum(
+        w.total("repro_engine_shard_descriptors_total")
+        for w in obs_plane.windows.windows
+    )
+    assert windowed_total == float(obs_engine.completed)
+    assert obs_plane.spans.roots_seen == obs_engine.batches
+    expected_sampled = -(-obs_engine.batches // obs_plane.spans.sample_every)
+    assert obs_plane.spans.roots_sampled == expected_sampled
 
     print()
     print(format_table(

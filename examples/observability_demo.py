@@ -10,7 +10,11 @@ the `repro.obs` plane captured without touching any simulated figure:
 * **hot-path stage timings** — host-side histograms of the sharded
   engine's steer/probe/drain stages, with bucket-resolution quantiles,
 * the **JSON snapshot** — the same registry as one machine-readable
-  document (the shape embedded in ``BENCH_*.json`` trajectory files).
+  document (the shape embedded in ``BENCH_*.json`` trajectory files),
+* the **time-resolved plane** — tumbling windows on the *simulated*
+  clock, hierarchical span traces of one ingest batch, and the shipped
+  watchdog rules catching a scripted mid-stream hotspot shift at its
+  onset window.
 
 Run with::
 
@@ -18,7 +22,7 @@ Run with::
 """
 
 from repro.cluster import ClusterCoordinator
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, Observability, render_report
 from repro.core.config import small_test_config
 from repro.engine import ShardedFlowLUT
 from repro.telemetry import TelemetryConfig
@@ -99,6 +103,38 @@ def main() -> None:
     for entry in snapshot["metrics"]:
         print(f"    {entry['type']:<9} {entry['name']} "
               f"({len(entry['samples'])} samples)")
+
+    # ------------------------------------------------------------------ #
+    # The time-resolved plane: windows, spans, and a firing watchdog
+    # ------------------------------------------------------------------ #
+    # ``hotspot_shift`` re-aims its traffic concentration mid-stream; on a
+    # 5-node ring the windowed per-node load skew jumps past the shipped
+    # ``node_imbalance`` rule's 1.8 threshold right at the shift window.
+    shift_packets = 4000
+    shift = scenario_descriptors("hotspot_shift", shift_packets, seed=42)
+    duration = shift[-1].timestamp_ps - shift[0].timestamp_ps
+    obs = Observability(window_ps=duration // 8, spans=True, alerts=True)
+    watched = ClusterCoordinator(nodes=5, config=small_test_config(), obs=obs)
+    step = shift_packets // 16
+    for offset in range(0, shift_packets, step):
+        watched.ingest(shift[offset : offset + step])
+    watched.finalize_telemetry()  # flushes the partial tail window
+
+    onset = obs.alerts.first_onset("node_imbalance")
+    print(f"\ntime-resolved plane — hotspot_shift on 5 nodes "
+          f"({shift_packets} packets, 8 windows):")
+    print(f"  node_imbalance fired at window {onset.window} "
+          f"(value {onset.value:.2f} vs threshold {onset.threshold}), "
+          f"overloaded: {onset.context['overloaded']}")
+    print(f"  spans: {obs.spans.roots_seen} ingest batches seen, "
+          f"{obs.spans.roots_sampled} sampled "
+          f"(1-in-{obs.spans.sample_every}), {len(obs.spans.spans)} spans kept")
+    print()
+    print(render_report(
+        windows=obs.windows.windows,
+        spans=obs.spans.spans,
+        events=list(obs.journal),
+    ))
 
 
 if __name__ == "__main__":

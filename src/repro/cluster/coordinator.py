@@ -32,6 +32,7 @@ membership equal a single LUT serving the whole stream.
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -41,6 +42,7 @@ from repro.core.flow_lut import LookupOutcome
 from repro.core.flow_state import FlowRecord
 from repro.cluster.node import ClusterNode
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.obs.alerts import default_cluster_rules
 from repro.obs.export import registry_snapshot, to_prometheus_text
 from repro.obs.plane import Observability
 from repro.persist import (
@@ -110,6 +112,17 @@ class ClusterCoordinator:
         and :meth:`metrics_snapshot` / :meth:`prometheus_text` export the
         fleet view.  The default (``False``/``None``) keeps the whole
         plane off the hot path.
+
+        A plane built with ``window_ps=`` additionally gets its windowed
+        registry advanced once per :meth:`ingest` segment (with the last
+        descriptor's simulated timestamp — the coordinator, not the
+        node-major engine batches, owns the time-ordered watermark) and
+        flushed by :meth:`finalize_telemetry`; one built with spans gets
+        ``ingest_batch -> steer -> node`` control-plane spans wrapping the
+        engines' batch traces; one built with ``alerts=True`` has the
+        shipped cluster watchdogs (:func:`~repro.obs.alerts.
+        default_cluster_rules`) installed, with the imbalance rule wired
+        to :meth:`imbalance_report` for point-of-onset diagnosis.
     """
 
     def __init__(
@@ -165,6 +178,27 @@ class ClusterCoordinator:
 
         self.replication = replication
         self.checkpoint_interval = checkpoint_interval
+
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            self._obs_ingested = metrics.counter(
+                "repro_cluster_ingested_total", "Descriptors steered into the fleet"
+            ).labels()
+            self._obs_flows_lost = metrics.counter(
+                "repro_cluster_flows_lost_total",
+                "Flow records lost to node failures or unplaceable migrations",
+            ).labels()
+            self._obs_replicated = metrics.counter(
+                "repro_cluster_replicated_packets_total",
+                "Outcome copies mirrored onto backup nodes",
+            ).labels()
+            alerts = self.obs.alerts
+            if alerts is not None:
+                if alerts.auto_defaults and not alerts.rules:
+                    alerts.add_rules(default_cluster_rules(replication=replication))
+                # The imbalance watchdog wraps imbalance_report: its onset
+                # event carries the per-node diagnosis taken at that window.
+                alerts.set_context("node_imbalance", self.imbalance_report)
 
         self.ingested = 0
         self.flows_migrated = 0
@@ -272,29 +306,44 @@ class ClusterCoordinator:
             raise ValueError("batch_size must be positive")
         if isinstance(descriptors, DescriptorBlock):
             return self._ingest_block(descriptors, size)
-        groups = self.route(descriptors)
+        spans = self.obs.spans if self.obs is not None else None
         per_node: Dict[str, int] = {}
-        for node_id, group in groups.items():
-            if not group:
-                continue
-            node = self.nodes[node_id]
-            for offset in range(0, len(group), size):
-                outcomes = node.process_batch(group[offset : offset + size])
-                if self.replication > 1:
-                    self._replicate(node_id, outcomes)
-                if (
-                    self.checkpoint_interval is not None
-                    and node.completed - self._checkpointed_at.get(node_id, 0)
-                    >= self.checkpoint_interval
+        with (
+            spans.root("ingest_batch", packets=len(descriptors))
+            if spans is not None
+            else nullcontext()
+        ):
+            with spans.span("steer") if spans is not None else nullcontext():
+                groups = self.route(descriptors)
+            for node_id, group in groups.items():
+                if not group:
+                    continue
+                node = self.nodes[node_id]
+                with (
+                    spans.span("node", node=node_id, packets=len(group))
+                    if spans is not None
+                    else nullcontext()
                 ):
-                    self.checkpoint_node(node_id)
-            per_node[node_id] = len(group)
-            self.routed[node_id] = self.routed.get(node_id, 0) + len(group)
+                    for offset in range(0, len(group), size):
+                        outcomes = node.process_batch(group[offset : offset + size])
+                        if self.replication > 1:
+                            self._replicate(node_id, outcomes)
+                        if (
+                            self.checkpoint_interval is not None
+                            and node.completed - self._checkpointed_at.get(node_id, 0)
+                            >= self.checkpoint_interval
+                        ):
+                            self.checkpoint_node(node_id)
+                per_node[node_id] = len(group)
+                self.routed[node_id] = self.routed.get(node_id, 0) + len(group)
         self.ingested += len(descriptors)
         if self.obs is not None:
-            self.obs.metrics.counter(
-                "repro_cluster_ingested_total", "Descriptors steered into the fleet"
-            ).inc(len(descriptors))
+            self._obs_ingested.inc(len(descriptors))
+            # The windowed clock advances once per segment: ingestion is
+            # node-major inside this call, so only the segment boundary is
+            # a safe time-ordered watermark (callers feed monotone streams).
+            if self.obs.windows is not None and len(descriptors):
+                self.obs.windows.advance(descriptors[-1].timestamp_ps)
         return {"packets": len(descriptors), "per_node": per_node}
 
     def _ingest_block(self, block: DescriptorBlock, size: int) -> dict:
@@ -307,31 +356,43 @@ class ClusterCoordinator:
         since the replica stores mirror individual flow records.
         """
         count = len(block)
-        owners = self.ring.lookup_column(block.key_data, count, block.key_width)
-        groups: Dict[str, List[int]] = {}
-        for row, owner in enumerate(owners):
-            groups.setdefault(owner, []).append(row)
+        spans = self.obs.spans if self.obs is not None else None
         per_node: Dict[str, int] = {}
-        for node_id, indices in groups.items():
-            node = self.nodes[node_id]
-            for offset in range(0, len(indices), size):
-                piece = block.take(indices[offset : offset + size])
-                outcomes = node.process_batch(piece)
-                if self.replication > 1:
-                    self._replicate(node_id, outcomes.to_outcomes())
-                if (
-                    self.checkpoint_interval is not None
-                    and node.completed - self._checkpointed_at.get(node_id, 0)
-                    >= self.checkpoint_interval
+        with (
+            spans.root("ingest_batch", packets=count, columnar=True)
+            if spans is not None
+            else nullcontext()
+        ):
+            with spans.span("steer") if spans is not None else nullcontext():
+                owners = self.ring.lookup_column(block.key_data, count, block.key_width)
+                groups: Dict[str, List[int]] = {}
+                for row, owner in enumerate(owners):
+                    groups.setdefault(owner, []).append(row)
+            for node_id, indices in groups.items():
+                node = self.nodes[node_id]
+                with (
+                    spans.span("node", node=node_id, packets=len(indices))
+                    if spans is not None
+                    else nullcontext()
                 ):
-                    self.checkpoint_node(node_id)
-            per_node[node_id] = len(indices)
-            self.routed[node_id] = self.routed.get(node_id, 0) + len(indices)
+                    for offset in range(0, len(indices), size):
+                        piece = block.take(indices[offset : offset + size])
+                        outcomes = node.process_batch(piece)
+                        if self.replication > 1:
+                            self._replicate(node_id, outcomes.to_outcomes())
+                        if (
+                            self.checkpoint_interval is not None
+                            and node.completed - self._checkpointed_at.get(node_id, 0)
+                            >= self.checkpoint_interval
+                        ):
+                            self.checkpoint_node(node_id)
+                per_node[node_id] = len(indices)
+                self.routed[node_id] = self.routed.get(node_id, 0) + len(indices)
         self.ingested += count
         if self.obs is not None:
-            self.obs.metrics.counter(
-                "repro_cluster_ingested_total", "Descriptors steered into the fleet"
-            ).inc(count)
+            self._obs_ingested.inc(count)
+            if self.obs.windows is not None and count:
+                self.obs.windows.advance(int(block.timestamps[count - 1]))
         return {"packets": count, "per_node": per_node}
 
     def _replicate(self, primary_id: str, outcomes: Sequence[LookupOutcome]) -> None:
@@ -358,6 +419,8 @@ class ClusterCoordinator:
         for backup_id, group in groups.items():
             self.nodes[backup_id].replicate(primary_id, group)
             self.replicated_packets += len(group)
+            if self.obs is not None:
+                self._obs_replicated.inc(len(group))
 
     def run_housekeeping(self, now_ps: Optional[int] = None) -> int:
         """One flow-aging pass across every alive node; returns removals.
@@ -406,19 +469,24 @@ class ClusterCoordinator:
         reporting the recovery lossless.
         """
         if self.replication <= 1 or not self.telemetry_enabled or len(self.ring) < 2:
-            return sum(node.finalize_telemetry() for node in self.nodes.values())
-        added = 0
-        for node in list(self.nodes.values()):
-            # Capture the sized set first; finalize does not mutate it.
-            pairs = node.engine.live_flow_pairs()
-            added += node.finalize_telemetry()
-            for key_bytes, record in pairs:
-                if record is None:
-                    continue  # bare preloaded entries are not sized either
-                for backup_id in self.ring.lookup_n(key_bytes, self.replication)[1:]:
-                    self.nodes[backup_id].backup_pipeline(
-                        node.node_id
-                    ).flow_sizes.observe_flow(record.packets, record.bytes)
+            added = sum(node.finalize_telemetry() for node in self.nodes.values())
+        else:
+            added = 0
+            for node in list(self.nodes.values()):
+                # Capture the sized set first; finalize does not mutate it.
+                pairs = node.engine.live_flow_pairs()
+                added += node.finalize_telemetry()
+                for key_bytes, record in pairs:
+                    if record is None:
+                        continue  # bare preloaded entries are not sized either
+                    for backup_id in self.ring.lookup_n(key_bytes, self.replication)[1:]:
+                        self.nodes[backup_id].backup_pipeline(
+                            node.node_id
+                        ).flow_sizes.observe_flow(record.packets, record.bytes)
+        # Closing the measurement window also closes the partial metrics
+        # window, so the tail of the stream is observable (and alertable).
+        if self.obs is not None and self.obs.windows is not None:
+            self.obs.windows.flush()
         return added
 
     # ------------------------------------------------------------------ #
@@ -512,6 +580,8 @@ class ClusterCoordinator:
             lost += failed
         self.flows_migrated += migrated
         self.flows_lost += lost
+        if self.obs is not None and lost:
+            self._obs_flows_lost.inc(lost)
         if self.obs is not None and (migrated or lost):
             self.obs.record("migration", migrated=migrated, lost=lost)
         return {"migrated": migrated, "lost": lost}
@@ -766,6 +836,8 @@ class ClusterCoordinator:
             self.telemetry_packets_lost -= recovered_packets
         self._resync_replication_plane()
 
+        if self.obs is not None and lost - restored > 0:
+            self._obs_flows_lost.inc(lost - restored)
         self.failures += 1
         event = {
             "event": "failure",

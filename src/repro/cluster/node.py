@@ -63,8 +63,10 @@ class ClusterNode:
         self.telemetry_config = telemetry_config
         self.telemetry_seed = telemetry_seed
         metrics: Optional[MetricsRegistry]
+        spans = None
         if isinstance(obs, Observability):
             metrics = obs.metrics
+            spans = obs.spans
         elif obs is None or isinstance(obs, MetricsRegistry):
             metrics = obs
         else:
@@ -92,6 +94,11 @@ class ClusterNode:
         # failed primary's sketch state can be reassembled exactly.
         self.replica_flows = ReplicaStore()
         self.backup_pipelines: Dict[str, TelemetryPipeline] = {}
+        # The engine inherits the plane's span recorder (its batch spans
+        # nest under the coordinator's node span) but never its windowed
+        # registry: the coordinator ingests node-major, so only it knows a
+        # time-ordered watermark — it advances the windows once per
+        # ingest segment instead.
         self.engine = ShardedFlowLUT(
             shards=shards,
             config=config,
@@ -99,6 +106,8 @@ class ClusterNode:
             input_queue_depth=input_queue_depth,
             obs=metrics,
             obs_labels={"node": node_id} if metrics is not None else None,
+            windows=False,
+            spans=spans,
         )
         self.engine.attach_flow_state(timeout_us=flow_timeout_us)
         self.alive = True

@@ -30,6 +30,7 @@ from repro.core.flow_state import FlowRecord, FlowStateTable
 from repro.hashing.crc import CRC32
 from repro.net.parser import PacketDescriptor
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.plane import Observability
 
 
 def _slice_column(column, indices):
@@ -52,16 +53,27 @@ class ShardedFlowLUT:
     on_batch: optional callback invoked with every merged batch of
         :class:`LookupOutcome` objects (the telemetry plane rides this).
     input_queue_depth: per-shard descriptor FIFO depth.
-    obs: a :class:`~repro.obs.metrics.MetricsRegistry` to instrument the
-        batch path with — per-batch stage timings (``repro_engine_stage_ns``:
+    obs: a :class:`~repro.obs.metrics.MetricsRegistry` — or a full
+        :class:`~repro.obs.plane.Observability` plane — to instrument the
+        batch path with: per-batch stage timings (``repro_engine_stage_ns``:
         steer → probe → drain → telemetry on object batches, hash → steer →
-        probe → pack → telemetry on columnar blocks) and per-shard
-        ingest counters (``repro_engine_shard_descriptors_total``).
+        probe → pack → telemetry on columnar blocks), per-shard
+        ingest counters (``repro_engine_shard_descriptors_total``), and
+        per-batch outcome counters (``repro_engine_outcomes_total`` by
+        ``result=hit|miss|new_flow``).  A plane additionally wires its
+        windowed registry (advanced with the last descriptor timestamp of
+        every batch) and its span recorder (emit-based batch traces from
+        the clock reads the stage histograms already take).
         ``None`` (the default) disables instrumentation; the disabled
         path pays one ``is None`` branch per batch.
     obs_labels: extra label values stamped on every engine metric (the
         cluster layer passes ``node=<id>`` so per-node series coexist in
         one fleet registry).
+    windows: override the plane's windowed registry — ``False`` suppresses
+        per-batch window advance (the cluster coordinator does this and
+        advances once per time-ordered ingest segment instead, since its
+        node-major batch order would misattribute deltas).
+    spans: override the plane's span recorder (``False`` suppresses).
     """
 
     def __init__(
@@ -72,6 +84,8 @@ class ShardedFlowLUT:
         input_queue_depth: int = 32,
         obs: Optional[MetricsRegistry] = None,
         obs_labels: Optional[Dict[str, str]] = None,
+        windows=None,
+        spans=None,
     ) -> None:
         if shards <= 0:
             raise ValueError("shards must be positive")
@@ -83,7 +97,15 @@ class ShardedFlowLUT:
             for _ in range(shards)
         ]
         self.batches = 0
+        if isinstance(obs, Observability):
+            if windows is None:
+                windows = obs.windows
+            if spans is None:
+                spans = obs.spans
+            obs = obs.metrics
         self.obs = obs
+        self._obs_windows = windows if (obs is not None and windows) else None
+        self._obs_spans = spans if (obs is not None and spans) else None
         if obs is not None:
             labels = dict(obs_labels or {})
             label_names = tuple(labels)
@@ -114,6 +136,16 @@ class ShardedFlowLUT:
                 "Merged descriptor batches processed",
                 labels=label_names,
             ).labels(**labels)
+            outcome_counter = obs.counter(
+                "repro_engine_outcomes_total",
+                "Lookup outcomes by result (hit/miss/new_flow)",
+                labels=(*label_names, "result"),
+            )
+            self._obs_outcomes = {
+                result: outcome_counter.labels(**labels, result=result)
+                for result in ("hit", "miss", "new_flow")
+            }
+            self._obs_prev_outcomes = (0, 0, 0)
             self._obs_clock = obs.clock
 
     # ------------------------------------------------------------------ #
@@ -197,26 +229,40 @@ class ShardedFlowLUT:
         # Stage spans are accumulated with raw clock reads (two per stage
         # per shard at most) rather than context managers, keeping the
         # enabled overhead to a handful of perf_counter_ns calls per batch.
+        # The same clock reads double as span boundaries when this batch is
+        # sampled for tracing — tracing never takes reads of its own.
         clock = self._obs_clock
         stages = self._obs_stages
+        spans = self._obs_spans
+        traced = False
+        parent = None
+        if spans is not None:
+            traced, parent = spans.batch_parent()
+        shard_marks: List[Tuple[int, int, int, int, int]] = []
         starts = [len(shard.results) for shard in self.shards]
         t0 = clock()
         groups = self.partition(descriptors)
-        stages["steer"].observe(clock() - t0)
+        t_steer = clock()
+        stages["steer"].observe(t_steer - t0)
         probe_ns = 0
         drain_ns = 0
-        for shard, group, shard_counter in zip(self.shards, groups, self._obs_shards):
+        for index, (shard, group, shard_counter) in enumerate(
+            zip(self.shards, groups, self._obs_shards)
+        ):
             t1 = clock()
             for descriptor in group:
                 shard.submit_blocking(descriptor)
             t2 = clock()
             shard.drain()
-            drain_ns += clock() - t2
+            t3 = clock()
+            drain_ns += t3 - t2
             probe_ns += t2 - t1
             if group:
                 shard_counter.inc(len(group))
+                if traced:
+                    shard_marks.append((index, t1, t2, t3, len(group)))
         stages["probe"].observe(probe_ns)
-        t3 = clock()
+        t4 = clock()
         merged = list(
             heapq.merge(
                 *(
@@ -227,14 +273,57 @@ class ShardedFlowLUT:
             )
         )
         # The outcome merge retires the batch like the per-shard drains do.
-        stages["drain"].observe(drain_ns + (clock() - t3))
+        t5 = clock()
+        stages["drain"].observe(drain_ns + (t5 - t4))
         self.batches += 1
         self._obs_batches.inc()
+        self._count_outcomes()
+        telemetry_marks = None
         if self.on_batch is not None:
-            t4 = clock()
+            t6 = clock()
             self.on_batch(merged)
-            stages["telemetry"].observe(clock() - t4)
+            t7 = clock()
+            stages["telemetry"].observe(t7 - t6)
+            telemetry_marks = (t6, t7)
+        if traced:
+            self._emit_object_spans(
+                parent, t0, t_steer, shard_marks, t5, telemetry_marks, len(descriptors)
+            )
+        if self._obs_windows is not None:
+            self._obs_windows.advance(descriptors[-1].timestamp_ps)
         return merged
+
+    def _count_outcomes(self) -> None:
+        """Credit this batch's hit/miss/new-flow deltas to the counters."""
+        hits = misses = flows = 0
+        for shard in self.shards:
+            hits += shard.hits
+            misses += shard.misses
+            flows += shard.new_flows
+        prev_hits, prev_misses, prev_flows = self._obs_prev_outcomes
+        if hits != prev_hits:
+            self._obs_outcomes["hit"].inc(hits - prev_hits)
+        if misses != prev_misses:
+            self._obs_outcomes["miss"].inc(misses - prev_misses)
+        if flows != prev_flows:
+            self._obs_outcomes["new_flow"].inc(flows - prev_flows)
+        self._obs_prev_outcomes = (hits, misses, flows)
+
+    def _emit_object_spans(
+        self, parent, t0, t_steer, shard_marks, t_done, telemetry_marks, count
+    ) -> None:
+        """Turn the object path's stage marks into one batch span tree."""
+        spans = self._obs_spans
+        end = telemetry_marks[1] if telemetry_marks else t_done
+        if parent is None:
+            parent = spans.emit("ingest_batch", t0, end, None, packets=count)
+        spans.emit("steer", t0, t_steer, parent)
+        for index, t1, t2, t3, packets in shard_marks:
+            shard_span = spans.emit("shard", t1, t3, parent, shard=index, packets=packets)
+            spans.emit("probe", t1, t2, shard_span)
+            spans.emit("drain", t2, t3, shard_span)
+        if telemetry_marks:
+            spans.emit("telemetry", telemetry_marks[0], telemetry_marks[1], parent)
 
     def _steer_block(self, block: DescriptorBlock):
         """Hash once, partition rows, and slice per-shard sub-blocks.
@@ -282,6 +371,12 @@ class ShardedFlowLUT:
         # functional, nothing stays in flight).
         clock = self._obs_clock
         stages = self._obs_stages
+        spans = self._obs_spans
+        traced = False
+        parent = None
+        if spans is not None:
+            traced, parent = spans.batch_parent()
+        shard_marks: List[Tuple[int, int, int, int]] = []
         count = len(block)
         t0 = clock()
         idx1_col, idx2_col = self.shards[0].table.column_hash_indices(
@@ -307,23 +402,54 @@ class ShardedFlowLUT:
         for shard_index, indices, sub, columns in parts:
             t3 = clock()
             outcome = self.shards[shard_index].process_block(sub, hash_columns=columns)
-            probe_ns += clock() - t3
+            t3_end = clock()
+            probe_ns += t3_end - t3
             outcomes.append((indices, outcome))
             self._obs_shards[shard_index].inc(len(sub))
+            if traced:
+                shard_marks.append((shard_index, t3, t3_end, len(sub)))
         stages["probe"].observe(probe_ns)
         t4 = clock()
         if len(outcomes) == 1 and len(outcomes[0][1]) == len(block):
             merged = outcomes[0][1]
         else:
             merged = OutcomeBlock.merge_scatter(block, outcomes)
-        stages["pack"].observe(clock() - t4)
+        t5 = clock()
+        stages["pack"].observe(t5 - t4)
         self.batches += 1
         self._obs_batches.inc()
+        self._count_outcomes()
+        telemetry_marks = None
         if self.on_batch is not None:
-            t5 = clock()
+            t6 = clock()
             self.on_batch(merged)
-            stages["telemetry"].observe(clock() - t5)
+            t7 = clock()
+            stages["telemetry"].observe(t7 - t6)
+            telemetry_marks = (t6, t7)
+        if traced:
+            self._emit_block_spans(
+                parent, t0, t1, t2, shard_marks, t4, t5, telemetry_marks, count
+            )
+        if self._obs_windows is not None and count:
+            self._obs_windows.advance(int(block.timestamps[count - 1]))
         return merged
+
+    def _emit_block_spans(
+        self, parent, t0, t1, t2, shard_marks, t4, t5, telemetry_marks, count
+    ) -> None:
+        """Turn the columnar path's stage marks into one batch span tree."""
+        spans = self._obs_spans
+        end = telemetry_marks[1] if telemetry_marks else t5
+        if parent is None:
+            parent = spans.emit("ingest_batch", t0, end, None, packets=count, columnar=True)
+        spans.emit("hash", t0, t1, parent)
+        spans.emit("steer", t1, t2, parent)
+        for shard_index, ta, tb, packets in shard_marks:
+            shard_span = spans.emit("shard", ta, tb, parent, shard=shard_index, packets=packets)
+            spans.emit("probe", ta, tb, shard_span)
+        spans.emit("pack", t4, t5, parent)
+        if telemetry_marks:
+            spans.emit("telemetry", telemetry_marks[0], telemetry_marks[1], parent)
 
     def drain(self) -> None:
         """Drain every shard (in-flight lookups and pending burst writes)."""

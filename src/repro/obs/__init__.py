@@ -8,27 +8,53 @@ reproduction, replacing the pile of disconnected ``stats()`` /
   :class:`Counter` / :class:`Gauge` / log-bucketed :class:`Histogram`
   families, mergeable across shards and nodes like the telemetry
   sketches, on an injectable ns clock.
+* :mod:`repro.obs.windows` — :class:`WindowedRegistry`: tumbling-window
+  metric deltas on the *simulated* ps clock (counter rates, gauge
+  samples, histogram deltas), JSONL export, fleet-wide merge.
+* :mod:`repro.obs.spans` — :class:`SpanRecorder`: hierarchical host-time
+  spans (``ingest_batch -> steer -> node -> shard -> stage``) with
+  1-in-N root sampling and JSONL round trip.
+* :mod:`repro.obs.alerts` — :class:`AlertEngine`: declarative
+  threshold/ratio/delta/absence rules evaluated at every window close,
+  firing onset events into the journal; :func:`default_cluster_rules`
+  ships the imbalance / miss-rate / loss / collapse watchdogs.
 * :mod:`repro.obs.journal` — :class:`EventJournal`: cluster lifecycle
   events with monotonic sequence numbers and JSONL round-tripping.
-* :mod:`repro.obs.export` — Prometheus text exposition and the stable
-  ``repro.obs/v1`` JSON snapshot.
-* :mod:`repro.obs.plane` — :class:`Observability`, the registry+journal
-  bundle instrumented constructors accept as ``obs=``.
-* :mod:`repro.obs.bench` — the ``BENCH_<area>.json`` emitter and schema
-  validator behind the checked-in benchmark trajectory.
+* :mod:`repro.obs.export` — Prometheus text exposition, the stable
+  ``repro.obs/v1`` JSON snapshot, and the Chrome trace-event exporter.
+* :mod:`repro.obs.plane` — :class:`Observability`, the bundle
+  instrumented constructors accept as ``obs=``.
+* :mod:`repro.obs.bench` — the ``BENCH_<area>.json`` emitter (bounded
+  per-commit ``history`` trajectory), schema validator, and regression
+  ``diff`` CLI behind the checked-in benchmark trajectory.
+* :mod:`repro.obs.report` — ``python -m repro.obs.report``: one text
+  summary of a run's windows/spans/alerts artifacts.
 
 Everything is opt-in: the instrumented hot paths take ``obs=None`` and
 pay one ``is not None`` branch when disabled.
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertError,
+    AlertFiring,
+    AlertRule,
+    default_cluster_rules,
+)
 from repro.obs.bench import (
     BENCH_SCHEMA,
     BenchSchemaError,
+    diff_bench_result,
     emit_bench_result,
     load_bench_result,
     validate_bench_result,
 )
-from repro.obs.export import SNAPSHOT_SCHEMA, registry_snapshot, to_prometheus_text
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA,
+    registry_snapshot,
+    to_chrome_trace,
+    to_prometheus_text,
+)
 from repro.obs.journal import MEMBERSHIP_KINDS, EventJournal, JournalError, ObsEvent
 from repro.obs.metrics import (
     Counter,
@@ -41,11 +67,36 @@ from repro.obs.metrics import (
     log_buckets,
 )
 from repro.obs.plane import Observability
+from repro.obs.report import render_report
+from repro.obs.spans import (
+    DEFAULT_SPAN_SAMPLE_EVERY,
+    Span,
+    SpanError,
+    SpanRecorder,
+    read_spans_jsonl,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    summarize_spans,
+)
+from repro.obs.windows import (
+    WindowedRegistry,
+    WindowError,
+    WindowSnapshot,
+    merge_window_series,
+    read_windows_jsonl,
+    windows_from_jsonl,
+    windows_to_jsonl,
+)
 
 __all__ = [
+    "AlertEngine",
+    "AlertError",
+    "AlertFiring",
+    "AlertRule",
     "BENCH_SCHEMA",
     "BenchSchemaError",
     "Counter",
+    "DEFAULT_SPAN_SAMPLE_EVERY",
     "EventJournal",
     "Gauge",
     "Histogram",
@@ -56,12 +107,30 @@ __all__ = [
     "ObsEvent",
     "Observability",
     "SNAPSHOT_SCHEMA",
+    "Span",
+    "SpanError",
+    "SpanRecorder",
     "Stopwatch",
+    "WindowError",
+    "WindowSnapshot",
+    "WindowedRegistry",
+    "default_cluster_rules",
     "default_ns_buckets",
+    "diff_bench_result",
     "emit_bench_result",
     "load_bench_result",
     "log_buckets",
+    "merge_window_series",
+    "read_spans_jsonl",
+    "read_windows_jsonl",
     "registry_snapshot",
+    "render_report",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+    "summarize_spans",
+    "to_chrome_trace",
     "to_prometheus_text",
     "validate_bench_result",
+    "windows_from_jsonl",
+    "windows_to_jsonl",
 ]

@@ -7,7 +7,8 @@ fixture in ``benchmarks/conftest.py``) with its area name and a dict of
 named results, and the emitter writes — or merges into — one
 ``BENCH_<area>.json`` at the repository root, carrying:
 
-* ``schema`` — the document schema tag (``repro.obs.bench/v1``),
+* ``schema`` — the document schema tag (``repro.obs.bench/v2``;
+  ``/v1`` files still load and upgrade on the next emission),
 * ``area`` — the benchmark area (``sharded_engine``, ``cluster``, ...),
 * ``created_unix`` — emission time (seconds since the epoch),
 * ``git_rev`` — the commit the numbers were measured at,
@@ -15,12 +16,19 @@ named results, and the emitter writes — or merges into — one
   so a quick-mode CI number is never mistaken for a full run,
 * ``results`` — the benchmark's own named figures (merged by key across
   the tests of one area, so a file accumulates its whole suite),
+* ``history`` — the bounded trajectory: when an emission arrives from a
+  *different* commit than the current ``results``, the previous entry is
+  archived here (newest last, capped at :data:`HISTORY_LIMIT`) instead
+  of being silently overwritten,
 * ``metrics`` — optionally, a ``repro.obs/v1`` registry snapshot.
 
-Files validate against :data:`BENCH_SCHEMA` via
-:func:`validate_bench_result` — a dependency-free structural check CI
-runs over every checked-in file (``python -m repro.obs.bench validate
-BENCH_*.json``).
+``python -m repro.obs.bench diff BENCH_*.json`` compares the current
+results against the newest history entry and flags relative changes
+beyond a threshold (default 25%) — the regression tripwire CI runs after
+the benchmark smoke steps.  Files validate against :data:`BENCH_SCHEMA`
+via :func:`validate_bench_result` — a dependency-free structural check
+CI runs over every checked-in file (``python -m repro.obs.bench
+validate BENCH_*.json``).
 """
 
 from __future__ import annotations
@@ -31,18 +39,25 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 __all__ = [
     "BENCH_SCHEMA",
     "BenchSchemaError",
+    "HISTORY_LIMIT",
     "bench_path",
+    "diff_bench_result",
     "emit_bench_result",
     "load_bench_result",
     "validate_bench_result",
 ]
 
-SCHEMA_TAG = "repro.obs.bench/v1"
+SCHEMA_TAG = "repro.obs.bench/v2"
+SCHEMA_TAG_V1 = "repro.obs.bench/v1"
+
+#: Most history entries kept per file (newest last); keeps checked-in
+#: trajectory files from growing without bound.
+HISTORY_LIMIT = 20
 
 #: Structural schema (JSON-Schema-like, enforced by
 #: :func:`validate_bench_result` without external dependencies).
@@ -51,19 +66,46 @@ BENCH_SCHEMA = {
     "type": "object",
     "required": ["schema", "area", "created_unix", "git_rev", "quick_mode", "results"],
     "properties": {
-        "schema": {"const": SCHEMA_TAG},
+        "schema": {"enum": [SCHEMA_TAG, SCHEMA_TAG_V1]},
         "area": {"type": "string", "pattern": "^[a-z0-9_]+$"},
         "created_unix": {"type": "number"},
         "git_rev": {"type": "string"},
         "quick_mode": {"type": "object", "values": {"type": "string"}},
         "results": {"type": "object", "minProperties": 1},
+        "history": {
+            "type": "array",
+            "maxItems": HISTORY_LIMIT,
+            "items": {
+                "type": "object",
+                "required": ["created_unix", "git_rev", "quick_mode", "results"],
+            },
+        },
         "metrics": {"type": "object"},
     },
 }
 
 
 class BenchSchemaError(ValueError):
-    """A benchmark result document does not match ``repro.obs.bench/v1``."""
+    """A benchmark result document does not match ``repro.obs.bench/v2``."""
+
+
+def _validate_envelope(doc: dict, where: str) -> None:
+    if not isinstance(doc["created_unix"], (int, float)) or isinstance(
+        doc["created_unix"], bool
+    ):
+        raise BenchSchemaError(f"{where}created_unix must be a number")
+    if not isinstance(doc["git_rev"], str) or not doc["git_rev"]:
+        raise BenchSchemaError(f"{where}git_rev must be a non-empty string")
+    quick = doc["quick_mode"]
+    if not isinstance(quick, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in quick.items()
+    ):
+        raise BenchSchemaError(f"{where}quick_mode must map env-var names to string values")
+    results = doc["results"]
+    if not isinstance(results, dict) or not results:
+        raise BenchSchemaError(f"{where}results must be a non-empty object")
+    if not all(isinstance(k, str) for k in results):
+        raise BenchSchemaError(f"{where}results keys must be strings")
 
 
 def validate_bench_result(doc: object) -> dict:
@@ -71,36 +113,41 @@ def validate_bench_result(doc: object) -> dict:
 
     Raises :class:`BenchSchemaError` naming the offending key, so a CI
     failure says what is wrong with the file rather than just that
-    something is.
+    something is.  Both ``repro.obs.bench/v2`` and legacy ``/v1``
+    documents (no ``history``) are accepted.
     """
     if not isinstance(doc, dict):
         raise BenchSchemaError("benchmark result must be a JSON object")
     for key in BENCH_SCHEMA["required"]:
         if key not in doc:
             raise BenchSchemaError(f"missing required key {key!r}")
-    if doc["schema"] != SCHEMA_TAG:
-        raise BenchSchemaError(f"schema must be {SCHEMA_TAG!r}, got {doc['schema']!r}")
+    if doc["schema"] not in (SCHEMA_TAG, SCHEMA_TAG_V1):
+        raise BenchSchemaError(
+            f"schema must be {SCHEMA_TAG!r} (or legacy {SCHEMA_TAG_V1!r}), "
+            f"got {doc['schema']!r}"
+        )
     area = doc["area"]
     if not isinstance(area, str) or not area or not all(
         c.islower() or c.isdigit() or c == "_" for c in area
     ):
         raise BenchSchemaError(f"area must match ^[a-z0-9_]+$, got {area!r}")
-    if not isinstance(doc["created_unix"], (int, float)) or isinstance(
-        doc["created_unix"], bool
-    ):
-        raise BenchSchemaError("created_unix must be a number")
-    if not isinstance(doc["git_rev"], str) or not doc["git_rev"]:
-        raise BenchSchemaError("git_rev must be a non-empty string")
-    quick = doc["quick_mode"]
-    if not isinstance(quick, dict) or not all(
-        isinstance(k, str) and isinstance(v, str) for k, v in quick.items()
-    ):
-        raise BenchSchemaError("quick_mode must map env-var names to string values")
-    results = doc["results"]
-    if not isinstance(results, dict) or not results:
-        raise BenchSchemaError("results must be a non-empty object")
-    if not all(isinstance(k, str) for k in results):
-        raise BenchSchemaError("results keys must be strings")
+    _validate_envelope(doc, "")
+    history = doc.get("history")
+    if history is not None:
+        if not isinstance(history, list):
+            raise BenchSchemaError("history must be an array")
+        if len(history) > HISTORY_LIMIT:
+            raise BenchSchemaError(
+                f"history holds {len(history)} entries; limit is {HISTORY_LIMIT}"
+            )
+        for position, entry in enumerate(history):
+            where = f"history[{position}]."
+            if not isinstance(entry, dict):
+                raise BenchSchemaError(f"history[{position}] must be an object")
+            for key in ("created_unix", "git_rev", "quick_mode", "results"):
+                if key not in entry:
+                    raise BenchSchemaError(f"{where}{key} is missing")
+            _validate_envelope(entry, where)
     metrics = doc.get("metrics")
     if metrics is not None and not isinstance(metrics, dict):
         raise BenchSchemaError("metrics, when present, must be an object")
@@ -147,33 +194,53 @@ def emit_bench_result(
     """Write (or merge into) ``BENCH_<area>.json``; returns the path.
 
     Results merge by key with whatever a schema-valid existing file holds
-    — the tests of one benchmark area each contribute their own named
-    figures to one shared document.  The envelope (timestamp, git rev,
-    quick-mode flags) is refreshed on every emission; ``metrics`` (a
-    ``repro.obs/v1`` snapshot) replaces the previous one when given.
-    The document is validated before it is written, so an emitter bug
-    cannot check in an invalid file.
+    *from the same commit* — the tests of one benchmark area each
+    contribute their own named figures to one shared document.  When the
+    existing file was measured at a different ``git_rev``, its entry is
+    archived onto the bounded ``history`` list (newest last) and the new
+    results start a fresh entry, so the trajectory across commits is kept
+    instead of overwritten.  The envelope (timestamp, git rev, quick-mode
+    flags) is refreshed on every emission; ``metrics`` (a ``repro.obs/v1``
+    snapshot) replaces the previous one when given.  The document is
+    validated before it is written, so an emitter bug cannot check in an
+    invalid file.
     """
     path = bench_path(area, directory)
+    rev = _git_rev(path.parent)
     merged_results: Dict[str, object] = {}
     merged_metrics = metrics
+    history: List[dict] = []
     if path.exists():
         try:
             previous = validate_bench_result(json.loads(path.read_text(encoding="utf-8")))
-            merged_results.update(previous["results"])
+        except (BenchSchemaError, json.JSONDecodeError, OSError):
+            previous = None  # an unreadable predecessor is replaced, not merged with
+        if previous is not None:
+            history = list(previous.get("history", []))
+            if previous["git_rev"] == rev:
+                merged_results.update(previous["results"])
+            else:
+                history.append(
+                    {
+                        "created_unix": previous["created_unix"],
+                        "git_rev": previous["git_rev"],
+                        "quick_mode": previous["quick_mode"],
+                        "results": previous["results"],
+                    }
+                )
             if merged_metrics is None:
                 merged_metrics = previous.get("metrics")
-        except (BenchSchemaError, json.JSONDecodeError, OSError):
-            pass  # an unreadable predecessor is replaced, not merged with
     merged_results.update(results)
     doc = {
         "schema": SCHEMA_TAG,
         "area": area,
         "created_unix": round(time.time(), 3),
-        "git_rev": _git_rev(path.parent),
+        "git_rev": rev,
         "quick_mode": _quick_mode_env(),
         "results": merged_results,
     }
+    if history:
+        doc["history"] = history[-HISTORY_LIMIT:]
     if merged_metrics is not None:
         doc["metrics"] = merged_metrics
     validate_bench_result(doc)
@@ -184,6 +251,73 @@ def emit_bench_result(
 def load_bench_result(path: Union[str, Path]) -> dict:
     """Read and validate one ``BENCH_*.json`` file."""
     return validate_bench_result(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def diff_bench_result(doc: dict, threshold: float = 0.25) -> dict:
+    """Compare current ``results`` against the newest ``history`` entry.
+
+    Returns ``{"rows": [...], "flagged": [...], "baseline_rev": ...,
+    "quick_mode_matches": bool}``; ``rows`` holds one entry per shared
+    numeric key with the relative change, ``flagged`` the keys whose
+    |relative change| exceeds ``threshold``.  With no history (or a v1
+    file) both lists are empty and ``baseline_rev`` is None.
+    """
+    history = doc.get("history") or []
+    if not history:
+        return {
+            "rows": [],
+            "flagged": [],
+            "baseline_rev": None,
+            "quick_mode_matches": True,
+        }
+    baseline = history[-1]
+    rows = []
+    flagged = []
+    current = doc["results"]
+    for key in sorted(set(baseline["results"]) & set(current)):
+        before, after = baseline["results"][key], current[key]
+        if isinstance(before, bool) or isinstance(after, bool):
+            continue
+        if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
+            continue
+        if before == 0:
+            change = 0.0 if after == 0 else float("inf")
+        else:
+            change = (after - before) / abs(before)
+        row = {"key": key, "before": before, "after": after, "change": change}
+        rows.append(row)
+        if abs(change) > threshold:
+            flagged.append(key)
+    return {
+        "rows": rows,
+        "flagged": flagged,
+        "baseline_rev": baseline["git_rev"],
+        "quick_mode_matches": baseline["quick_mode"] == doc["quick_mode"],
+    }
+
+
+def _print_diff(name: str, doc: dict, threshold: float) -> int:
+    report = diff_bench_result(doc, threshold=threshold)
+    if report["baseline_rev"] is None:
+        print(f"--   {name}: no history to diff against")
+        return 0
+    print(
+        f"diff {name}: {doc['git_rev'][:12]} vs baseline "
+        f"{report['baseline_rev'][:12]}"
+        + ("" if report["quick_mode_matches"] else "  [quick-mode flags differ]")
+    )
+    for row in report["rows"]:
+        marker = " !!" if row["key"] in report["flagged"] else ""
+        print(
+            f"  {row['key']}: {row['before']} -> {row['after']} "
+            f"({row['change']:+.1%}){marker}"
+        )
+    if report["flagged"]:
+        print(
+            f"  {len(report['flagged'])} figure(s) moved more than "
+            f"{threshold:.0%} vs the previous entry"
+        )
+    return len(report["flagged"])
 
 
 def _main(argv) -> int:
@@ -198,7 +332,33 @@ def _main(argv) -> int:
             else:
                 print(f"ok   {name} (area={doc['area']}, {len(doc['results'])} results)")
         return 1 if failures else 0
-    print("usage: python -m repro.obs.bench validate BENCH_*.json", file=sys.stderr)
+    if len(argv) >= 2 and argv[0] == "diff":
+        names = []
+        threshold = 0.25
+        fail_on_regression = False
+        rest = iter(argv[1:])
+        for token in rest:
+            if token == "--threshold":
+                threshold = float(next(rest, "0.25"))
+            elif token == "--fail-on-regression":
+                fail_on_regression = True
+            else:
+                names.append(token)
+        flagged = 0
+        for name in names:
+            try:
+                doc = load_bench_result(name)
+            except (BenchSchemaError, json.JSONDecodeError, OSError) as error:
+                print(f"FAIL {name}: {error}")
+                return 1
+            flagged += _print_diff(name, doc, threshold)
+        return 1 if (flagged and fail_on_regression) else 0
+    print(
+        "usage: python -m repro.obs.bench validate BENCH_*.json\n"
+        "       python -m repro.obs.bench diff [--threshold F] "
+        "[--fail-on-regression] BENCH_*.json",
+        file=sys.stderr,
+    )
     return 2
 
 

@@ -13,15 +13,24 @@ Two consumers, two formats:
   diff: one entry per family with ``name`` / ``type`` / ``help`` and a
   sorted ``samples`` list; histogram samples carry raw (non-cumulative)
   bucket counts next to their boundaries, plus ``sum`` and ``count``.
+* :func:`to_chrome_trace` renders recorded :class:`~repro.obs.spans.Span`
+  rows as Chrome trace-event JSON (complete ``"X"`` events), loadable in
+  ``chrome://tracing`` or Perfetto; nesting follows time containment on
+  one track, which matches the recorder's parent/child structure.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
-__all__ = ["registry_snapshot", "to_prometheus_text", "SNAPSHOT_SCHEMA"]
+__all__ = [
+    "registry_snapshot",
+    "to_chrome_trace",
+    "to_prometheus_text",
+    "SNAPSHOT_SCHEMA",
+]
 
 SNAPSHOT_SCHEMA = "repro.obs/v1"
 
@@ -99,3 +108,32 @@ def registry_snapshot(registry: MetricsRegistry) -> dict:
             ]
         metrics.append(entry)
     return {"schema": SNAPSHOT_SCHEMA, "metrics": metrics}
+
+
+def to_chrome_trace(spans: Sequence) -> dict:
+    """Render spans as a Chrome trace-event document (Perfetto-loadable).
+
+    Every span becomes a complete event (``ph="X"``) with microsecond
+    ``ts`` / ``dur`` as the format requires; span and parent ids ride in
+    ``args`` so the causal tree survives even though the viewer nests by
+    time containment.  Events are sorted by start time for determinism.
+    """
+    events = []
+    for span in sorted(spans, key=lambda s: (s.start_ns, s.span_id)):
+        args = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "cat": "repro",
+                "ts": span.start_ns / 1e3,
+                "dur": (span.end_ns - span.start_ns) / 1e3,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -282,10 +282,14 @@ class Histogram(_Family):
         ]
 
     def quantile(self, q: float, **labels: object) -> float:
-        """Bucket-resolution quantile estimate (upper bound of the bucket).
+        """Quantile estimate, linearly interpolated inside the bucket.
 
-        Good enough for reports — the log geometry bounds the relative
-        error by one bucket factor.  Returns 0.0 with no observations.
+        The rank ``q * count`` is located in the cumulative bucket counts
+        and interpolated between the bucket's lower and upper bound
+        (Prometheus ``histogram_quantile`` semantics; the first bucket's
+        lower edge is 0).  Ranks landing in the +Inf bucket clamp to the
+        highest finite bound, since no upper edge exists to interpolate
+        toward.  Returns 0.0 with no observations.
         """
         if not 0.0 <= q <= 1.0:
             raise MetricError("quantile must be in [0, 1]")
@@ -295,12 +299,15 @@ class Histogram(_Family):
         rank = q * child.count
         seen = 0
         for index, bucket_count in enumerate(child.buckets):
+            if bucket_count and seen + bucket_count >= rank:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                position = (rank - seen) / bucket_count
+                return lower + (upper - lower) * max(position, 0.0)
             seen += bucket_count
-            if seen >= rank:
-                if index < len(self.bounds):
-                    return self.bounds[index]
-                return float("inf")
-        return float("inf")
+        return self.bounds[-1]
 
     def merge(self, other: "Histogram") -> None:
         self._check_mergeable(other)

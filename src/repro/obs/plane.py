@@ -1,11 +1,22 @@
-"""The bundled observability plane: one registry plus one journal.
+"""The bundled observability plane: registry, journal, windows, spans, alerts.
 
 :class:`Observability` is what instrumented control planes (the cluster
 coordinator foremost) accept via their ``obs=`` parameter: a
 :class:`~repro.obs.metrics.MetricsRegistry` and an
 :class:`~repro.obs.journal.EventJournal` sharing one injectable clock,
-with the two export formats hanging off it.  ``Observability.coerce``
-normalises the flag forms instrumented constructors take:
+optionally joined by the time-resolved layers —
+
+* ``window_ps=N`` attaches a :class:`~repro.obs.windows.WindowedRegistry`
+  snapshotting metric deltas on tumbling windows of *simulated* time,
+* ``span_sample_every=N`` (or ``spans=True`` for the default rate)
+  attaches a :class:`~repro.obs.spans.SpanRecorder` tracing
+  ``ingest_batch -> steer -> node -> shard -> stage`` on the host clock,
+* ``alerts=True`` (or a rule list / an :class:`~repro.obs.alerts.AlertEngine`)
+  attaches an alert engine evaluated at every window close, feeding onset
+  events into the shared journal.
+
+``Observability.coerce`` normalises the flag forms instrumented
+constructors take:
 
 * ``None`` / ``False`` — observability disabled (near-zero cost),
 * ``True`` — build a fresh plane on the default clock,
@@ -16,22 +27,58 @@ normalises the flag forms instrumented constructors take:
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional, Union
+from typing import Callable, Optional, Sequence, Union
 
+from repro.obs.alerts import AlertEngine, AlertRule
 from repro.obs.export import registry_snapshot, to_prometheus_text
 from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import DEFAULT_SPAN_SAMPLE_EVERY, SpanRecorder
+from repro.obs.windows import WindowedRegistry
 
 __all__ = ["Observability"]
 
 
 class Observability:
-    """A metrics registry and event journal on one shared clock."""
+    """Metrics, journal, and optional windows/spans/alerts on one clock."""
 
-    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], int] = time.perf_counter_ns,
+        window_ps: Optional[int] = None,
+        span_sample_every: Optional[int] = None,
+        spans: bool = False,
+        alerts: Union[None, bool, Sequence[AlertRule], AlertEngine] = None,
+    ) -> None:
         self.clock = clock
         self.metrics = MetricsRegistry(clock=clock)
         self.journal = EventJournal(clock=clock)
+        self.windows: Optional[WindowedRegistry] = None
+        if window_ps is not None:
+            self.windows = WindowedRegistry(self.metrics, window_ps)
+        self.spans: Optional[SpanRecorder] = None
+        if spans or span_sample_every is not None:
+            self.spans = SpanRecorder(
+                clock=clock,
+                sample_every=span_sample_every
+                if span_sample_every is not None
+                else DEFAULT_SPAN_SAMPLE_EVERY,
+            )
+        self.alerts: Optional[AlertEngine] = None
+        if alerts is not None and alerts is not False:
+            if isinstance(alerts, AlertEngine):
+                self.alerts = alerts
+                if self.alerts.journal is None:
+                    self.alerts.journal = self.journal
+            elif alerts is True:
+                # Rule-less engine flagged for defaults: the coordinator (or
+                # any other control plane) installs its shipped rule set.
+                self.alerts = AlertEngine(journal=self.journal, auto_defaults=True)
+            else:
+                self.alerts = AlertEngine(rules=alerts, journal=self.journal)
+            if self.windows is None:
+                raise ValueError("alerts need windows: pass window_ps= as well")
+            self.alerts.attach(self.windows)
 
     @classmethod
     def coerce(
@@ -58,3 +105,9 @@ class Observability:
 
     def prometheus_text(self) -> str:
         return to_prometheus_text(self.metrics)
+
+    def flush_windows(self):
+        """Close the trailing partial window, if windows are attached."""
+        if self.windows is not None:
+            return self.windows.flush()
+        return None

@@ -1,0 +1,172 @@
+"""``python -m repro.obs.report`` — one text summary of a run's artifacts.
+
+Takes any combination of the three JSONL artifacts a run exports —
+windowed series (:mod:`repro.obs.windows`), spans (:mod:`repro.obs.spans`),
+event journal (:mod:`repro.obs.journal`) — and renders them into a single
+human-readable report: a per-window table with ingest/outcome deltas and
+the alerts that fired there, per-name span aggregates, and an alert table
+with onset windows.  CI runs this over the artifacts uploaded from the
+cluster benchmark smoke, so a broken exporter fails visibly instead of
+uploading garbage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.obs.journal import EventJournal, JournalError, ObsEvent
+from repro.obs.spans import Span, SpanError, read_spans_jsonl, summarize_spans
+from repro.obs.windows import WindowError, WindowSnapshot, read_windows_jsonl
+
+__all__ = ["render_report", "main"]
+
+_INGEST = "repro_cluster_ingested_total"
+_OUTCOMES = "repro_engine_outcomes_total"
+
+
+def _table(rows: List[dict], columns: Sequence[str]) -> List[str]:
+    if not rows:
+        return ["  (none)"]
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    lines = ["  " + header, "  " + "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  "
+            + "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return lines
+
+
+def _alert_events(events: Sequence[ObsEvent]):
+    onsets = [event for event in events if event.kind == "alert"]
+    resolved = {
+        event.fields.get("rule")
+        for event in events
+        if event.kind == "alert_resolved"
+    }
+    return onsets, resolved
+
+
+def render_report(
+    windows: Optional[Sequence[WindowSnapshot]] = None,
+    spans: Optional[Sequence[Span]] = None,
+    events: Optional[Sequence[ObsEvent]] = None,
+) -> str:
+    """Render the three artifact streams into one text report."""
+    lines: List[str] = []
+    onsets: List[ObsEvent] = []
+    resolved: set = set()
+    if events is not None:
+        onsets, resolved = _alert_events(events)
+    alerts_by_window = {}
+    for event in onsets:
+        alerts_by_window.setdefault(event.fields.get("window"), []).append(
+            str(event.fields.get("rule"))
+        )
+
+    if windows is not None:
+        span_ps = (
+            (windows[-1].end_ps - windows[0].start_ps) if windows else 0
+        )
+        lines.append(
+            f"== Windows ==  count={len(windows)}  "
+            f"window_ps={windows[0].width_ps if windows else 0}  "
+            f"span_ms={span_ps / 1e9:.3f} (simulated)"
+        )
+        rows = []
+        for window in windows:
+            outcomes = window.values(_OUTCOMES, group_by="result")
+            rows.append(
+                {
+                    "idx": window.index,
+                    "start_us": round(window.start_ps / 1e6, 1),
+                    "ingested": int(window.total(_INGEST)),
+                    "hits": int(outcomes.get("hit", 0)),
+                    "misses": int(outcomes.get("miss", 0)),
+                    "new_flows": int(outcomes.get("new_flow", 0)),
+                    "alerts": ",".join(alerts_by_window.get(window.index, [])) or "-",
+                }
+            )
+        lines.extend(
+            _table(rows, ("idx", "start_us", "ingested", "hits", "misses", "new_flows", "alerts"))
+        )
+        lines.append("")
+
+    if spans is not None:
+        lines.append(f"== Spans ==  count={len(spans)}")
+        summary = summarize_spans(spans)
+        rows = [
+            {
+                "name": name,
+                "count": row["count"],
+                "total_us": round(row["total_ns"] / 1e3, 1),
+                "mean_us": round(row["mean_ns"] / 1e3, 2),
+                "max_us": round(row["max_ns"] / 1e3, 1),
+            }
+            for name, row in sorted(
+                summary.items(), key=lambda item: -item[1]["total_ns"]
+            )
+        ]
+        lines.extend(_table(rows, ("name", "count", "total_us", "mean_us", "max_us")))
+        lines.append("")
+
+    if events is not None:
+        lines.append(
+            f"== Alerts ==  onsets={len(onsets)}  journal_events={len(events)}"
+        )
+        rows = [
+            {
+                "rule": event.fields.get("rule"),
+                "onset_window": event.fields.get("window"),
+                "start_us": round(event.fields.get("window_start_ps", 0) / 1e6, 1),
+                "value": round(float(event.fields.get("value", 0.0)), 4),
+                "threshold": event.fields.get("threshold"),
+                "resolved": "yes" if event.fields.get("rule") in resolved else "no",
+            }
+            for event in onsets
+        ]
+        lines.extend(
+            _table(rows, ("rule", "onset_window", "start_us", "value", "threshold", "resolved"))
+        )
+        lines.append("")
+
+    if not lines:
+        return "(nothing to report: pass --windows, --spans, or --journal)\n"
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render windows/spans/alerts JSONL artifacts as one text summary.",
+    )
+    parser.add_argument("--windows", help="windowed-series JSONL file")
+    parser.add_argument("--spans", help="span JSONL file")
+    parser.add_argument("--journal", help="event-journal JSONL file")
+    options = parser.parse_args(argv)
+    if not (options.windows or options.spans or options.journal):
+        parser.print_usage(sys.stderr)
+        return 2
+    windows = spans = events = None
+    try:
+        if options.windows:
+            windows = read_windows_jsonl(options.windows)
+        if options.spans:
+            spans = read_spans_jsonl(options.spans)
+        if options.journal:
+            events = EventJournal.read_jsonl(options.journal).events()
+    except (WindowError, SpanError, JournalError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    sys.stdout.write(render_report(windows=windows, spans=spans, events=events))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -1,0 +1,385 @@
+"""Tumbling windows of simulated time over a :class:`MetricsRegistry`.
+
+The metrics registry accumulates monotonically for a whole run; this module
+adds the time axis.  A :class:`WindowedRegistry` watches a registry and, on
+tumbling windows of the **simulated** picosecond clock (window close is
+driven by packet timestamps, never the host wall clock), snapshots the delta
+since the previous window close:
+
+* counters  -> per-window delta and rate (delta / window seconds),
+* gauges    -> the value sampled at window close,
+* histograms-> per-window bucket/sum/count deltas.
+
+Callers advance the windowed clock with :meth:`WindowedRegistry.advance`
+(typically with the timestamp of the last descriptor of a batch or segment)
+and close the trailing partial window with :meth:`WindowedRegistry.flush` at
+end of run.  Closed windows are immutable :class:`WindowSnapshot` rows,
+published to ``on_close`` subscribers (the alert engine registers here),
+exportable as JSONL, and mergeable across nodes into a fleet-wide series
+with the same all-or-nothing validation contract as
+:meth:`MetricsRegistry.merge`: every window pair is checked before any
+output is built, so a geometry mismatch can never yield a half-merged view.
+
+Delta attribution follows the watermark: everything recorded since the last
+``advance`` call lands in the first window the new watermark closes, and any
+further windows crossed in the same call close empty.  Advancing once per
+batch/segment therefore bounds the attribution error by the segment length,
+which is why the cluster coordinator advances per ingest segment rather
+than per engine batch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+WINDOWS_SCHEMA = "repro.obs.windows/v1"
+
+_PS_PER_S = 1_000_000_000_000
+
+
+class WindowError(ValueError):
+    """Raised on invalid window geometry, JSONL input, or merge mismatch."""
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """One closed tumbling window: metric deltas over ``[start_ps, end_ps)``."""
+
+    index: int
+    start_ps: int
+    end_ps: int
+    series: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def width_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+    def values(
+        self,
+        metric: str,
+        where: Optional[Dict[str, str]] = None,
+        group_by: Optional[str] = None,
+    ) -> Dict[str, float]:
+        """Label-filtered per-window values of ``metric``, summed per group.
+
+        Counters contribute their window delta, gauges their sampled value,
+        histograms their count delta.  ``where`` keeps only samples whose
+        labels match every given pair; ``group_by`` buckets the sums by that
+        label's value (samples missing the label land under ``""``).  With no
+        ``group_by`` the whole sum lives under the single key ``""``.
+        """
+        entry = self.series.get(metric)
+        if entry is None:
+            return {}
+        out: Dict[str, float] = {}
+        for sample in entry["samples"]:
+            labels = sample["labels"]
+            if where and any(labels.get(k) != v for k, v in where.items()):
+                continue
+            if "delta" in sample:
+                value = sample["delta"]
+            elif "value" in sample:
+                value = sample["value"]
+            else:
+                value = sample["count"]
+            key = labels.get(group_by, "") if group_by else ""
+            out[key] = out.get(key, 0.0) + value
+        return out
+
+    def total(self, metric: str, where: Optional[Dict[str, str]] = None) -> float:
+        return sum(self.values(metric, where=where).values())
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "start_ps": self.start_ps,
+            "end_ps": self.end_ps,
+            "series": self.series,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "WindowSnapshot":
+        try:
+            return cls(
+                index=int(doc["index"]),
+                start_ps=int(doc["start_ps"]),
+                end_ps=int(doc["end_ps"]),
+                series=dict(doc["series"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise WindowError(f"malformed window document: {exc!r}")
+
+
+class WindowedRegistry:
+    """Tumbling-window delta series over a live :class:`MetricsRegistry`.
+
+    The first ``advance`` aligns window 0 to ``floor(ts / window_ps) *
+    window_ps`` unless ``start_ps`` pins the origin explicitly.  The
+    watermark never regresses: a stale timestamp is a no-op, so out-of-order
+    stragglers within a segment cannot reopen a closed window.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        window_ps: int,
+        start_ps: Optional[int] = None,
+    ):
+        window_ps = int(window_ps)
+        if window_ps <= 0:
+            raise WindowError(f"window_ps must be positive, got {window_ps}")
+        self.metrics = metrics
+        self.window_ps = window_ps
+        self.windows: List[WindowSnapshot] = []
+        self._start_ps = int(start_ps) if start_ps is not None else None
+        self._next_index = 0
+        self._watermark: Optional[int] = None
+        self._prev: Dict[str, dict] = {}
+        self._subscribers: List[Callable[[WindowSnapshot], None]] = []
+
+    def on_close(self, callback: Callable[[WindowSnapshot], None]) -> None:
+        """Register ``callback(window)`` to run at every window close."""
+        self._subscribers.append(callback)
+
+    def advance(self, now_ps: int) -> List[WindowSnapshot]:
+        """Advance the simulated watermark; close every window it crosses.
+
+        Returns the windows closed by this call (possibly empty).  The delta
+        accumulated since the previous advance is attributed to the first
+        closing window; any later windows crossed in the same call close
+        empty (the watermark is only as fine as the advance cadence).
+        """
+        now = int(now_ps)
+        if self._start_ps is None:
+            self._start_ps = (now // self.window_ps) * self.window_ps
+        if self._watermark is not None and now <= self._watermark:
+            return []
+        self._watermark = now
+        closed: List[WindowSnapshot] = []
+        while now >= self._start_ps + (self._next_index + 1) * self.window_ps:
+            closed.append(self._close_current())
+        return closed
+
+    def flush(self) -> Optional[WindowSnapshot]:
+        """Close the in-progress partial window (end of run / segment).
+
+        A no-op unless the watermark has moved *and* some activity (counter
+        or histogram deltas) accrued since the last close: a stream that
+        simply ended must not emit an empty tail window — delta/absence
+        alert rules would read it as a collapse of the signal, and repeated
+        finalization would append a train of empty windows.  Point-in-time
+        gauge samples alone do not count as activity.
+        """
+        if self._start_ps is None or self._watermark is None:
+            return None
+        series = self._collect_series()
+        self._watermark = None
+        if not any(
+            entry["type"] in ("counter", "histogram") for entry in series.values()
+        ):
+            return None
+        return self._close_current(series)
+
+    def _close_current(self, series: Optional[Dict[str, dict]] = None) -> WindowSnapshot:
+        start = self._start_ps + self._next_index * self.window_ps
+        window = WindowSnapshot(
+            index=self._next_index,
+            start_ps=start,
+            end_ps=start + self.window_ps,
+            series=self._collect_series() if series is None else series,
+        )
+        self._next_index += 1
+        self.windows.append(window)
+        for callback in self._subscribers:
+            callback(window)
+        return window
+
+    def _collect_series(self) -> Dict[str, dict]:
+        """Diff the registry against the last close; advance the baseline."""
+        series: Dict[str, dict] = {}
+        current: Dict[str, dict] = {}
+        seconds = self.window_ps / _PS_PER_S
+        for family in self.metrics:
+            # Children are read via the family's private map on purpose:
+            # samples() re-sorts and re-labels on every call, and the window
+            # close sits on the segment path.  Same-package access, same
+            # contract as MetricsRegistry.merge.
+            if isinstance(family, Counter):
+                state = {v: c.value for v, c in family._children.items()}
+                current[family.name] = state
+                before = self._prev.get(family.name, {})
+                samples = []
+                for values, value in sorted(state.items()):
+                    delta = value - before.get(values, 0)
+                    if delta:
+                        samples.append({
+                            "labels": dict(zip(family.label_names, values)),
+                            "delta": delta,
+                            "rate_per_s": delta / seconds,
+                        })
+                if samples:
+                    series[family.name] = {"type": "counter", "samples": samples}
+            elif isinstance(family, Gauge):
+                samples = [
+                    {"labels": labels, "value": value}
+                    for labels, value in family.samples()
+                    if value
+                ]
+                if samples:
+                    series[family.name] = {"type": "gauge", "samples": samples}
+            elif isinstance(family, Histogram):
+                state = {
+                    v: (tuple(c.buckets), c.sum, c.count)
+                    for v, c in family._children.items()
+                }
+                current[family.name] = state
+                before = self._prev.get(family.name, {})
+                samples = []
+                for values, (buckets, total, count) in sorted(state.items()):
+                    prev_buckets, prev_sum, prev_count = before.get(
+                        values, ((0,) * len(buckets), 0.0, 0)
+                    )
+                    delta_count = count - prev_count
+                    if not delta_count:
+                        continue
+                    samples.append({
+                        "labels": dict(zip(family.label_names, values)),
+                        "bounds": list(family.bounds),
+                        "buckets": [b - p for b, p in zip(buckets, prev_buckets)],
+                        "sum": total - prev_sum,
+                        "count": delta_count,
+                    })
+                if samples:
+                    series[family.name] = {"type": "histogram", "samples": samples}
+        self._prev = current
+        return series
+
+    # -- JSONL -------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return windows_to_jsonl(self.windows)
+
+    def write_jsonl(self, path) -> int:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+        return len(self.windows)
+
+
+def windows_to_jsonl(windows: Sequence[WindowSnapshot]) -> str:
+    lines = [json.dumps(w.to_json(), sort_keys=True) for w in windows]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def windows_from_jsonl(text: str) -> List[WindowSnapshot]:
+    """Parse a window series, enforcing index continuity from 0."""
+    windows: List[WindowSnapshot] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WindowError(f"line {line_number}: invalid JSON: {exc}")
+        window = WindowSnapshot.from_json(doc)
+        if window.index != len(windows):
+            raise WindowError(
+                f"line {line_number}: expected window index {len(windows)}, "
+                f"got {window.index}"
+            )
+        windows.append(window)
+    return windows
+
+
+def read_windows_jsonl(path) -> List[WindowSnapshot]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return windows_from_jsonl(handle.read())
+
+
+def merge_window_series(
+    *series: Sequence[WindowSnapshot],
+) -> List[WindowSnapshot]:
+    """Merge per-node window series into one fleet-wide series.
+
+    Windows pair up by index and must agree on geometry (start/end) and on
+    histogram bucket bounds; counter and histogram deltas add, gauge samples
+    add (they are additive fleet figures, as in :meth:`Gauge.merge`).  Like
+    ``MetricsRegistry.merge``, validation runs over *every* window pair
+    before any output is assembled — a mismatch raises :class:`WindowError`
+    and yields nothing partial.  Inputs are never mutated.
+    """
+    lists = [list(s) for s in series if s is not None]
+    if not lists:
+        return []
+    by_index: Dict[int, List[WindowSnapshot]] = {}
+    for windows in lists:
+        for window in windows:
+            by_index.setdefault(window.index, []).append(window)
+    # Validate everything first: geometry, then histogram bounds.
+    for index, group in sorted(by_index.items()):
+        first = group[0]
+        for other in group[1:]:
+            if (other.start_ps, other.end_ps) != (first.start_ps, first.end_ps):
+                raise WindowError(
+                    f"window {index}: geometry mismatch "
+                    f"[{first.start_ps}, {first.end_ps}) vs "
+                    f"[{other.start_ps}, {other.end_ps})"
+                )
+            for name, entry in other.series.items():
+                ours = first.series.get(name)
+                if ours is None:
+                    continue
+                if ours["type"] != entry["type"]:
+                    raise WindowError(
+                        f"window {index}: metric {name!r} type mismatch "
+                        f"{ours['type']!r} vs {entry['type']!r}"
+                    )
+                if entry["type"] == "histogram":
+                    bounds = {tuple(s["bounds"]) for s in ours["samples"]}
+                    bounds |= {tuple(s["bounds"]) for s in entry["samples"]}
+                    if len(bounds) > 1:
+                        raise WindowError(
+                            f"window {index}: metric {name!r} bucket bounds differ"
+                        )
+    merged: List[WindowSnapshot] = []
+    for index, group in sorted(by_index.items()):
+        series_out: Dict[str, dict] = {}
+        for window in group:
+            for name, entry in window.series.items():
+                target = series_out.setdefault(
+                    name, {"type": entry["type"], "samples": []}
+                )
+                for sample in entry["samples"]:
+                    _merge_sample(target["samples"], sample, entry["type"])
+        for entry in series_out.values():
+            entry["samples"].sort(key=lambda s: sorted(s["labels"].items()))
+        merged.append(
+            WindowSnapshot(
+                index=index,
+                start_ps=group[0].start_ps,
+                end_ps=group[0].end_ps,
+                series=series_out,
+            )
+        )
+    return merged
+
+
+def _merge_sample(samples: List[dict], sample: dict, kind: str) -> None:
+    for existing in samples:
+        if existing["labels"] == sample["labels"]:
+            if kind == "counter":
+                existing["delta"] += sample["delta"]
+                existing["rate_per_s"] += sample["rate_per_s"]
+            elif kind == "gauge":
+                existing["value"] += sample["value"]
+            else:
+                existing["buckets"] = [
+                    a + b for a, b in zip(existing["buckets"], sample["buckets"])
+                ]
+                existing["sum"] += sample["sum"]
+                existing["count"] += sample["count"]
+            return
+    samples.append(json.loads(json.dumps(sample)))

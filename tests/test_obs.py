@@ -93,17 +93,36 @@ def test_histogram_bucket_boundaries_are_inclusive_upper_bounds():
     assert child.sum == pytest.approx(221.5)
 
 
-def test_histogram_quantile_is_bucket_resolution():
+def test_histogram_quantile_interpolates_within_buckets():
     hist = Histogram("h", "", buckets=(10.0, 100.0, 1000.0))
     for value in (5, 50, 500):
         hist.observe(value)
-    assert hist.quantile(0.0) == 0.0 or hist.quantile(0.0) == 10.0
-    assert hist.quantile(0.5) == 100.0
-    assert hist.quantile(1.0) == 1000.0
-    hist.observe(5000)
-    assert hist.quantile(1.0) == float("inf")
+    # rank 1.5 lands mid-way through the (10, 100] bucket: 10 + 0.5 * 90.
+    assert hist.quantile(0.5) == pytest.approx(55.0)
+    # q=0 degenerates to the lower edge of the first occupied bucket.
+    assert hist.quantile(0.0) == 0.0
+    # q=1 is the top of the last occupied finite bucket.
+    assert hist.quantile(1.0) == pytest.approx(1000.0)
     with pytest.raises(MetricError):
         hist.quantile(1.5)
+    with pytest.raises(MetricError):
+        hist.quantile(-0.1)
+
+
+def test_histogram_quantile_boundary_cases():
+    hist = Histogram("h", "", buckets=(10.0, 100.0, 1000.0))
+    # A single observation: every quantile lives in its bucket.
+    hist.observe(50)
+    assert 10.0 <= hist.quantile(0.01) <= 100.0
+    assert 10.0 <= hist.quantile(0.99) <= 100.0
+    assert hist.quantile(1.0) == pytest.approx(100.0)
+    # Mass in the +Inf bucket clamps to the largest finite bound instead
+    # of reporting an infinite (useless) figure.
+    hist.observe(5000)
+    assert hist.quantile(1.0) == pytest.approx(1000.0)
+    # Empty child: quantile of nothing is 0.
+    empty = Histogram("e", "", buckets=(10.0,))
+    assert empty.quantile(0.5) == 0.0
 
 
 def test_histogram_rejects_bad_bucket_definitions():
@@ -363,6 +382,98 @@ def test_prometheus_label_escaping():
     registry.counter("c_total", "", labels=("path",)).inc(1, path='a"b\\c\nd')
     line = to_prometheus_text(registry).splitlines()[-1]
     assert line == 'c_total{path="a\\"b\\\\c\\nd"} 1'
+
+
+def _parse_prometheus_sample(line):
+    """A tiny exposition-format line parser reversing the label escaping."""
+    name, rest = line.split("{", 1) if "{" in line else (line.split(" ", 1)[0], None)
+    if rest is None:
+        return name, {}, float(line.split(" ", 1)[1])
+    body, value = rest.rsplit("} ", 1)
+    labels = {}
+    index = 0
+    while index < len(body):
+        eq = body.index('="', index)
+        key = body[index:eq]
+        cursor = eq + 2
+        out = []
+        while True:
+            char = body[cursor]
+            if char == "\\":
+                escape = body[cursor + 1]
+                out.append({"n": "\n", "\\": "\\", '"': '"'}[escape])
+                cursor += 2
+            elif char == '"':
+                cursor += 1
+                break
+            else:
+                out.append(char)
+                cursor += 1
+        labels[key] = "".join(out)
+        index = cursor + 1 if cursor < len(body) and body[cursor] == "," else cursor
+    return name, labels, float(value)
+
+
+def test_prometheus_escaping_round_trips_through_a_parser():
+    registry = MetricsRegistry()
+    nasty = {
+        "plain": "value",
+        "quotes": 'say "hi"',
+        "slashes": "a\\b\\\\c",
+        "newlines": "line1\nline2",
+        "mixed": '\\"\n\\"',
+        "empty": "",
+    }
+    counter = registry.counter("edge_total", "", labels=("case", "payload"))
+    for case, payload in nasty.items():
+        counter.inc(1, case=case, payload=payload)
+    sample_lines = [
+        line for line in to_prometheus_text(registry).splitlines()
+        if not line.startswith("#")
+    ]
+    seen = {}
+    for line in sample_lines:
+        name, labels, value = _parse_prometheus_sample(line)
+        assert name == "edge_total"
+        assert value == 1.0
+        seen[labels["case"]] = labels["payload"]
+    assert seen == nasty
+
+
+def test_prometheus_empty_families_and_registry():
+    # An empty registry renders as the empty string, not a stray newline.
+    assert to_prometheus_text(MetricsRegistry()) == ""
+    # A family with no children still announces itself (HELP/TYPE) so
+    # scrapers learn the metadata before the first sample exists.
+    registry = MetricsRegistry()
+    registry.counter("later_total", "Appears later", labels=("node",))
+    registry.gauge("g", "")
+    text = to_prometheus_text(registry)
+    assert text.splitlines() == [
+        "# HELP g ",
+        "# TYPE g gauge",
+        "# HELP later_total Appears later",
+        "# TYPE later_total counter",
+    ]
+
+
+def test_prometheus_output_order_is_deterministic():
+    def build(order):
+        registry = MetricsRegistry()
+        for name in order:
+            registry.counter(name, "", labels=("k",))
+        registry.get("a_total").inc(1, k="z")
+        registry.get("a_total").inc(1, k="a")
+        registry.get("c_total").inc(1, k="m")
+        return to_prometheus_text(registry)
+
+    # Registration order and label-creation order never leak into the text.
+    assert build(["b_total", "a_total", "c_total"]) == build(
+        ["c_total", "b_total", "a_total"]
+    )
+    lines = build(["b_total", "a_total", "c_total"]).splitlines()
+    sample_lines = [line for line in lines if not line.startswith("#")]
+    assert sample_lines == sorted(sample_lines)
 
 
 def test_registry_snapshot_schema():
@@ -663,3 +774,149 @@ def test_bench_dir_env_override(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
     path = emit_bench_result("unit_area", {"a": 1})
     assert path.parent == tmp_path
+
+
+# --------------------------------------------------------------------- #
+# BENCH trajectory history (v2) and the regression diff
+# --------------------------------------------------------------------- #
+
+
+def _pin_git_rev(monkeypatch, rev):
+    import repro.obs.bench as bench_module
+
+    monkeypatch.setattr(bench_module, "_git_rev", lambda directory: rev)
+
+
+def test_bench_history_archives_previous_commit(tmp_path, monkeypatch):
+    _pin_git_rev(monkeypatch, "commit_one")
+    emit_bench_result("unit_area", {"rate": 100.0, "only_old": 1}, directory=tmp_path)
+    _pin_git_rev(monkeypatch, "commit_two")
+    path = emit_bench_result("unit_area", {"rate": 110.0}, directory=tmp_path)
+    doc = load_bench_result(path)
+    assert doc["schema"] == SCHEMA_TAG
+    assert doc["git_rev"] == "commit_two"
+    # The new entry does NOT inherit the old commit's results by key...
+    assert doc["results"] == {"rate": 110.0}
+    # ...they live in history instead, newest last.
+    assert [entry["git_rev"] for entry in doc["history"]] == ["commit_one"]
+    assert doc["history"][0]["results"] == {"rate": 100.0, "only_old": 1}
+    # Same-commit emission still merges by key without growing history.
+    emit_bench_result("unit_area", {"extra": 5}, directory=tmp_path)
+    doc = load_bench_result(path)
+    assert doc["results"] == {"rate": 110.0, "extra": 5}
+    assert len(doc["history"]) == 1
+
+
+def test_bench_history_is_bounded(tmp_path, monkeypatch):
+    from repro.obs.bench import HISTORY_LIMIT
+
+    for index in range(HISTORY_LIMIT + 5):
+        _pin_git_rev(monkeypatch, f"commit_{index:03d}")
+        emit_bench_result("unit_area", {"rate": float(index)}, directory=tmp_path)
+    doc = load_bench_result(tmp_path / "BENCH_unit_area.json")
+    history = doc["history"]
+    assert len(history) == HISTORY_LIMIT
+    # Oldest entries fell off the front; the newest survivors remain.
+    assert history[-1]["git_rev"] == f"commit_{HISTORY_LIMIT + 3:03d}"
+    validate_bench_result(doc)
+
+
+def test_bench_v1_documents_still_load(tmp_path):
+    from repro.obs.bench import SCHEMA_TAG_V1
+
+    legacy = {
+        "schema": SCHEMA_TAG_V1,
+        "area": "unit_area",
+        "created_unix": 1700000000,
+        "git_rev": "old_rev",
+        "quick_mode": {},
+        "results": {"rate": 42.0},
+    }
+    target = tmp_path / "BENCH_unit_area.json"
+    target.write_text(json.dumps(legacy), encoding="utf-8")
+    assert load_bench_result(target)["schema"] == SCHEMA_TAG_V1
+    # The next emission upgrades the file to v2 (archiving the v1 entry
+    # when the commit changed).
+    emit_bench_result("unit_area", {"rate": 50.0}, directory=tmp_path)
+    doc = load_bench_result(target)
+    assert doc["schema"] == SCHEMA_TAG
+    if doc["git_rev"] != "old_rev":
+        assert doc["history"][0]["git_rev"] == "old_rev"
+
+
+def test_bench_validator_rejects_bad_history(tmp_path):
+    from repro.obs.bench import HISTORY_LIMIT
+
+    entry = {"created_unix": 0, "git_rev": "abc", "quick_mode": {}, "results": {"a": 1}}
+    good = {
+        "schema": SCHEMA_TAG,
+        "area": "x",
+        "created_unix": 0,
+        "git_rev": "abc",
+        "quick_mode": {},
+        "results": {"a": 1},
+        "history": [entry],
+    }
+    validate_bench_result(good)
+    with pytest.raises(BenchSchemaError, match="history"):
+        validate_bench_result({**good, "history": "not a list"})
+    with pytest.raises(BenchSchemaError, match="history"):
+        validate_bench_result({**good, "history": [entry] * (HISTORY_LIMIT + 1)})
+    with pytest.raises(BenchSchemaError, match="git_rev"):
+        validate_bench_result({**good, "history": [{**entry, "git_rev": ""}]})
+    with pytest.raises(BenchSchemaError, match="missing"):
+        validate_bench_result(
+            {**good, "history": [{k: v for k, v in entry.items() if k != "results"}]}
+        )
+
+
+def test_bench_diff_flags_large_regressions(tmp_path, monkeypatch):
+    from repro.obs.bench import diff_bench_result
+
+    _pin_git_rev(monkeypatch, "before_rev")
+    emit_bench_result(
+        "unit_area",
+        {"rate": 100.0, "steady": 10.0, "label": "text", "flag": True},
+        directory=tmp_path,
+    )
+    _pin_git_rev(monkeypatch, "after_rev")
+    path = emit_bench_result(
+        "unit_area",
+        {"rate": 60.0, "steady": 10.5, "label": "text2", "flag": False},
+        directory=tmp_path,
+    )
+    report = diff_bench_result(load_bench_result(path))
+    assert report["baseline_rev"] == "before_rev"
+    assert report["quick_mode_matches"] is True
+    by_key = {row["key"]: row for row in report["rows"]}
+    # Numeric keys diff; strings and bools are skipped.
+    assert set(by_key) == {"rate", "steady"}
+    assert by_key["rate"]["change"] == pytest.approx(-0.4)
+    assert report["flagged"] == ["rate"]
+    # A tighter threshold flags the small move too.
+    tight = diff_bench_result(load_bench_result(path), threshold=0.01)
+    assert set(tight["flagged"]) == {"rate", "steady"}
+    # No history -> nothing to diff.
+    fresh = {
+        "schema": SCHEMA_TAG, "area": "x", "created_unix": 0,
+        "git_rev": "abc", "quick_mode": {}, "results": {"a": 1},
+    }
+    assert diff_bench_result(fresh)["baseline_rev"] is None
+
+
+def test_bench_diff_cli(tmp_path, monkeypatch, capsys):
+    from repro.obs.bench import _main
+
+    _pin_git_rev(monkeypatch, "before_rev")
+    emit_bench_result("unit_area", {"rate": 100.0}, directory=tmp_path)
+    _pin_git_rev(monkeypatch, "after_rev")
+    path = emit_bench_result("unit_area", {"rate": 10.0}, directory=tmp_path)
+    # Informational by default: regressions are printed, exit code stays 0.
+    assert _main(["diff", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "rate: 100.0 -> 10.0" in out and "!!" in out
+    # Opt-in tripwire.
+    assert _main(["diff", "--fail-on-regression", str(path)]) == 1
+    assert _main(["diff", "--threshold", "0.95", "--fail-on-regression", str(path)]) == 0
+    assert _main(["validate", str(path)]) == 0
+    assert _main([]) == 2
