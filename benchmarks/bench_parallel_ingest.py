@@ -1,0 +1,142 @@
+"""Parallel cluster ingestion — host-side scaling with exactness locked.
+
+ISSUE 9 acceptance: with the thread executor and the numpy columnar
+backend, aggregate host-side throughput grows with node count — at least
+2x at 4 nodes versus 1 — while the parallel run's ``flow_books()`` and
+merged top-k stay bit-identical to the sequential reference on every
+scenario driven here.
+
+*Aggregate host-side Mdesc/s* is ingested descriptors over the modeled
+fleet-parallel critical path (serial steer + slowest node's measured
+worker CPU time + serial barrier, per segment — see
+``ClusterCoordinator.parallel_report``).  Worker busy time is per-thread
+CPU time, so the figure reflects how the per-node work partitions rather
+than how many cores this particular host happens to have; the raw wall
+rate is reported alongside, ungated (on a single-core CI box wall cannot
+scale, by construction).
+
+Scaling rows run ``uniform_random`` — load-balanced steering, so the
+slowest node's share actually shrinks with the fleet; exactness runs add
+the skewed ``zipf_mix`` (and the equivalence matrix in
+``tests/test_parallel.py`` covers the rest).  Set
+``PARALLEL_BENCH_PACKETS`` to shrink the workload (CI smoke) and
+``PARALLEL_BENCH_WORKERS`` to size the pool.
+"""
+
+import os
+
+from repro.cluster import ClusterCoordinator
+from repro.core.config import small_test_config
+from repro.parallel import SequentialExecutor, ThreadExecutor
+from repro.reporting import format_table
+from repro.traffic import scenario_block
+
+PACKETS = int(os.environ.get("PARALLEL_BENCH_PACKETS", "40000"))
+WORKERS = int(os.environ.get("PARALLEL_BENCH_WORKERS", "4"))
+NODE_COUNTS = (1, 2, 4)
+SEGMENTS = 8
+TOP_K = 10
+# Below this workload, per-segment fixed costs (steer, dispatch, barrier)
+# drown the per-node work and the 2x figure is meaningless; quick-mode CI
+# smoke still checks that scaling goes the right way.
+FULL_GATE_PACKETS = 24000
+
+
+def _drive(scenario, nodes, executor, seed=77):
+    block = scenario_block(scenario, PACKETS, seed=seed)
+    cluster = ClusterCoordinator(
+        nodes=nodes,
+        config=small_test_config(),
+        telemetry_seed=seed,
+        executor=executor,
+    )
+    step = max(1, PACKETS // SEGMENTS)
+    for offset in range(0, PACKETS, step):
+        cluster.ingest(block.slice_rows(offset, offset + step))
+    cluster.close()
+    return cluster
+
+
+def _top_k(cluster):
+    merged = cluster.merged_telemetry()
+    return [
+        (hitter.key, hitter.count)
+        for hitter in sorted(
+            merged.heavy_hitters.entries(), key=lambda h: (-h.count, h.key)
+        )[:TOP_K]
+    ]
+
+
+def test_parallel_thread_scaling(bench_emit):
+    """Aggregate host-side Mdesc/s grows with node count (>= 2x at 4)."""
+    rows = []
+    rates = {}
+    for nodes in NODE_COUNTS:
+        cluster = _drive("uniform_random", nodes, ThreadExecutor(WORKERS))
+        report = cluster.parallel_report()
+        rates[nodes] = report["aggregate_mdesc_s"]
+        busiest = max(report["per_node_busy_ns"].values())
+        rows.append(
+            {
+                "nodes": nodes,
+                "agg_mdesc_s": round(report["aggregate_mdesc_s"], 4),
+                "wall_mdesc_s": round(report["wall_mdesc_s"], 4),
+                "busiest_node_ms": round(busiest / 1e6, 1),
+                "steer_ms": round(report["steer_ns"] / 1e6, 1),
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"parallel ingest scaling — uniform_random, thread:{WORKERS} "
+                f"({PACKETS} packets)"
+            ),
+        )
+    )
+
+    speedup = rates[4] / rates[1]
+    assert rates[2] > rates[1], rates
+    assert rates[4] > rates[2], rates
+    if PACKETS >= FULL_GATE_PACKETS:
+        assert speedup >= 2.0, rates
+    bench_emit(
+        "parallel",
+        {
+            **{
+                f"thread_nodes_{nodes}_agg_mdesc_s": round(rates[nodes], 4)
+                for nodes in NODE_COUNTS
+            },
+            "thread_speedup_4_nodes": round(speedup, 2),
+            "thread_workers": WORKERS,
+            "packets": PACKETS,
+        },
+    )
+
+
+def test_parallel_books_bit_identical_to_sequential(bench_emit):
+    """Thread-parallel books/top-k equal the sequential reference exactly."""
+    rows = []
+    for scenario in ("uniform_random", "zipf_mix"):
+        sequential = _drive(scenario, 4, SequentialExecutor())
+        parallel = _drive(scenario, 4, ThreadExecutor(WORKERS))
+        assert parallel.flow_books() == sequential.flow_books(), scenario
+        assert parallel.flow_books()["balanced"], scenario
+        assert parallel.cluster_totals() == sequential.cluster_totals(), scenario
+        assert _top_k(parallel) == _top_k(sequential), scenario
+        rows.append(
+            {
+                "scenario": scenario,
+                "completed": parallel.cluster_totals()["completed"],
+                "books_exact": True,
+                f"top{TOP_K}_exact": True,
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows, title=f"parallel vs sequential exactness (4 nodes, {PACKETS} packets)"
+        )
+    )
+    bench_emit("parallel", {"books_exact_scenarios": len(rows)})

@@ -278,6 +278,30 @@ class DescriptorBlock:
             key_width=width,
         )
 
+    def slice_rows(self, start: int, stop: int) -> "DescriptorBlock":
+        """A new block holding the contiguous row range ``[start, stop)``.
+
+        The cheap special case of :meth:`take` for the sub-batch loops that
+        walk a block front to back (per-node workers in
+        :mod:`repro.parallel` take every row exactly once, in order): plain
+        slicing on every column — no index array, no gather — with numpy
+        slices staying views of the parent columns.  ``stop`` is clamped to
+        the block length like ordinary slicing.
+        """
+        count = len(self)
+        start = max(0, int(start))
+        stop = min(int(stop), count)
+        if start == 0 and stop == count:
+            return self
+        width = self.key_width
+        return DescriptorBlock(
+            self.key_data[start * width : stop * width],
+            self.lengths[start:stop],
+            self.timestamps[start:stop],
+            self.flags[start:stop],
+            key_width=width,
+        )
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, DescriptorBlock):
             return NotImplemented

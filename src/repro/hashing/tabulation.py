@@ -14,6 +14,25 @@ from repro.sim.rng import SeedLike, make_rng
 
 KeyLike = Union[int, bytes, bytearray]
 
+# Table build memo for integer-seeded hashes.  make_rng(int) is a fresh,
+# deterministic stream, so two hashes built from the same (geometry, seed)
+# get byte-identical tables — and the telemetry plane builds thousands of
+# them: every DistinctCounter of a SuperSpreaderDetector shares one
+# resolved seed, so before this memo each newly tracked source re-rolled
+# the same 256-entry tables (dominating cluster ingest profiles).  Tables
+# are immutable after construction, so sharing the lists is safe.  Seeds
+# that are None (entropy) or a live Random (stateful stream) bypass the
+# memo.  The cache is bounded; eviction only costs a rebuild.
+_TABLE_CACHE: dict = {}
+_TABLE_CACHE_MAX = 128
+
+
+def _build_tables(key_bytes: int, output_bits: int, seed: SeedLike) -> list:
+    rng = make_rng(seed)
+    return [
+        [rng.getrandbits(output_bits) for _ in range(256)] for _ in range(key_bytes)
+    ]
+
 
 class TabulationHash:
     """Tabulation hash over fixed-length byte strings.
@@ -33,10 +52,18 @@ class TabulationHash:
             raise ValueError("output_bits must be positive")
         self.key_bytes = key_bytes
         self.output_bits = output_bits
-        rng = make_rng(seed)
-        self._tables = [
-            [rng.getrandbits(output_bits) for _ in range(256)] for _ in range(key_bytes)
-        ]
+        if isinstance(seed, int):
+            cache_key = (key_bytes, output_bits, seed)
+            tables = _TABLE_CACHE.get(cache_key)
+            if tables is None:
+                if len(_TABLE_CACHE) >= _TABLE_CACHE_MAX:
+                    _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+                tables = _TABLE_CACHE[cache_key] = _build_tables(
+                    key_bytes, output_bits, seed
+                )
+            self._tables = tables
+        else:
+            self._tables = _build_tables(key_bytes, output_bits, seed)
         self._mask = (1 << output_bits) - 1
 
     def _normalise(self, key: KeyLike) -> bytes:

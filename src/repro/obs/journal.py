@@ -22,6 +22,7 @@ history exactly.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -80,6 +81,13 @@ class EventJournal:
     def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
         self.clock = clock
         self._events: List[ObsEvent] = []
+        # Sequence assignment reads len() and appends; two threads racing
+        # through record() could mint duplicate seqs (a JournalError on
+        # round-trip).  The journal is control-plane — membership events,
+        # checkpoints, alerts — so a lock here costs nothing measurable,
+        # unlike the span hot path (which gets per-worker recorders
+        # instead; see repro.parallel).
+        self._record_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -89,14 +97,15 @@ class EventJournal:
         """Append one event; returns it (with its assigned sequence number)."""
         if not kind:
             raise JournalError("event kind must be non-empty")
-        event = ObsEvent(
-            seq=len(self._events),
-            ts_ns=self.clock(),
-            kind=kind,
-            node=node,
-            fields=fields,
-        )
-        self._events.append(event)
+        with self._record_lock:
+            event = ObsEvent(
+                seq=len(self._events),
+                ts_ns=self.clock(),
+                kind=kind,
+                node=node,
+                fields=fields,
+            )
+            self._events.append(event)
         return event
 
     # ------------------------------------------------------------------ #

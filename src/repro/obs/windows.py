@@ -173,11 +173,18 @@ class WindowedRegistry:
         alert rules would read it as a collapse of the signal, and repeated
         finalization would append a train of empty windows.  Point-in-time
         gauge samples alone do not count as activity.
+
+        The watermark survives the flush: simulated time does not run
+        backwards because a window was finalised, so a later ``advance``
+        with a timestamp at or before the flushed watermark is a stale
+        out-of-order sample and is dropped (``[]``, no mutation) exactly
+        like the pre-flush path — it must not attribute pre-flush-era
+        activity to a later window.  The no-repeat guarantee comes from
+        the *activity* check below, not from forgetting time.
         """
         if self._start_ps is None or self._watermark is None:
             return None
         series = self._collect_series()
-        self._watermark = None
         if not any(
             entry["type"] in ("counter", "histogram") for entry in series.values()
         ):

@@ -118,6 +118,26 @@ def test_tabulation_deterministic_and_pads_short_keys():
     assert t.hash(b"\x05") == t.hash(b"\x00" * 12 + b"\x05")
 
 
+def test_tabulation_int_seed_memoises_tables_bit_identically():
+    """Integer-seeded hashes share one table build (the telemetry plane
+    constructs thousands with the same geometry+seed); entropy- and
+    Random-seeded hashes bypass the memo."""
+    import random
+
+    first = TabulationHash(13, 32, seed=9)
+    second = TabulationHash(13, 32, seed=9)
+    assert second._tables is first._tables  # memo hit, zero rebuild cost
+    keys = [bytes([i] * 13) for i in range(64)]
+    assert [first.hash(k) for k in keys] == [second.hash(k) for k in keys]
+    assert TabulationHash(13, 32, seed=10)._tables is not first._tables
+    # A live Random is a stateful stream: two builds must keep drawing from
+    # it (and so differ), never share a cached table.
+    rng = random.Random(9)
+    a, b = TabulationHash(4, 16, seed=rng), TabulationHash(4, 16, seed=rng)
+    assert a._tables is not b._tables
+    assert TabulationHash(4, 16, seed=None)._tables is not b._tables
+
+
 def test_tabulation_rejects_long_keys_and_bad_params():
     t = TabulationHash(4, 16, seed=0)
     with pytest.raises(ValueError):

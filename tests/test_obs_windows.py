@@ -132,6 +132,49 @@ def test_window_flush_requires_activity_and_is_idempotent():
     assert [w.index for w in windows.windows] == [0, 1]
 
 
+def test_window_flush_preserves_watermark_for_stale_and_fresh_advances():
+    """Regression (ISSUE 9): ``flush()`` used to forget the watermark.
+
+    Simulated time does not run backwards because a window was finalised:
+    after a flush, a stale ``advance()`` must still be dropped (no close,
+    no mutation), a second flush must still see that time has moved (the
+    old ``_watermark = None`` made it a silent no-op, losing the tail
+    activity), and a genuinely fresh advance continues from where the
+    flush left off.
+    """
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "").labels()
+    windows = WindowedRegistry(registry, window_ps=100, start_ps=0)
+    counter.inc(3)
+    windows.advance(250)  # closes 0 (delta 3) and 1 (empty)
+    counter.inc(2)
+    assert windows.flush().index == 2  # partial window 2, delta 2
+
+    # flush -> flush: the watermark survived, so the straggler activity
+    # below is flushable — with the watermark dropped this returned None
+    # and window 3's activity silently vanished from the series.
+    counter.inc(4)
+    tail = windows.flush()
+    assert tail is not None and tail.index == 3
+    assert tail.total("c_total") == 4.0
+
+    # flush -> stale advance: timestamps at or before the flushed
+    # watermark are out-of-order samples — dropped exactly like the
+    # pre-flush path, closing nothing and mutating nothing.
+    assert windows.advance(180) == []
+    assert windows.advance(250) == []
+    assert len(windows.windows) == 4
+    assert windows.flush() is None  # still no new activity to flush
+
+    # flush -> fresh advance: closing resumes at the next window with the
+    # delta accrued since the last close.
+    counter.inc(1)
+    closed = windows.advance(520)
+    assert [w.index for w in closed] == [4]
+    assert closed[0].start_ps == 400
+    assert closed[0].total("c_total") == 1.0
+
+
 def test_window_values_where_and_group_by():
     registry = MetricsRegistry()
     counter = registry.counter("c_total", "", labels=("node", "result"))
