@@ -20,16 +20,31 @@ this package simulates the fleet a production NetFlow-style deployment runs:
   failover is lossless for replicated keys; checkpoint-based warm restarts
   (``checkpoint_interval=...``) are the lighter-weight alternative, built
   on :mod:`repro.persist`.
+* :mod:`repro.cluster.control` — :class:`ClusterControl`, the closed
+  control loop over the coordinator's windowed signals:
+  :class:`RebalancePolicy` (flow pins + vnode weight shifts under a
+  hysteresis band) and :class:`AutoscalePolicy` (elastic ``add_node`` /
+  graceful ``remove_node``), turning the static fleet into the elastic
+  system the roadmap describes.
 """
 
+from repro.cluster.control import (
+    AutoscalePolicy,
+    ClusterControl,
+    ControlAction,
+    RebalancePolicy,
+)
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.node import ClusterNode
 from repro.cluster.replica import ReplicaStore
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 
 __all__ = [
+    "AutoscalePolicy",
+    "ClusterControl",
     "ClusterCoordinator",
     "ClusterNode",
+    "ControlAction",
     "DEFAULT_VNODES",
     "HashRing",
     "ReplicaStore",

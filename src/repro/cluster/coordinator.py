@@ -228,9 +228,10 @@ class ClusterCoordinator:
             if alerts is not None:
                 if alerts.auto_defaults and not alerts.rules:
                     alerts.add_rules(default_cluster_rules(replication=replication))
-                # The imbalance watchdog wraps imbalance_report: its onset
-                # event carries the per-node diagnosis taken at that window.
-                alerts.set_context("node_imbalance", self.imbalance_report)
+                # The imbalance watchdog's onset event carries a per-node
+                # diagnosis taken at that window — windowed when a windowed
+                # registry exists, lifetime otherwise (_imbalance_context).
+                alerts.set_context("node_imbalance", self._imbalance_context)
 
         self.ingested = 0
         self.flows_migrated = 0
@@ -282,6 +283,13 @@ class ClusterCoordinator:
                         source="disk",
                         size_bytes=len(data),
                     )
+        # Steering overrides: flow key -> node id, consulted before the ring.
+        # The rebalance policy pins individual hot flows onto explicit
+        # owners (weight changes move whole arcs; a handful of elephant
+        # flows needs per-key placement).  Empty unless a policy (or an
+        # operator via pin_flows) installed pins, so the unpinned hot path
+        # costs one truthiness check.
+        self._pins: Dict[bytes, str] = {}
         # Export records handed over by graceful leavers, awaiting the next
         # cluster-wide drain (a failed node's undrained exports die with it).
         self._pending_exports: List[FlowRecord] = []
@@ -315,23 +323,53 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------ #
 
     def owner_of(self, key_bytes: bytes) -> str:
-        """The node currently owning a flow key."""
+        """The node currently owning a flow key: its pin, else the ring."""
+        if self._pins:
+            pinned = self._pins.get(key_bytes)
+            if pinned is not None:
+                return pinned
         return self.ring.lookup(key_bytes)
 
+    def backups_of(self, key_bytes: bytes) -> List[str]:
+        """The key's backup replica set under the current placement.
+
+        Without pins this is the classic ring walk
+        (:meth:`HashRing.lookup_n` minus the primary).  A pinned key's
+        primary is its pin target, so the backups become the first distinct
+        ring-walk nodes that are *not* that target — replicas must still
+        land on different machines than the primary, wherever the primary
+        was pinned.  Empty with replication off or a one-node ring.
+        """
+        if self.replication <= 1 or len(self.ring) < 2:
+            return []
+        pinned = self._pins.get(key_bytes) if self._pins else None
+        if pinned is None:
+            return self.ring.lookup_n(key_bytes, self.replication)[1:]
+        walk = self.ring.lookup_n(key_bytes, self.replication + 1)
+        return [node_id for node_id in walk if node_id != pinned][: self.replication - 1]
+
     def route(self, descriptors: Sequence) -> Dict[str, List]:
-        """Partition a descriptor batch by ring owner (order kept per node).
+        """Partition a descriptor batch by owner (order kept per node).
 
         Owners are materialised lazily — only nodes that actually receive a
         descriptor get a list — so a small segment costs O(batch), not
         O(fleet): the eager ``{node: [] for node in fleet}`` build dominated
         small-segment workloads on large fleets.  The mapping's iteration
         order is therefore first-appearance; order-sensitive callers
-        (:meth:`ingest`) iterate membership order and index into it.
+        (:meth:`ingest`) iterate membership order and index into it.  Pin
+        overrides are honoured; the unpinned case keeps the bare-ring loop.
         """
         groups: Dict[str, List] = {}
         lookup = self.ring.lookup
+        pins = self._pins
         for descriptor in descriptors:
-            owner = lookup(descriptor.key_bytes)
+            key_bytes = descriptor.key_bytes
+            if pins:
+                owner = pins.get(key_bytes)
+                if owner is None:
+                    owner = lookup(key_bytes)
+            else:
+                owner = lookup(key_bytes)
             bucket = groups.get(owner)
             if bucket is None:
                 bucket = groups[owner] = []
@@ -377,6 +415,15 @@ class ClusterCoordinator:
             owners = self.ring.lookup_column(
                 descriptors.key_data, count, descriptors.key_width
             )
+            if self._pins:
+                # Pin overrides ride on top of the vectorised ring pass:
+                # only the pinned rows are patched, so the common all-ring
+                # block keeps the single-searchsorted fast path.
+                pins = self._pins
+                for row, key_bytes in enumerate(descriptors.keys()):
+                    pinned = pins.get(key_bytes)
+                    if pinned is not None:
+                        owners[row] = pinned
             rows: Dict[str, List[int]] = {}
             for row, owner in enumerate(owners):
                 bucket = rows.get(owner)
@@ -579,7 +626,7 @@ class ClusterCoordinator:
             key_bytes = outcome.descriptor.key_bytes
             backup_ids = backups.get(key_bytes)
             if backup_ids is None:
-                backup_ids = self.ring.lookup_n(key_bytes, self.replication)[1:]
+                backup_ids = self.backups_of(key_bytes)
                 backups[key_bytes] = backup_ids
             for backup_id in backup_ids:
                 groups.setdefault(backup_id, []).append(outcome)
@@ -611,7 +658,7 @@ class ClusterCoordinator:
             for key_bytes, record in expired:
                 # After a resync exactly the key's current backup holds a
                 # copy, so only the replica set needs touching.
-                for backup_id in self.ring.lookup_n(key_bytes, self.replication)[1:]:
+                for backup_id in self.backups_of(key_bytes):
                     backup = self.nodes[backup_id]
                     backup.replica_flows.drop(key_bytes)
                     if self.telemetry_enabled:
@@ -646,7 +693,7 @@ class ClusterCoordinator:
                 for key_bytes, record in pairs:
                     if record is None:
                         continue  # bare preloaded entries are not sized either
-                    for backup_id in self.ring.lookup_n(key_bytes, self.replication)[1:]:
+                    for backup_id in self.backups_of(key_bytes):
                         self.nodes[backup_id].backup_pipeline(
                             node.node_id
                         ).flow_sizes.observe_flow(record.packets, record.bytes)
@@ -709,8 +756,16 @@ class ClusterCoordinator:
         """The window-close trigger: checkpoint every member now."""
         return [self.checkpoint_node(node_id) for node_id in sorted(self.nodes)]
 
-    def _take_checkpoint(self, node_id: str) -> Optional[bytes]:
-        """Consume a node's retained checkpoint (memory and disk file)."""
+    def _consume_checkpoint(self, node_id: str) -> Optional[bytes]:
+        """Consume a node's retained checkpoint: frame bytes out, nothing kept.
+
+        Deliberately consume-semantics, not a read: the in-memory frame is
+        popped and the disk file retired in the same step.  A checkpoint is
+        single-use recovery material — once its node leaves or the frame is
+        replayed into a failover, a retained copy could only be replayed a
+        *second* time, resurrecting flows the books already settled.
+        Returns the frame bytes, or ``None`` if the node had none.
+        """
         data = self.checkpoints.pop(node_id, None)
         self._checkpoint_meta.pop(node_id, None)
         if self.checkpoint_dir is not None:
@@ -735,12 +790,12 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------ #
 
     def _rehome(self, flows: Iterable[Tuple[bytes, FlowRecord]]) -> dict:
-        """Restore extracted flows onto their current ring owners."""
+        """Restore extracted flows onto their current owners (pin or ring)."""
         migrated = 0
         lost = 0
         pending: Dict[str, List[Tuple[bytes, FlowRecord]]] = {}
         for key_bytes, record in flows:
-            pending.setdefault(self.ring.lookup(key_bytes), []).append((key_bytes, record))
+            pending.setdefault(self.owner_of(key_bytes), []).append((key_bytes, record))
         for node_id, group in pending.items():
             restored, failed = self.nodes[node_id].absorb_flows(group)
             migrated += restored
@@ -769,7 +824,7 @@ class ClusterCoordinator:
         """
         restored = 0
         for key_bytes, record in flows:
-            owner = self.ring.lookup(key_bytes)
+            owner = self.owner_of(key_bytes)
             if record is None:
                 self.nodes[owner].engine.preload([key_bytes])
             elif self.nodes[owner].restore_flow(key_bytes, record):
@@ -795,7 +850,12 @@ class ClusterCoordinator:
         previous coordinator incarnation): the snapshot's flow records are restored
         onto their current ring owners — counted in ``flows_restored`` and
         credited against ``flows_lost`` — and its telemetry pipeline is
-        merged into the joiner's.  Only pass a snapshot that recovers state
+        merged into the joiner's.  The snapshot is read and decoded
+        *before* membership changes, like every other restore guard: a
+        corrupt or truncated frame raises
+        :class:`~repro.persist.SnapshotFormatError` with the ring, the
+        membership and the flow books untouched, never a half-applied
+        join.  Only pass a snapshot that recovers state
         the cluster actually lost: unlike :meth:`fail_node`'s checkpoint
         replay, this path has no live-at-failure filter (the node that
         knew is long gone), so replaying still-live state folds harmlessly
@@ -808,6 +868,19 @@ class ClusterCoordinator:
         """
         if node_id in self.nodes:
             raise ValueError(f"node {node_id!r} is already a member")
+        # Decode and guard-check the snapshot *before* touching any state
+        # (fail-before-mutate, like the merge/restore guards): a corrupt
+        # frame must raise with membership, ring and books untouched — not
+        # after the join has already remapped arcs and migrated flows.
+        if snapshot is not None:
+            if isinstance(snapshot, (str, Path)):
+                snapshot = Path(snapshot).read_bytes()
+            if not isinstance(snapshot, NodeSnapshot):
+                snapshot = load_node_snapshot(
+                    snapshot, obs=self.obs.metrics if self.obs is not None else None
+                )
+                if self.obs is not None:
+                    self.obs.record("checkpoint_load", node=node_id, source="import")
         node = self._make_node(node_id)
         self.ring.add_node(node_id)
         self.nodes[node_id] = node
@@ -818,20 +891,12 @@ class ClusterCoordinator:
                 continue
             moved.extend(
                 other.extract_flows(
-                    lambda key_bytes, record: self.ring.lookup(key_bytes) == node_id
+                    lambda key_bytes, record: self.owner_of(key_bytes) == node_id
                 )
             )
         outcome = self._rehome(moved)
         restored = 0
         if snapshot is not None:
-            if isinstance(snapshot, (str, Path)):
-                snapshot = Path(snapshot).read_bytes()
-            if not isinstance(snapshot, NodeSnapshot):
-                snapshot = load_node_snapshot(
-                    snapshot, obs=self.obs.metrics if self.obs is not None else None
-                )
-                if self.obs is not None:
-                    self.obs.record("checkpoint_load", node=node_id, source="import")
             restored = self._restore_flows(snapshot.flows)
             self.flows_restored += restored
             self.flows_lost -= restored
@@ -865,12 +930,15 @@ class ClusterCoordinator:
         disappear together.  Its retained checkpoint is dropped too.
         """
         node = self._pop_member(node_id, action="remove")
+        # Pins onto the leaver die with its membership — the flows they
+        # steered re-home by ring below, like any other extracted flow.
+        self._drop_pins_to(node_id)
         records = node.extract_flows()
         # The leaver also hands over its undrained export stream, so a
         # graceful departure loses no NetFlow records.
         self._pending_exports.extend(node.drain_exported())
         self.ring.remove_node(node_id)
-        self._take_checkpoint(node_id)
+        self._consume_checkpoint(node_id)
         self._checkpointed_at.pop(node_id, None)
         self._retire(node, reason="leave")
         outcome = self._rehome(records)
@@ -906,6 +974,9 @@ class ClusterCoordinator:
         replacement first, then fail the old node).
         """
         node = self._pop_member(node_id, action="fail")
+        # Pins onto the victim die with it — recovery below must install
+        # promoted/replayed flows on live owners, never the corpse.
+        self._drop_pins_to(node_id)
         live_keys = {key for key, _ in node.engine.live_flow_pairs()}
 
         # Gather the recovery material before anything is torn down; the
@@ -940,7 +1011,7 @@ class ClusterCoordinator:
                     )
                     for piece in pieces:
                         recovered_pipeline.merge(piece)
-            checkpoint_data = self._take_checkpoint(node_id)
+            checkpoint_data = self._consume_checkpoint(node_id)
             if checkpoint_data is not None:
                 # The replica plane is normally the fuller source, but it
                 # can cover less than a retained checkpoint (both sources
@@ -977,7 +1048,7 @@ class ClusterCoordinator:
         elif node_id in self.checkpoints:
             recovery = "checkpoint"
             snapshot = load_node_snapshot(
-                self._take_checkpoint(node_id),
+                self._consume_checkpoint(node_id),
                 obs=self.obs.metrics if self.obs is not None else None,
             )
             recovered_flows = [
@@ -1068,13 +1139,171 @@ class ClusterCoordinator:
             for key_bytes, record in node.engine.live_flow_pairs():
                 if record is None:
                     continue  # a bare preloaded entry has no state to copy
-                for backup_id in self.ring.lookup_n(key_bytes, self.replication)[1:]:
+                for backup_id in self.backups_of(key_bytes):
                     self.nodes[backup_id].replica_flows.seed(key_bytes, record)
             if node.pipeline is not None and node.pipeline.packets:
                 hosts = [other for other in self.nodes if other != node.node_id]
                 self.nodes[min(hosts)].backup_pipelines[node.node_id] = loads(
                     dumps(node.pipeline)
                 )
+
+    # ------------------------------------------------------------------ #
+    # Adaptive placement: weights and flow pins (the rebalance levers)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pins(self) -> Dict[bytes, str]:
+        """Current flow-pin overlay (a copy; mutate via :meth:`pin_flows`)."""
+        return dict(self._pins)
+
+    def _drop_pins_to(self, node_id: str) -> int:
+        """Forget every pin targeting ``node_id`` (it left the membership)."""
+        if not self._pins:
+            return 0
+        stale = [key for key, target in self._pins.items() if target == node_id]
+        for key in stale:
+            del self._pins[key]
+        return len(stale)
+
+    def pin_flows(self, assignments: Dict[bytes, str]) -> dict:
+        """Pin flow keys onto explicit owner nodes, migrating live state.
+
+        The targeted-migration lever of the rebalance policy: a handful of
+        elephant flows concentrated by a skewed workload cannot be separated
+        by weight changes (those move whole arcs), so each hot key is pinned
+        to an explicit node.  Pins override the ring in :meth:`owner_of` /
+        :meth:`route`, survive unrelated membership changes, and die with
+        their target's membership.  Live flows affected by a changed pin are
+        migrated (detach/absorb — no export, no miscount) and the
+        replication plane is resynced.  Unknown target nodes are rejected
+        before any pin is installed.
+        """
+        for key_bytes, target in assignments.items():
+            if target not in self.nodes:
+                raise KeyError(f"pin target {target!r} is not a member")
+        changed: Dict[bytes, str] = {}
+        for key_bytes, target in assignments.items():
+            if self._pins.get(key_bytes) == target:
+                continue
+            self._pins[key_bytes] = target
+            changed[key_bytes] = target
+        if not changed:
+            return {"event": "pin", "pinned": 0, "migrated": 0, "lost": 0}
+        moved: List[Tuple[bytes, FlowRecord]] = []
+        for node in list(self.nodes.values()):
+            moved.extend(
+                node.extract_flows(
+                    lambda key_bytes, record, node_id=node.node_id: (
+                        changed.get(key_bytes, node_id) != node_id
+                    )
+                )
+            )
+        outcome = self._rehome(moved)
+        self._resync_replication_plane()
+        event = {"event": "pin", "pinned": len(changed), **outcome}
+        self.events.append(event)
+        if self.obs is not None:
+            self.obs.record(
+                "pin",
+                pinned=len(changed),
+                total_pins=len(self._pins),
+                migrated=outcome["migrated"],
+                lost=outcome["lost"],
+            )
+        return event
+
+    def unpin_flows(self, keys: Optional[Iterable[bytes]] = None) -> dict:
+        """Remove pins (all of them by default); flows return to ring owners."""
+        targets = list(self._pins) if keys is None else list(keys)
+        removed = {key for key in targets if self._pins.pop(key, None) is not None}
+        if not removed:
+            return {"event": "unpin", "unpinned": 0, "migrated": 0, "lost": 0}
+        moved: List[Tuple[bytes, FlowRecord]] = []
+        for node in list(self.nodes.values()):
+            moved.extend(
+                node.extract_flows(
+                    lambda key_bytes, record, node_id=node.node_id: (
+                        key_bytes in removed and self.owner_of(key_bytes) != node_id
+                    )
+                )
+            )
+        outcome = self._rehome(moved)
+        self._resync_replication_plane()
+        event = {"event": "unpin", "unpinned": len(removed), **outcome}
+        self.events.append(event)
+        if self.obs is not None:
+            self.obs.record(
+                "unpin",
+                unpinned=len(removed),
+                total_pins=len(self._pins),
+                migrated=outcome["migrated"],
+                lost=outcome["lost"],
+            )
+        return event
+
+    def set_node_weight(self, node_id: str, weight: int) -> dict:
+        """Change a member's ring weight and migrate the flows whose arcs moved.
+
+        The diffuse lever of the rebalance policy: ring-share unevenness
+        (as opposed to a few hot keys) is corrected by shrinking the hot
+        node's vnode count or growing a cold one's —
+        :meth:`HashRing.set_weight` does the delta rebuild, and the
+        placement reconciliation migrates exactly the live flows whose
+        arcs changed owner.  Pinned flows stay put: pins outrank the ring.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"node {node_id!r} is not a member")
+        previous = self.ring.weight_of(node_id)
+        self.ring.set_weight(node_id, weight)
+        if weight == previous:
+            return {
+                "event": "reweight",
+                "node": node_id,
+                "previous_weight": previous,
+                "weight": weight,
+                "migrated": 0,
+                "lost": 0,
+            }
+        outcome = self._reconcile_placement()
+        event = {
+            "event": "reweight",
+            "node": node_id,
+            "previous_weight": previous,
+            "weight": weight,
+            **outcome,
+        }
+        self.events.append(event)
+        if self.obs is not None:
+            self.obs.record(
+                "reweight",
+                node=node_id,
+                weight=weight,
+                previous_weight=previous,
+                migrated=outcome["migrated"],
+                lost=outcome["lost"],
+            )
+        return event
+
+    def _reconcile_placement(self) -> dict:
+        """Migrate every live flow not sitting on its current owner.
+
+        The placement functions (:meth:`owner_of`) just changed under the
+        resident flows — a weight delta moved arcs.  Extract exactly the
+        flows whose owner is now elsewhere, re-home them, and rebuild the
+        replication plane (backup sets follow the same ring walk).
+        """
+        moved: List[Tuple[bytes, FlowRecord]] = []
+        for node in list(self.nodes.values()):
+            moved.extend(
+                node.extract_flows(
+                    lambda key_bytes, record, node_id=node.node_id: (
+                        self.owner_of(key_bytes) != node_id
+                    )
+                )
+            )
+        outcome = self._rehome(moved)
+        self._resync_replication_plane()
+        return outcome
 
     def _pop_member(self, node_id: str, action: str = "remove") -> ClusterNode:
         if node_id not in self.nodes:
@@ -1232,6 +1461,102 @@ class ClusterCoordinator:
             "threshold": threshold,
         }
 
+    def windowed_node_loads(self, windows: int = 1) -> Dict[str, float]:
+        """Per-node completed descriptors over the last closed window(s).
+
+        The control loop's load signal: hit + miss deltas of
+        ``repro_engine_outcomes_total`` from the windowed registry, summed
+        per alive node over the most recent ``windows`` closed windows (a
+        node idle in that span reads 0.0).  That counter is credited by the
+        engines in sequential/thread mode and reconciled at the barrier in
+        process mode, so the signal exists under every executor.  Requires
+        the coordinator's obs plane to carry a windowed registry
+        (``window_ps=``); fewer closed windows than asked for means the sum
+        covers what exists.
+        """
+        obs = self._require_obs()
+        if obs.windows is None:
+            raise RuntimeError(
+                "windowed load signals need a windowed registry: build the "
+                "Observability with window_ps="
+            )
+        loads: Dict[str, float] = {node_id: 0.0 for node_id in self.nodes}
+        for window in obs.windows.last(windows):
+            for result in ("hit", "miss"):
+                grouped = window.values(
+                    "repro_engine_outcomes_total",
+                    where={"result": result},
+                    group_by="node",
+                )
+                for node_id, value in grouped.items():
+                    if node_id in loads:
+                        loads[node_id] += value
+        return loads
+
+    def windowed_imbalance_report(
+        self, threshold: float = 1.25, windows: int = 1
+    ) -> dict:
+        """The time-resolved :meth:`imbalance_report`: last window(s) only.
+
+        Same shape and flagging rule as the lifetime report, but observed
+        shares come from :meth:`windowed_node_loads` instead of cumulative
+        ``completed`` totals.  The distinction matters exactly when the
+        control loop does: a hotspot that starts mid-run (``hotspot_shift``)
+        is diluted by the steady first half in the lifetime shares and
+        under-flagged, while the windowed shares show the post-shift
+        concentration at full strength.  ``load_imbalance`` here is the
+        windowed figure (busiest node's window load over the mean).
+        """
+        if threshold <= 1.0:
+            raise ValueError("threshold must exceed 1.0")
+        loads = self.windowed_node_loads(windows)
+        total = sum(loads.values())
+        shares = self.ring.arc_shares()
+        rows = []
+        overloaded = []
+        for node_id in sorted(loads):
+            observed = loads[node_id] / total if total else 0.0
+            expected = shares.get(node_id, 0.0)
+            flagged = bool(total) and expected > 0.0 and observed > threshold * expected
+            if flagged:
+                overloaded.append(node_id)
+            rows.append(
+                {
+                    "node": node_id,
+                    "completed": loads[node_id],
+                    "observed_share": round(observed, 4),
+                    "expected_share": round(expected, 4),
+                    "overloaded": flagged,
+                }
+            )
+        imbalance = (
+            max(loads.values()) * len(loads) / total if total and loads else 0.0
+        )
+        return {
+            "rows": rows,
+            "load_imbalance": imbalance,
+            "overloaded": overloaded,
+            "imbalance_detected": bool(overloaded),
+            "threshold": threshold,
+            "windows": windows,
+        }
+
+    def _imbalance_context(self) -> dict:
+        """Diagnosis payload for the ``node_imbalance`` watchdog's onset.
+
+        Windowed when closed windows exist — the rule itself is windowed,
+        so the diagnosis must describe the window that tripped it, not a
+        lifetime average that dilutes mid-run hotspots — with the lifetime
+        report as the fallback for plain (un-windowed) registries.
+        """
+        if (
+            self.obs is not None
+            and self.obs.windows is not None
+            and self.obs.windows.windows
+        ):
+            return self.windowed_imbalance_report()
+        return self.imbalance_report()
+
     # ------------------------------------------------------------------ #
     # Cluster-wide NetFlow export
     # ------------------------------------------------------------------ #
@@ -1361,6 +1686,7 @@ class ClusterCoordinator:
             "throughput_mdesc_s": self.throughput_mdesc_s,
             "parallel": self.parallel_report(),
             "load_imbalance": self.load_imbalance,
+            "pinned_flows": len(self._pins),
             "flows_migrated": self.flows_migrated,
             "flows_lost": self.flows_lost,
             "flows_restored": self.flows_restored,

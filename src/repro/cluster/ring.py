@@ -51,8 +51,11 @@ class HashRing:
         self.vnodes = vnodes
         self._weights: Dict[str, int] = {}
         # Sorted parallel arrays: token -> owning node.  Tokens can collide
-        # (two vnodes hashing to the same point); insertion order then breaks
-        # the tie deterministically, which is all lookup needs.
+        # (two vnodes hashing to the same point); the tie then breaks
+        # lexicographically by node id — ``_rebuild`` sorts ``(token,
+        # node_id)`` pairs, so among equal tokens the smallest node id sits
+        # first and wins the ``bisect_left`` lookup.  ``set_weight``'s delta
+        # rebuild inserts at exactly that position to preserve the rule.
         self._tokens: List[int] = []
         self._owners: List[str] = []
         self._np_tokens = None  # lazy numpy copy of _tokens for lookup_column
@@ -71,6 +74,17 @@ class HashRing:
     def node_ids(self) -> List[str]:
         """Member node IDs in insertion-independent (sorted) order."""
         return sorted(self._weights)
+
+    @property
+    def weights(self) -> Dict[str, int]:
+        """Current per-node weights (a copy; mutate via :meth:`set_weight`)."""
+        return dict(self._weights)
+
+    def weight_of(self, node_id: str) -> int:
+        """The weight of one member."""
+        if node_id not in self._weights:
+            raise KeyError(f"node {node_id!r} is not on the ring")
+        return self._weights[node_id]
 
     def _node_tokens(self, node_id: str, weight: int) -> List[int]:
         return [
@@ -104,6 +118,61 @@ class HashRing:
             raise KeyError(f"node {node_id!r} is not on the ring")
         del self._weights[node_id]
         self._rebuild()
+
+    def set_weight(self, node_id: str, weight: int) -> None:
+        """Change a member's weight: a delta rebuild of its vnode points.
+
+        A node of weight ``w`` owns the ring points of replica labels
+        ``0 .. vnodes*w - 1``, so changing the weight only adds or removes
+        the points of the label range between the old and new weight —
+        nothing else on the ring is re-hashed or moved.  Each added point is
+        inserted at its sorted ``(token, node_id)`` position (the same
+        lexicographic tie-break a full :meth:`_rebuild` produces, so the two
+        paths yield identical rings), each removed point is deleted in
+        place, and the numpy token cache used by :meth:`lookup_column` is
+        invalidated.  The caller re-homes the flows whose arcs moved —
+        that is the rebalance policy's targeted-migration step.
+        """
+        if node_id not in self._weights:
+            raise KeyError(f"node {node_id!r} is not on the ring")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        old = self._weights[node_id]
+        if weight == old:
+            return
+        self._weights[node_id] = weight
+        low, high = sorted((old, weight))
+        # Slice the canonical derivation so the delta path can never drift
+        # from what a full _rebuild would hash for the same labels.
+        delta = self._node_tokens(node_id, high)[self.vnodes * low :]
+        if weight > old:
+            for token in delta:
+                index = self._point_insertion_index(token, node_id)
+                self._tokens.insert(index, token)
+                self._owners.insert(index, node_id)
+        else:
+            for token in delta:
+                del_index = self._point_index(token, node_id)
+                del self._tokens[del_index]
+                del self._owners[del_index]
+        self._np_tokens = None
+
+    def _point_insertion_index(self, token: int, node_id: str) -> int:
+        """Sorted position of ``(token, node_id)`` among the ring points."""
+        index = bisect.bisect_left(self._tokens, token)
+        end = bisect.bisect_right(self._tokens, token, index)
+        while index < end and self._owners[index] < node_id:
+            index += 1
+        return index
+
+    def _point_index(self, token: int, node_id: str) -> int:
+        """Position of an existing ``(token, node_id)`` ring point."""
+        index = bisect.bisect_left(self._tokens, token)
+        while index < len(self._tokens) and self._tokens[index] == token:
+            if self._owners[index] == node_id:
+                return index
+            index += 1
+        raise KeyError(f"ring point ({token}, {node_id!r}) is not present")
 
     # ------------------------------------------------------------------ #
     # Steering
@@ -195,7 +264,13 @@ class HashRing:
         return shares
 
     def spread(self, keys: Sequence[bytes]) -> Dict[str, int]:
-        """How many of ``keys`` each node would own (all nodes listed)."""
+        """How many of ``keys`` each node would own (all nodes listed).
+
+        An empty ring owns nothing and returns ``{}`` — a defined result,
+        rather than letting :meth:`lookup` raise mid-iteration.
+        """
+        if not self._tokens:
+            return {}
         counts = {node_id: 0 for node_id in self._weights}
         for key in keys:
             counts[self.lookup(key)] += 1
@@ -209,6 +284,7 @@ class HashRing:
             "ring_points": len(self._tokens),
             "max_arc_share": max(shares.values()) if shares else 0.0,
             "min_arc_share": min(shares.values()) if shares else 0.0,
+            "weights": dict(self._weights),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

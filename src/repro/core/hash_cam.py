@@ -256,7 +256,7 @@ class HashCamTable:
         for memory, bucket in choices:
             entries = self._memories[memory].setdefault(bucket, [])
             if len(entries) < self.bucket_entries:
-                slot = len(entries)
+                slot = self._free_slot(memory, bucket, entries)
                 assigned = (
                     flow_id if flow_id is not None else self.location_flow_id(memory, bucket, slot)
                 )
@@ -272,11 +272,52 @@ class HashCamTable:
                     slot=slot,
                 )
 
-        assigned = flow_id if flow_id is not None else self.cam_id_base + self.cam.occupancy
-        if self.cam.insert(key, assigned):
+        assigned = flow_id if flow_id is not None else self._free_cam_id()
+        if assigned is not None and self.cam.insert(key, assigned):
             return InsertResult(inserted=True, stage=LookupStage.CAM, flow_id=assigned)
         self.insert_failures += 1
         return InsertResult(inserted=False, stage=LookupStage.MISS)
+
+    def _free_slot(self, memory: int, bucket: int, entries: List[TableEntry]) -> int:
+        """The lowest *physical* slot of ``(memory, bucket)`` no live entry's
+        ID occupies.
+
+        The entry list compacts on deletion (a storage artifact), but each
+        survivor keeps the flow ID of the physical slot it was placed in.
+        Assigning the next insert ``len(entries)`` would re-issue a live
+        entry's ID whenever a lower slot was vacated — and a duplicated
+        location ID silently overwrites that flow's state on adoption.  The
+        hardware has no such failure: a bucket is K physical slots and a new
+        entry takes a *free* one, which is what this models.  IDs supplied by
+        the caller (``flow_id=...``) fall outside this bucket's location
+        range and don't reserve a slot.
+        """
+        base = self.location_flow_id(memory, bucket, 0)
+        used = {
+            entry.flow_id - base
+            for entry in entries
+            if 0 <= entry.flow_id - base < self.bucket_entries
+        }
+        for slot in range(self.bucket_entries):
+            if slot not in used:
+                return slot
+        raise RuntimeError("bucket reported free space but every slot ID is live")
+
+    def _free_cam_id(self) -> Optional[int]:
+        """The lowest CAM-range flow ID not held by a live CAM entry.
+
+        ``cam_id_base + occupancy`` would re-issue a live entry's ID after
+        any CAM deletion (the same aliasing as :meth:`_free_slot`, in the
+        overflow stage).  The CAM is small, so scanning its live values is
+        cheap.  Returns ``None`` when every CAM slot ID is taken — the CAM
+        is full and the insert is about to fail anyway.
+        """
+        used = {int(value) for _, value in self.cam}
+        for offset in range(self.cam.capacity):
+            candidate = self.cam_id_base + offset
+            if candidate not in used:
+                return candidate
+        return None
 
     def delete(self, key: bytes) -> bool:
         """Remove ``key`` from wherever it lives; returns whether it existed."""

@@ -145,6 +145,17 @@ class WindowedRegistry:
         """Register ``callback(window)`` to run at every window close."""
         self._subscribers.append(callback)
 
+    def last(self, count: int = 1) -> List[WindowSnapshot]:
+        """The most recent ``count`` closed windows, oldest first.
+
+        The windowed-signal accessor control planes read: fewer windows have
+        closed than asked for means you get what exists (possibly ``[]``),
+        never padding — callers gate on the returned list, not the ask.
+        """
+        if count <= 0:
+            raise WindowError(f"count must be positive, got {count}")
+        return self.windows[-count:]
+
     def advance(self, now_ps: int) -> List[WindowSnapshot]:
         """Advance the simulated watermark; close every window it crosses.
 

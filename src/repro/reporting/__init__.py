@@ -15,6 +15,7 @@ from repro.reporting.experiments import (
     run_fig3_bandwidth,
     run_fig6_flow_ratio,
     run_linerate_feasibility,
+    run_rebalance_policy,
     run_sharded_scaling,
     run_table1_resources,
     run_table2a_load_balance,
@@ -39,6 +40,7 @@ __all__ = [
     "run_fig3_bandwidth",
     "run_fig6_flow_ratio",
     "run_linerate_feasibility",
+    "run_rebalance_policy",
     "run_sharded_scaling",
     "run_table1_resources",
     "run_table2a_load_balance",

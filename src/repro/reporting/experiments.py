@@ -559,6 +559,179 @@ def run_durability_comparison(
     }
 
 
+def run_rebalance_policy(
+    scenario: str = "hotspot_shift",
+    packet_count: int = 8000,
+    nodes: int = 5,
+    windows: int = 16,
+    segments: int = 32,
+    seed: int = 42,
+    config: Optional[FlowLUTConfig] = None,
+    telemetry_config: Optional[TelemetryConfig] = None,
+    rebalance: Optional[object] = None,
+    autoscale: Optional[object] = None,
+    convergence_target: float = 1.5,
+    top_k: int = 10,
+) -> dict:
+    """The closed control loop versus a static fleet on the same stream.
+
+    Two identical clusters replay the same descriptor stream in
+    ``segments`` slices under a windowed obs plane (``windows`` tumbling
+    windows over the stream's duration); one carries a
+    :class:`~repro.cluster.control.ClusterControl` stepped between
+    segments, the other is the static reference.  The output makes
+    **migration cost and convergence time first-class figures**:
+
+    * one row per window with both runs' windowed load imbalance and the
+      actions the policy applied there,
+    * ``onset_window`` (first window whose imbalance crosses the policy's
+      engage line), ``converged_window`` (first window at or after onset
+      back at or below ``convergence_target``) and their difference
+      ``windows_to_converge`` — the figure the acceptance gate bounds,
+    * ``flows_moved`` / ``migration_fraction`` (moved over created) — what
+      the convergence cost in migrations,
+    * the correctness locks: both runs' conservation books balanced,
+      outcome totals identical, merged heavy-hitter top-``top_k``
+      bit-identical (pins and weight shifts must never change *what* is
+      measured, only *where*).
+
+    ``rebalance`` / ``autoscale`` default to a fresh
+    :class:`~repro.cluster.control.RebalancePolicy` and no autoscaler;
+    pass policies to override.  The per-window trajectory assumes a fixed
+    fleet — run autoscale demos through the coordinator report instead.
+    There is no paper reference: this closes the loop over the PR-8
+    windowed observability, the step the roadmap's elastic-system item
+    describes.
+    """
+    from repro.cluster.control import (
+        ClusterControl,
+        RebalancePolicy,
+        window_imbalance,
+        window_node_loads,
+    )
+    from repro.obs import Observability
+
+    if packet_count <= 0:
+        raise ValueError("packet_count must be positive")
+    if windows < 2 or segments < windows:
+        raise ValueError("need windows >= 2 and segments >= windows")
+    if rebalance is None and autoscale is None:
+        rebalance = RebalancePolicy()
+    telemetry_config = telemetry_config or TelemetryConfig(
+        heavy_hitter_capacity=max(1024, 8 * packet_count)
+    )
+    descriptors = scenario_descriptors(
+        scenario, packet_count, seed=seed, extractor=DescriptorExtractor()
+    )
+    duration = descriptors[-1].timestamp_ps - descriptors[0].timestamp_ps
+    window_ps = max(1, duration // windows)
+    step = max(1, packet_count // segments)
+
+    def drive(with_control: bool):
+        obs = Observability(window_ps=window_ps, alerts=True)
+        coordinator = ClusterCoordinator(
+            nodes=nodes,
+            config=config,
+            telemetry_config=telemetry_config,
+            telemetry_seed=seed,
+            obs=obs,
+        )
+        control = (
+            ClusterControl(coordinator, rebalance=rebalance, autoscale=autoscale)
+            if with_control
+            else None
+        )
+        watch = Stopwatch()
+        for offset in range(0, packet_count, step):
+            coordinator.ingest(descriptors[offset : offset + step])
+            if control is not None:
+                control.step()
+        coordinator.finalize_telemetry()
+        if control is not None:
+            control.step()
+        return coordinator, obs, control, watch.elapsed_s
+
+    static, static_obs, _, static_wall = drive(False)
+    policy, policy_obs, control, policy_wall = drive(True)
+
+    def trajectory(coordinator, obs):
+        return [
+            round(window_imbalance(window_node_loads(w, coordinator.nodes)), 4)
+            for w in obs.windows.windows
+        ]
+
+    static_curve = trajectory(static, static_obs)
+    policy_curve = trajectory(policy, policy_obs)
+    actions_by_window: dict = {}
+    if control is not None:
+        for action in control.actions:
+            actions_by_window.setdefault(action.window, []).append(action.kind)
+    rows = [
+        {
+            "window": index,
+            "static_imbalance": static_curve[index],
+            "policy_imbalance": policy_curve[index],
+            "actions": ",".join(actions_by_window.get(index, [])),
+        }
+        for index in range(min(len(static_curve), len(policy_curve)))
+    ]
+
+    engage = rebalance.engage if rebalance is not None else convergence_target
+    onset_window = next(
+        (index for index, value in enumerate(policy_curve) if value > engage), None
+    )
+    converged_window = None
+    if onset_window is not None:
+        converged_window = next(
+            (
+                index
+                for index in range(onset_window, len(policy_curve))
+                if policy_curve[index] <= convergence_target
+            ),
+            None,
+        )
+
+    books_static = static.flow_books()
+    books_policy = policy.flow_books()
+    moved = control.flows_moved if control is not None else 0
+    return {
+        "scenario": scenario,
+        "packet_count": packet_count,
+        "nodes": nodes,
+        "seed": seed,
+        "window_ps": window_ps,
+        "rows": rows,
+        "onset_window": onset_window,
+        "converged_window": converged_window,
+        "windows_to_converge": (
+            converged_window - onset_window
+            if onset_window is not None and converged_window is not None
+            else None
+        ),
+        "convergence_target": convergence_target,
+        "actions": [action.as_dict() for action in control.actions]
+        if control is not None
+        else [],
+        "flows_moved": moved,
+        "migration_fraction": (
+            round(moved / books_policy["flows_created"], 4)
+            if books_policy["flows_created"]
+            else 0.0
+        ),
+        "control": control.report() if control is not None else None,
+        "totals_match": policy.cluster_totals() == static.cluster_totals(),
+        f"top{top_k}_match": merged_top_k(policy, top_k) == merged_top_k(static, top_k),
+        "books_balanced": books_static["balanced"] and books_policy["balanced"],
+        "static_wall_s": static_wall,
+        "policy_wall_s": policy_wall,
+        "alert_onset": (
+            policy_obs.alerts.first_onset("node_imbalance").window
+            if policy_obs.alerts.first_onset("node_imbalance") is not None
+            else None
+        ),
+    }
+
+
 def run_trace_replay(
     scenario: str = "zipf_mix",
     packet_count: int = 3000,

@@ -1,0 +1,508 @@
+"""The closed control loop: ring weights, flow pins, policies, equivalence.
+
+Covers the ISSUE-10 surface: ``HashRing.set_weight`` (delta rebuild,
+tie-break preservation, columnar parity), the coordinator's adaptive
+placement levers (``pin_flows`` / ``unpin_flows`` / ``set_node_weight``),
+the windowed imbalance signal the loop acts on (and the lifetime report's
+blind spot it fixes), the flow-ID aliasing bugfix in the Hash-CAM table,
+and the policy-equivalence battery: a policy-driven run must hold the
+flow-conservation identity and reproduce the static fleet's merged top-k
+bit for bit — the loop may move flows, never miscount them.
+"""
+
+import pytest
+
+from repro.cluster import (
+    AutoscalePolicy,
+    ClusterControl,
+    ClusterCoordinator,
+    HashRing,
+    RebalancePolicy,
+)
+from repro.columns import backend as col_backend
+from repro.core.config import small_test_config
+from repro.core.hash_cam import HashCamTable
+from repro.obs import Observability
+from repro.reporting import merged_top_k, run_rebalance_policy
+from repro.telemetry import TelemetryConfig
+from repro.traffic import scenario_block, scenario_descriptors
+
+CONFIG = small_test_config()
+
+
+def _keys(count, seed=1):
+    return [d.key_bytes for d in scenario_descriptors("uniform_random", count, seed=seed)]
+
+
+# --------------------------------------------------------------------------- #
+# HashRing.set_weight
+# --------------------------------------------------------------------------- #
+
+
+def _fresh_ring(weights, vnodes=32, ring_cls=HashRing):
+    ring = ring_cls(vnodes=vnodes)
+    for node_id, weight in weights.items():
+        ring.add_node(node_id, weight=weight)
+    return ring
+
+
+@pytest.mark.parametrize("transition", [(1, 3), (3, 1), (2, 4), (4, 2)])
+def test_set_weight_delta_rebuild_equals_full_rebuild(transition):
+    before, after = transition
+    ring = _fresh_ring({"a": 1, "b": before, "c": 2})
+    ring.set_weight("b", after)
+    rebuilt = _fresh_ring({"a": 1, "b": after, "c": 2})
+    assert ring._tokens == rebuilt._tokens
+    assert ring._owners == rebuilt._owners
+    assert ring.weights == rebuilt.weights == {"a": 1, "b": after, "c": 2}
+    assert ring.weight_of("b") == after
+    assert ring.stats()["ring_points"] == 32 * (1 + after + 2)
+
+
+def test_set_weight_arc_share_is_monotone_in_weight():
+    shares = []
+    for weight in (1, 2, 3, 4):
+        ring = _fresh_ring({"a": 1, "b": 1, "c": 1})
+        ring.set_weight("b", weight)
+        shares.append(ring.arc_shares()["b"])
+        assert sum(ring.arc_shares().values()) == pytest.approx(1.0)
+    assert shares == sorted(shares)
+    assert shares[-1] > shares[0]
+    # More ring share means more keys: the spread follows the arcs.
+    keys = _keys(2000)
+    light = _fresh_ring({"a": 1, "b": 1, "c": 1})
+    heavy = _fresh_ring({"a": 1, "b": 1, "c": 1})
+    heavy.set_weight("b", 4)
+    assert heavy.spread(keys)["b"] > light.spread(keys)["b"]
+
+
+def test_set_weight_validation_and_noop():
+    ring = _fresh_ring({"a": 1, "b": 1})
+    with pytest.raises(KeyError):
+        ring.set_weight("ghost", 2)
+    with pytest.raises(ValueError):
+        ring.set_weight("a", 0)
+    with pytest.raises(ValueError):
+        ring.set_weight("a", -1)
+    tokens = list(ring._tokens)
+    ring.set_weight("a", 1)  # same weight: nothing rebuilt
+    assert ring._tokens == tokens
+
+
+def test_lookup_column_parity_after_weight_changes(monkeypatch):
+    block = scenario_block("zipf_mix", 600, seed=23)
+    ring = _fresh_ring({"a": 1, "b": 1, "c": 1})
+    # Build the numpy token cache, then invalidate it via set_weight.
+    ring.lookup_column(block.key_data, len(block), block.key_width)
+    ring.set_weight("b", 3)
+    ring.set_weight("a", 2)
+    expected = [ring.lookup(key) for key in block.keys()]
+    assert ring.lookup_column(block.key_data, len(block), block.key_width) == expected
+    # The stdlib fallback steers identically with the cache gone.
+    monkeypatch.setattr(col_backend, "np", None)
+    ring._np_tokens = None
+    assert ring.lookup_column(block.key_data, len(block), block.key_width) == expected
+
+
+class _CollidingRing(HashRing):
+    """Every vnode of every member hashes to the same ring point."""
+
+    def _node_tokens(self, node_id, weight):
+        return [12345] * (self.vnodes * weight)
+
+
+def test_token_ties_break_lexicographically_by_node_id():
+    ring = _fresh_ring({"b": 1, "a": 1, "c": 1}, vnodes=2, ring_cls=_CollidingRing)
+    # All points collide, so the smallest node id owns the whole ring —
+    # whether the key's token lands below the point or wraps past the top.
+    for key in _keys(50):
+        assert ring.lookup(key) == "a"
+    assert ring._owners == ["a", "a", "b", "b", "c", "c"]
+
+
+def test_set_weight_preserves_collision_tie_break():
+    ring = _fresh_ring({"b": 1, "a": 1}, vnodes=2, ring_cls=_CollidingRing)
+    ring.set_weight("b", 3)
+    ring.set_weight("a", 2)
+    rebuilt = _fresh_ring({"b": 3, "a": 2}, vnodes=2, ring_cls=_CollidingRing)
+    assert ring._owners == rebuilt._owners == ["a"] * 4 + ["b"] * 6
+    assert ring._tokens == rebuilt._tokens
+    for key in _keys(20):
+        assert ring.lookup(key) == "a"
+
+
+def test_spread_on_empty_ring_returns_empty_dict():
+    assert HashRing().spread(_keys(10)) == {}
+    assert HashRing().spread([]) == {}
+
+
+# --------------------------------------------------------------------------- #
+# Hash-CAM flow-ID aliasing (membership-churn bugfix)
+# --------------------------------------------------------------------------- #
+
+
+def _live_flow_ids(table):
+    ids = []
+    for memory in (0, 1):
+        for entries in table._memories[memory].values():
+            ids.extend(entry.flow_id for entry in entries)
+    ids.extend(int(value) for _, value in table.cam)
+    return ids
+
+
+def test_bucket_slot_ids_stay_unique_after_delete_and_reinsert():
+    """Regression: deleting a low slot used to make the next insert re-issue
+    a *live* entry's location ID (the entry list compacts, but survivors
+    keep their physical-slot IDs) — the duplicated ID then silently
+    overwrote that flow's state on adoption during migrations."""
+    table = HashCamTable(CONFIG)
+    keys = [bytes([i]) * 13 for i in range(CONFIG.bucket_entries)]
+    for key in keys:
+        result = table.insert(key, indices=(0, 0), preferred_memory=0)
+        assert result.inserted and result.memory == 0
+    assert len(set(_live_flow_ids(table))) == CONFIG.bucket_entries
+
+    table.delete(keys[0])
+    result = table.insert(b"\xaa" * 13, indices=(0, 0), preferred_memory=0)
+    assert result.inserted and result.memory == 0
+    # The newcomer takes the *freed* physical slot, not a live entry's ID.
+    assert result.slot == 0
+    ids = _live_flow_ids(table)
+    assert len(ids) == len(set(ids)), ids
+
+
+def test_cam_ids_stay_unique_after_delete_and_reinsert():
+    """Same aliasing in the overflow stage: ``cam_id_base + occupancy``
+    re-issued a live CAM entry's ID after any CAM deletion."""
+    table = HashCamTable(CONFIG)
+    fillers = [bytes([64 + i]) * 13 for i in range(2 * CONFIG.bucket_entries)]
+    for key in fillers:  # fill both memories' bucket 0
+        assert table.insert(key, indices=(0, 0)).inserted
+    cam_keys = [b"\x01" * 13, b"\x02" * 13, b"\x03" * 13]
+    for key in cam_keys:
+        result = table.insert(key, indices=(0, 0))
+        assert result.inserted and result.stage.value == "cam"
+
+    table.delete(cam_keys[0])
+    result = table.insert(b"\x04" * 13, indices=(0, 0))
+    assert result.inserted and result.stage.value == "cam"
+    ids = _live_flow_ids(table)
+    assert len(ids) == len(set(ids)), ids
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator adaptive placement: pins and weights
+# --------------------------------------------------------------------------- #
+
+
+def _cluster(nodes=3, seed=31, **kwargs):
+    return ClusterCoordinator(
+        nodes=nodes, config=CONFIG, telemetry_seed=seed, **kwargs
+    )
+
+
+def test_pin_unpin_roundtrip_conserves_flows():
+    packets = 600
+    descriptors = scenario_descriptors("zipf_mix", packets, seed=31)
+    coordinator = _cluster()
+    coordinator.ingest(descriptors[: packets // 2])
+
+    donor = max(coordinator.nodes, key=lambda n: coordinator.nodes[n].active_flows)
+    target = min(coordinator.nodes, key=lambda n: coordinator.nodes[n].active_flows)
+    victims = [
+        key
+        for key, _ in coordinator.nodes[donor].engine.live_flow_pairs()
+        if coordinator.owner_of(key) == donor
+    ][:5]
+    assert victims and donor != target
+
+    event = coordinator.pin_flows({key: target for key in victims})
+    assert event["pinned"] == len(victims)
+    assert event["migrated"] == len(victims) and event["lost"] == 0
+    assert coordinator.pins == {key: target for key in victims}
+    for key in victims:
+        assert coordinator.owner_of(key) == target
+        # The pin overrides the ring; the backup walk skips the pin target.
+        assert target not in coordinator.backups_of(key)
+
+    coordinator.ingest(descriptors[packets // 2 :])
+    books = coordinator.flow_books()
+    assert books["balanced"], books
+    assert coordinator.cluster_totals()["completed"] == packets
+
+    # Re-pinning the same assignment is a no-op, not a re-migration.
+    assert coordinator.pin_flows({victims[0]: target})["migrated"] == 0
+
+    event = coordinator.unpin_flows()
+    assert event["unpinned"] == len(victims)
+    assert coordinator.pins == {}
+    for key in victims:
+        assert coordinator.owner_of(key) == coordinator.ring.lookup(key)
+    assert coordinator.flow_books()["balanced"]
+
+
+def test_pin_rejects_unknown_target_before_installing_any():
+    coordinator = _cluster()
+    coordinator.ingest(scenario_descriptors("zipf_mix", 200, seed=33))
+    keys = [key for key, _ in next(iter(coordinator.nodes.values())).engine.live_flow_pairs()]
+    member = next(iter(coordinator.nodes))
+    with pytest.raises(KeyError):
+        coordinator.pin_flows({keys[0]: member, keys[1]: "ghost"})
+    assert coordinator.pins == {}  # nothing half-installed
+
+
+def test_pins_die_with_their_target_membership():
+    packets = 400
+    descriptors = scenario_descriptors("node_failover", packets, seed=35)
+    coordinator = _cluster(nodes=4, seed=35)
+    coordinator.ingest(descriptors[: packets // 2])
+    target = sorted(coordinator.nodes)[0]
+    keys = [
+        key
+        for node in coordinator.nodes.values()
+        for key, _ in node.engine.live_flow_pairs()
+    ][:4]
+    coordinator.pin_flows({key: target for key in keys})
+    assert set(coordinator.pins.values()) == {target}
+
+    coordinator.remove_node(target)
+    assert coordinator.pins == {}  # pins to the leaver are forgotten
+    for key in keys:  # flows re-homed to ring owners, still owned
+        assert coordinator.owner_of(key) in coordinator.nodes
+    coordinator.ingest(descriptors[packets // 2 :])
+    assert coordinator.flow_books()["balanced"]
+    assert coordinator.cluster_totals()["completed"] == packets
+
+
+def test_set_node_weight_shifts_load_and_conserves_books():
+    packets = 600
+    descriptors = scenario_descriptors("zipf_mix", packets, seed=37)
+    coordinator = _cluster(seed=37)
+    coordinator.ingest(descriptors[: packets // 2])
+    node_id = sorted(coordinator.nodes)[0]
+    share_before = coordinator.ring.arc_shares()[node_id]
+
+    event = coordinator.set_node_weight(node_id, 3)
+    assert event["previous_weight"] == 1 and event["weight"] == 3
+    assert event["migrated"] > 0 and event["lost"] == 0
+    assert coordinator.ring.arc_shares()[node_id] > share_before
+    # Exactly the flows whose arcs moved migrated; everyone sits on its owner.
+    for node in coordinator.nodes.values():
+        for key, _ in node.engine.live_flow_pairs():
+            assert coordinator.owner_of(key) == node.node_id
+
+    coordinator.ingest(descriptors[packets // 2 :])
+    assert coordinator.flow_books()["balanced"]
+    assert coordinator.cluster_totals()["completed"] == packets
+    with pytest.raises(KeyError):
+        coordinator.set_node_weight("ghost", 2)
+    # Same weight is a no-op (no migration storm).
+    assert coordinator.set_node_weight(node_id, 3)["migrated"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Windowed imbalance signal (the lifetime report's blind spot)
+# --------------------------------------------------------------------------- #
+
+
+def _windowed_hotspot_cluster(packets=4000, nodes=5, seed=42):
+    descriptors = scenario_descriptors("hotspot_shift", packets, seed=seed)
+    duration = descriptors[-1].timestamp_ps - descriptors[0].timestamp_ps
+    obs = Observability(window_ps=duration // 8, alerts=True)
+    cluster = ClusterCoordinator(nodes=nodes, config=CONFIG, obs=obs, telemetry_seed=seed)
+    step = max(1, packets // 16)
+    for offset in range(0, packets, step):
+        cluster.ingest(descriptors[offset : offset + step])
+    cluster.finalize_telemetry()
+    return cluster, obs
+
+
+def test_windowed_report_flags_the_hotspot_the_lifetime_report_dilutes():
+    """Regression for the control loop's input signal: after ``hotspot_shift``
+    re-aims its traffic, the lifetime shares still average the balanced
+    first half in — the hotspot is diluted below the flagging threshold —
+    while the windowed report shows the post-shift concentration at full
+    strength.  The loop must be fed the windowed figure."""
+    cluster, obs = _windowed_hotspot_cluster()
+    threshold = 1.8
+    lifetime = cluster.imbalance_report(threshold=threshold)
+    windowed = cluster.windowed_imbalance_report(threshold=threshold)
+
+    assert windowed["imbalance_detected"] is True
+    assert lifetime["imbalance_detected"] is False  # the blind spot
+    assert windowed["load_imbalance"] > lifetime["load_imbalance"]
+    hot = windowed["overloaded"]
+    assert hot and all(node not in lifetime["overloaded"] for node in hot)
+    # Same shape as the lifetime report (plus the window count), so every
+    # consumer of the old report can switch signals without reshaping.
+    assert set(lifetime) | {"windows"} == set(windowed)
+    assert {row["node"] for row in windowed["rows"]} == set(cluster.nodes)
+
+    # The watchdog's onset diagnosis carries the windowed view too.
+    onset = obs.alerts.first_onset("node_imbalance")
+    assert onset is not None and onset.context["imbalance_detected"] is True
+
+
+def test_windowed_signals_require_a_windowed_registry():
+    cluster = _cluster()  # no obs at all
+    with pytest.raises(RuntimeError, match="obs"):
+        cluster.windowed_node_loads()
+    plain = ClusterCoordinator(
+        nodes=2, config=CONFIG, telemetry_seed=1, obs=Observability()
+    )
+    with pytest.raises(RuntimeError, match="window_ps"):
+        plain.windowed_imbalance_report()
+
+
+# --------------------------------------------------------------------------- #
+# ClusterControl: construction and policy validation
+# --------------------------------------------------------------------------- #
+
+
+def test_control_requires_windowed_obs_and_a_policy():
+    cluster = _cluster()
+    with pytest.raises(RuntimeError, match="window"):
+        ClusterControl(cluster, rebalance=RebalancePolicy())
+    windowed = ClusterCoordinator(
+        nodes=2, config=CONFIG, telemetry_seed=1, obs=Observability(window_ps=10**9)
+    )
+    with pytest.raises(ValueError, match="policy"):
+        ClusterControl(windowed)
+
+
+def test_policy_validation_errors():
+    with pytest.raises(ValueError, match="hysteresis"):
+        RebalancePolicy(engage=1.4, release=1.5)
+    with pytest.raises(ValueError, match="hysteresis"):
+        RebalancePolicy(engage=1.2, release=0.9)
+    with pytest.raises(ValueError):
+        RebalancePolicy(hot_flow_share=1.5)
+    with pytest.raises(ValueError):
+        RebalancePolicy(skew_ratio=0.8)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(target_node_packets=0)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(target_node_packets=100, scale_down_ratio=1.2)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(target_node_packets=100, min_nodes=5, max_nodes=2)
+
+
+# --------------------------------------------------------------------------- #
+# Policy equivalence battery
+# --------------------------------------------------------------------------- #
+
+PACKETS = 2000
+WINDOWS = 8
+POLICY = RebalancePolicy(min_window_packets=PACKETS // (WINDOWS * 2))
+
+
+def test_rebalance_converges_on_hotspot_shift():
+    result = run_rebalance_policy(
+        scenario="hotspot_shift",
+        packet_count=PACKETS,
+        windows=WINDOWS,
+        rebalance=POLICY,
+    )
+    assert result["onset_window"] is not None
+    assert result["windows_to_converge"] is not None
+    assert result["windows_to_converge"] <= 4
+    assert result["flows_moved"] > 0
+    # The corrected fleet ends better-balanced than the static one.
+    assert result["rows"][-1]["policy_imbalance"] <= result["rows"][-1]["static_imbalance"]
+
+
+@pytest.mark.parametrize("scenario", ["hotspot_shift", "node_failover"])
+def test_policy_run_is_equivalent_to_static_fleet(scenario):
+    """The loop moves flows, never miscounts them: under active policies the
+    conservation identity holds and the merged top-k is bit-identical to
+    the no-policy run on both the shifting and the failover workloads."""
+    result = run_rebalance_policy(
+        scenario=scenario, packet_count=PACKETS, windows=WINDOWS, rebalance=POLICY
+    )
+    assert result["books_balanced"]
+    assert result["totals_match"]
+    assert result["top10_match"]
+
+
+@pytest.mark.parametrize("scenario", ["zipf_mix", "uniform_random"])
+def test_policies_stay_quiet_on_steady_state(scenario):
+    result = run_rebalance_policy(
+        scenario=scenario, packet_count=PACKETS, windows=WINDOWS, rebalance=POLICY
+    )
+    assert result["actions"] == []
+    assert result["flows_moved"] == 0
+    assert result["books_balanced"] and result["totals_match"] and result["top10_match"]
+
+
+# --------------------------------------------------------------------------- #
+# Autoscaling
+# --------------------------------------------------------------------------- #
+
+
+def _staircase_stream(packets=1600, window_ps=10**9, seed=43):
+    """Quiet/surge/trickle per-window packet counts on a fixed window grid."""
+    from dataclasses import replace
+
+    weights = [1.0] * 4 + [4.0] * 4 + [0.25] * 4
+    total = sum(weights)
+    counts = [max(1, int(packets * w / total)) for w in weights]
+    counts[-1] += packets - sum(counts)
+    descriptors = scenario_descriptors("zipf_mix", packets, seed=seed)
+    start = descriptors[0].timestamp_ps
+    out, cursor = [], 0
+    for window, count in enumerate(counts):
+        stride = max(1, window_ps // (count + 1))
+        for i in range(count):
+            out.append(
+                replace(descriptors[cursor], timestamp_ps=start + window * window_ps + i * stride)
+            )
+            cursor += 1
+    return out, counts
+
+
+def test_autoscale_grows_and_shrinks_the_fleet_losslessly():
+    stream, counts = _staircase_stream()
+    start_nodes = 3
+    policy = AutoscalePolicy(
+        target_node_packets=counts[0] / start_nodes, min_nodes=2, max_nodes=8
+    )
+    telemetry = TelemetryConfig(heavy_hitter_capacity=8 * len(stream))
+    obs = Observability(window_ps=10**9, alerts=True)
+    coordinator = ClusterCoordinator(
+        nodes=start_nodes, config=CONFIG,
+        telemetry_config=telemetry, telemetry_seed=43, obs=obs,
+    )
+    control = ClusterControl(coordinator, autoscale=policy)
+    sizes = [len(coordinator.nodes)]
+    cursor = 0
+    for count in counts:  # window-aligned feeding (see bench_rebalance)
+        chunk = stream[cursor : cursor + count]
+        cursor += count
+        step = max(1, count // 4)
+        for offset in range(0, count, step):
+            coordinator.ingest(chunk[offset : offset + step])
+        control.step()
+        sizes.append(len(coordinator.nodes))
+    coordinator.finalize_telemetry()
+    control.step()
+
+    kinds = [action.kind for action in control.actions]
+    assert "add_node" in kinds and "remove_node" in kinds
+    assert max(sizes) > start_nodes  # grew under the surge
+    assert len(coordinator.nodes) < max(sizes)  # shrank back on the trickle
+    # Elastic membership changes lose nothing and measure the same stream:
+    assert coordinator.cluster_totals()["completed"] == coordinator.ingested == len(stream)
+    assert control.flows_lost == 0
+    assert coordinator.flow_books()["balanced"]
+    static = ClusterCoordinator(
+        nodes=start_nodes, config=CONFIG,
+        telemetry_config=telemetry, telemetry_seed=43,
+    )
+    static.ingest(stream)
+    static.finalize_telemetry()
+    assert merged_top_k(coordinator) == merged_top_k(static)
+
+    report = control.report()
+    assert report["action_counts"]["add_node"] >= 1
+    assert report["action_counts"]["remove_node"] >= 1
+    assert report["windows_seen"] >= len(counts) - 1

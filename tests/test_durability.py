@@ -579,6 +579,54 @@ def test_foreign_checkpoint_files_are_left_on_disk_not_adopted(tmp_path):
     assert event["restored"] > 0  # the explicit import path still works
 
 
+@pytest.mark.parametrize("corruption", ["garbage", "truncated"])
+def test_corrupt_snapshot_join_leaves_membership_untouched(tmp_path, corruption):
+    """Regression: ``add_node(snapshot=...)`` must validate the snapshot
+    *before* mutating membership.  A corrupt or truncated file used to be
+    decoded only after the joiner was already on the ring with flows
+    migrated onto it — the raise then left a half-applied join behind.
+    Now the decode is the first thing that happens, so the raise leaves
+    the ring, the membership and the flow books exactly as they were."""
+    descriptors = scenario_descriptors("zipf_mix", 400, seed=21)
+    coordinator = ClusterCoordinator(
+        nodes=3, config=CONFIG, telemetry_seed=21, checkpoint_dir=tmp_path
+    )
+    coordinator.ingest(descriptors)
+    coordinator.checkpoint_all()
+    good = (tmp_path / "node0.ckpt").read_bytes()
+    bad = tmp_path / "bad.ckpt"
+    if corruption == "garbage":
+        bad.write_bytes(b"not a snapshot frame at all")
+    else:
+        bad.write_bytes(good[: len(good) // 2])
+
+    ring_members = set(coordinator.ring.node_ids)
+    ring_stats = coordinator.ring.stats()
+    members = set(coordinator.nodes)
+    books = coordinator.flow_books()
+    per_node_flows = {n: coordinator.nodes[n].active_flows for n in coordinator.nodes}
+    joins = coordinator.joins
+
+    from repro.persist import SnapshotFormatError
+
+    with pytest.raises(SnapshotFormatError):
+        coordinator.add_node("joiner", snapshot=bad)
+
+    # Fail-before-mutate: nothing about the fleet changed.
+    assert set(coordinator.ring.node_ids) == ring_members
+    assert coordinator.ring.stats() == ring_stats
+    assert set(coordinator.nodes) == members
+    assert "joiner" not in coordinator.nodes and "joiner" not in coordinator.ring
+    assert coordinator.flow_books() == books
+    assert {n: coordinator.nodes[n].active_flows for n in coordinator.nodes} == per_node_flows
+    assert coordinator.joins == joins
+    # The cluster is fully operational afterwards: the same join with the
+    # intact file works, and ingestion continues balanced.
+    event = coordinator.add_node("joiner", snapshot=tmp_path / "node0.ckpt")
+    assert event["restored"] > 0
+    _assert_balanced(coordinator, 400)
+
+
 def test_misnamed_checkpoint_file_is_rejected_at_construction(tmp_path):
     first = ClusterCoordinator(
         nodes=2, config=CONFIG, telemetry_seed=16, checkpoint_dir=tmp_path
